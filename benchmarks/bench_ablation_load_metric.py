@@ -1,0 +1,17 @@
+"""Ablation: instantaneous vs stale load metric.
+
+FM driven by the instantaneous request count (the paper's choice)
+versus periodically sampled counts.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import ablation_load_metric
+
+from conftest import run_figure
+
+
+def test_ablation_load_metric(benchmark, scale, save_figure):
+    """Compare load-metric freshness."""
+    result = run_figure(benchmark, ablation_load_metric, scale, save_figure)
+    assert result.tables

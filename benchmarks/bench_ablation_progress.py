@@ -1,0 +1,17 @@
+"""Ablation: wall-clock vs effective progress index.
+
+Quantifies the over-parallelization feedback of indexing the interval
+table by wall-clock execution time under sustained contention.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import ablation_progress_index
+
+from conftest import run_figure
+
+
+def test_ablation_progress(benchmark, scale, save_figure):
+    """Compare FM progress indices."""
+    result = run_figure(benchmark, ablation_progress_index, scale, save_figure)
+    assert result.tables

@@ -1,0 +1,17 @@
+"""Ablation: self-scheduling quantum sensitivity.
+
+FM tail latency as the scheduling quantum varies from 1 to 50 ms
+(the paper uses 5 ms).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import ablation_quantum
+
+from conftest import run_figure
+
+
+def test_ablation_quantum(benchmark, scale, save_figure):
+    """Sweep the scheduling quantum."""
+    result = run_figure(benchmark, ablation_quantum, scale, save_figure)
+    assert result.tables

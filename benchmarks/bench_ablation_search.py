@@ -1,0 +1,17 @@
+"""Ablation: binned vs exact offline interval search.
+
+Times both search modes and reports the worst-case divergence of the
+predicted row tails (the paper's hours-to-minutes binning claim).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import ablation_search_modes
+
+from conftest import run_figure
+
+
+def test_ablation_search(benchmark, scale, save_figure):
+    """Compare offline search modes."""
+    result = run_figure(benchmark, ablation_search_modes, scale, save_figure)
+    assert result.tables

@@ -1,0 +1,18 @@
+"""Ablation: contention-model sensitivity.
+
+Sweeps the simulator's one free parameter — the fraction of lost
+parallelism that burns CPU vs blocking — and checks that FM's headline
+win is not an artifact of any particular setting.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import ablation_spin_fraction
+
+from conftest import run_figure
+
+
+def test_ablation_spin(benchmark, scale, save_figure):
+    """FM-vs-baselines tail reduction across the spin range."""
+    result = run_figure(benchmark, ablation_spin_fraction, scale, save_figure)
+    assert result.tables

@@ -1,0 +1,17 @@
+"""Fan-out aggregation: per-ISN tails at cluster scale (Section 7).
+
+Monte-Carlo fan-out over measured FM ISN latencies: the cluster-level
+p90 under 1/10/40/100-way fan-out and the required per-ISN percentile.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import cluster_aggregation
+
+from conftest import run_figure
+
+
+def test_cluster_aggregation(benchmark, scale, save_figure):
+    """Regenerate the aggregation analysis."""
+    result = run_figure(benchmark, cluster_aggregation, scale, save_figure)
+    assert result.tables

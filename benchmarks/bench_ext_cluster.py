@@ -1,0 +1,18 @@
+"""Extension: true multi-ISN fan-out simulation.
+
+Quantifies the correlated-burst penalty on the cluster tail that the
+independence approximation (resampling one server's latency marginal)
+cannot see.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.extensions import extension_cluster_simulation
+
+from conftest import run_figure
+
+
+def test_ext_cluster(benchmark, scale, save_figure):
+    """Simulated fan-out vs the independence approximation."""
+    result = run_figure(benchmark, extension_cluster_simulation, scale, save_figure)
+    assert result.tables

@@ -1,0 +1,18 @@
+"""Extension: online re-profiling under workload drift.
+
+FM frozen on a stale table vs FM that periodically re-profiles observed
+demand and rebuilds its interval table (closing the paper's
+daily/weekly offline-analysis loop online).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.extensions import extension_reprofiling
+
+from conftest import run_figure
+
+
+def test_ext_reprofile(benchmark, scale, save_figure):
+    """Compare static vs re-profiling FM across a demand drift."""
+    result = run_figure(benchmark, extension_reprofiling, scale, save_figure)
+    assert result.tables

@@ -1,0 +1,18 @@
+"""Figure 1: Bing demand distribution and average speedup.
+
+Regenerates the ISN service-demand histogram (5 ms bins, 200 ms
+termination spike) and the per-degree speedup table for all requests,
+the longest 5 %, and the shortest 5 %.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig1_bing_workload
+
+from conftest import run_figure
+
+
+def test_fig01_bing_workload(benchmark, scale, save_figure):
+    """Regenerate Figure 1(a,b)."""
+    result = run_figure(benchmark, fig1_bing_workload, scale, save_figure)
+    assert result.tables

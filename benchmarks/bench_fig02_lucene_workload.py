@@ -1,0 +1,17 @@
+"""Figure 2: Lucene demand distribution and average speedup.
+
+Regenerates the Wikipedia-search demand histogram (20 ms bins,
+median ~186 ms) and the speedup-by-degree table.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig2_lucene_workload
+
+from conftest import run_figure
+
+
+def test_fig02_lucene_workload(benchmark, scale, save_figure):
+    """Regenerate Figure 2(a,b)."""
+    result = run_figure(benchmark, fig2_lucene_workload, scale, save_figure)
+    assert result.tables

@@ -1,0 +1,17 @@
+"""Figure 3: effect of fixed parallelism on latency in Lucene.
+
+SEQ vs FIX-4 mean and 99th-percentile latency over the 30-48 RPS
+load range; the paper's crossover is near 42 RPS.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig3_fixed_parallelism
+
+from conftest import run_figure
+
+
+def test_fig03_fixed_parallelism(benchmark, scale, save_figure):
+    """Regenerate Figure 3."""
+    result = run_figure(benchmark, fig3_fixed_parallelism, scale, save_figure)
+    assert result.tables

@@ -1,0 +1,17 @@
+"""Figure 4: the fixed-interval incremental-parallelism strawman.
+
+99th-percentile latency of SEQ, FIX-4, and Simp-20/100/500 ms: no
+fixed interval wins across the whole load spectrum, motivating FM.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig4_simple_interval
+
+from conftest import run_figure
+
+
+def test_fig04_simple_interval(benchmark, scale, save_figure):
+    """Regenerate Figure 4."""
+    result = run_figure(benchmark, fig4_simple_interval, scale, save_figure)
+    assert result.tables

@@ -1,0 +1,17 @@
+"""Figure 5: the worked 50/150 ms example interval table.
+
+Runs the offline search on the paper's toy workload (6 cores,
+s(3) = 2, 50 ms steps) and prints the resulting table.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig5_example_table
+
+from conftest import run_figure
+
+
+def test_fig05_example_table(benchmark, scale, save_figure):
+    """Regenerate the Figure 5 table."""
+    result = run_figure(benchmark, fig5_example_table, scale, save_figure)
+    assert result.tables

@@ -1,0 +1,17 @@
+"""Figure 8: FM vs fixed parallelism in Lucene.
+
+99th-percentile and mean latency of SEQ, FIX-2, FIX-4, and FM over
+the load range; the paper reports FM -33 %/-40 % vs FIX-2 at 40/43 RPS.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig8_fm_vs_fixed
+
+from conftest import run_figure
+
+
+def test_fig08_fm_vs_fixed(benchmark, scale, save_figure):
+    """Regenerate Figure 8(a,b)."""
+    result = run_figure(benchmark, fig8_fm_vs_fixed, scale, save_figure)
+    assert result.tables

@@ -1,0 +1,17 @@
+"""Figure 9: FM parallelism and thread-count characteristics.
+
+Average request parallelism by demand class, completion-degree
+distributions at four loads, and threads-in-system / CPU utilization.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig9_fm_characteristics
+
+from conftest import run_figure
+
+
+def test_fig09_fm_characteristics(benchmark, scale, save_figure):
+    """Regenerate Figure 9(a,b,c)."""
+    result = run_figure(benchmark, fig9_fm_characteristics, scale, save_figure)
+    assert result.tables

@@ -1,0 +1,17 @@
+"""Figure 10: FM vs Adaptive and Request-Clairvoyant; boosting ablation.
+
+The prior-state-of-the-art comparison (paper: -32 % vs Adaptive and
+-22 % vs RC at 40 RPS) plus the selective thread-priority boosting panel.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig10_state_of_the_art
+
+from conftest import run_figure
+
+
+def test_fig10_state_of_art(benchmark, scale, save_figure):
+    """Regenerate Figure 10(a,b,c)."""
+    result = run_figure(benchmark, fig10_state_of_the_art, scale, save_figure)
+    assert result.tables

@@ -1,0 +1,17 @@
+"""Figure 11: tail latency under alternating 45/30 RPS load bursts.
+
+The burst experiment: 99th percentile of the trailing window of each
+load quantum for SEQ, FIX-2, FIX-4, and FM.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig11_load_variation
+
+from conftest import run_figure
+
+
+def test_fig11_load_variation(benchmark, scale, save_figure):
+    """Regenerate Figure 11."""
+    result = run_figure(benchmark, fig11_load_variation, scale, save_figure)
+    assert result.tables

@@ -1,0 +1,17 @@
+"""Figure 12: Bing ISN comparisons and parallelism distributions.
+
+SEQ / FIX-3+load-protection / Adaptive / FM tail latency over
+100-350 RPS, plus degree and thread-count distributions at low/high load.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig12_bing
+
+from conftest import run_figure
+
+
+def test_fig12_bing(benchmark, scale, save_figure):
+    """Regenerate Figure 12(a,b,c)."""
+    result = run_figure(benchmark, fig12_bing, scale, save_figure)
+    assert result.tables

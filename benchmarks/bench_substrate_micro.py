@@ -1,0 +1,74 @@
+"""Microbenchmarks of the substrates themselves.
+
+Unlike the figure benches (one-shot experiments), these measure
+steady-state throughput of the building blocks, so pytest-benchmark's
+statistics are meaningful: query execution in the miniature search
+engine, the vectorized Eq. (1)-(5) evaluation, and the discrete-event
+engine's event rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.formulas import completion_times, tail_latency
+from repro.core.schedule import IntervalSchedule
+from repro.core.search import SearchConfig, build_interval_table
+from repro.schedulers import FixedScheduler
+from repro.search.corpus import generate_corpus, generate_query_log
+from repro.search.executor import SearchEngine
+from repro.search.index import InvertedIndex
+from repro.search.query import parse_query
+from repro.sim.engine import simulate
+from repro.workloads.arrivals import PoissonProcess
+from repro.workloads.lucene import lucene_workload
+
+
+def test_search_engine_query_throughput(benchmark):
+    """Queries per second against an 8-segment, 2000-doc index."""
+    docs = generate_corpus(2000, vocab_size=3000, mean_doc_len=80, seed=31)
+    engine = SearchEngine(InvertedIndex.build(docs, num_segments=8))
+    queries = [parse_query(q) for q in generate_query_log(50, vocab_size=3000, seed=32)]
+    counter = iter(range(10**9))
+
+    def run_one():
+        return engine.execute(queries[next(counter) % len(queries)])
+
+    result = benchmark(run_one)
+    assert result.total_cost_units > 0
+
+
+def test_vectorized_formula_throughput(benchmark):
+    """Eq. (1)-(5) over a 10K-request profile (one search candidate)."""
+    profile = lucene_workload(profile_size=10_000).profile
+    schedule = IntervalSchedule([0.0, 100.0, 150.0, 200.0])
+
+    def run_one():
+        completion_times(profile, schedule)
+        return tail_latency(profile, schedule)
+
+    tail = benchmark(run_one)
+    assert tail > 0
+
+
+def test_interval_search_build(benchmark):
+    """Full Table-2-style search (binned, coarse grid)."""
+    profile = lucene_workload(profile_size=4000).profile
+    config = SearchConfig(
+        max_degree=4, target_parallelism=24.0, step_ms=50.0, num_bins=40
+    )
+    table = benchmark(build_interval_table, profile, config)
+    assert table.admission_capacity() is not None
+
+
+def test_simulator_event_rate(benchmark):
+    """One 300-request open-loop run under FIX-2 on 8 cores."""
+    workload = lucene_workload(profile_size=1000)
+    rng = np.random.default_rng(33)
+    arrivals = workload.arrivals(300, PoissonProcess(40.0), rng)
+
+    def run_one():
+        return simulate(arrivals, FixedScheduler(2), cores=8, spin_fraction=0.25)
+
+    result = benchmark(run_one)
+    assert len(result) == 300

@@ -1,0 +1,17 @@
+"""Table 2: the Lucene interval table.
+
+Builds the full load-indexed interval table for the Lucene workload
+(target_p = 24, n = 4) and prints it in the paper's layout.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import table2_lucene_intervals
+
+from conftest import run_figure
+
+
+def test_table2_lucene_intervals(benchmark, scale, save_figure):
+    """Regenerate Table 2."""
+    result = run_figure(benchmark, table2_lucene_intervals, scale, save_figure)
+    assert result.tables

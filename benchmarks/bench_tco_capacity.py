@@ -1,0 +1,17 @@
+"""Section 7 TCO claim: servers saved at a 120 ms tail target.
+
+Max sustainable per-server RPS for Adaptive vs FM and the implied
+fleet-size reduction (the paper reports 42 % fewer servers).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import tco_capacity
+
+from conftest import run_figure
+
+
+def test_tco_capacity(benchmark, scale, save_figure):
+    """Regenerate the capacity-planning analysis."""
+    result = run_figure(benchmark, tco_capacity, scale, save_figure)
+    assert result.tables

@@ -1,0 +1,17 @@
+"""Theorem 1 ablation: non-decreasing parallelism minimizes resources.
+
+Evaluates expected resource usage of the few-to-many segment ordering
+against shuffled and many-to-few orderings at equal processing time.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import theorem1_check
+
+from conftest import run_figure
+
+
+def test_theorem1(benchmark, scale, save_figure):
+    """Validate Theorem 1 numerically."""
+    result = run_figure(benchmark, theorem1_check, scale, save_figure)
+    assert result.tables

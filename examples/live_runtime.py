@@ -1,0 +1,72 @@
+"""FM on real threads: incremental parallelism you can wall-clock.
+
+Everything else in this repository measures FM in simulated virtual
+time; this example runs the actual control loop on actual
+``threading`` threads.  Work units sleep (releasing the GIL), so a
+request's threads genuinely overlap — like an IO/network-bound service.
+
+Two runs over the same 60-request bimodal workload (mostly 40 ms
+requests, a few 400 ms ones):
+
+* a *sequential* server (table that never adds parallelism);
+* an *FM* server whose table starts everything sequential and climbs
+  long requests to degree 4.
+
+The long requests dominate the p99, and FM's climbing visibly cuts it.
+
+Run:  python examples/live_runtime.py        (~10 seconds, sleeps mostly)
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.schedule import Schedule, ScheduleStep
+from repro.core.table import IntervalTable
+from repro.runtime import LiveFMServer, LiveRequest, make_slices
+
+WORKERS = 6
+NUM_REQUESTS = 60
+SHORT_MS, LONG_MS = 40.0, 400.0
+LONG_FRACTION = 0.15
+ARRIVAL_GAP_MS = 25.0
+
+
+def _sequential_table() -> IntervalTable:
+    return IntervalTable([Schedule([ScheduleStep(0.0, 1)])])
+
+
+def _fm_table() -> IntervalTable:
+    climb = Schedule(
+        [ScheduleStep(0.0, 1), ScheduleStep(60.0, 2), ScheduleStep(120.0, 4)]
+    )
+    return IntervalTable([climb] * 8 + [Schedule([ScheduleStep(0.0, 1)],
+                                                 wait_for_exit=True)])
+
+
+def _run(name: str, table: IntervalTable, seed: int = 7) -> None:
+    rng = random.Random(seed)
+    server = LiveFMServer(table, workers=WORKERS, quantum_ms=5.0)
+    print(f"{name}: submitting {NUM_REQUESTS} requests "
+          f"({LONG_FRACTION:.0%} long) ...")
+    for rid in range(NUM_REQUESTS):
+        total = LONG_MS if rng.random() < LONG_FRACTION else SHORT_MS
+        server.submit(LiveRequest(rid, make_slices(total, slice_ms=10.0)))
+        time.sleep(ARRIVAL_GAP_MS / 1000.0)
+    stats = server.drain(timeout_s=60.0)
+    print(f"  completed {stats.completed}  "
+          f"mean {stats.mean_latency_ms():6.1f} ms  "
+          f"p99 {stats.tail_latency_ms(0.99):6.1f} ms  "
+          f"max degree reached {max(stats.max_degrees)}")
+
+
+def main() -> None:
+    _run("sequential", _sequential_table())
+    _run("few-to-many", _fm_table())
+    print("\nthe FM server climbs its long requests to degree 4 on real "
+          "threads, cutting the wall-clock p99.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Load bursts: how fast does each policy adapt?  (Figure 11.)
+
+The client alternates 45 -> 30 -> 45 -> 30 RPS in 500-request quanta.
+Fixed policies are tuned for exactly one operating point: FIX-4 matches
+FM during the calm quanta and falls apart during the bursts; SEQ never
+benefits from the calm.  FM re-reads the instantaneous load every
+quantum and adapts within milliseconds.
+
+Run:  python examples/load_variation.py
+"""
+
+from __future__ import annotations
+
+from repro.core import SearchConfig, build_interval_table
+from repro.experiments import render_table, run_policy
+from repro.schedulers import FixedScheduler, FMScheduler, SequentialScheduler
+from repro.workloads import lucene
+from repro.workloads.arrivals import PiecewiseRateProcess
+
+QUANTUM_REQUESTS = 500
+WINDOW = 100  # the paper plots the last 100 requests of each quantum
+
+
+def main() -> None:
+    workload = lucene.lucene_workload(profile_size=5000)
+    table = build_interval_table(
+        workload.profile,
+        SearchConfig(
+            max_degree=lucene.MAX_DEGREE,
+            target_parallelism=lucene.TARGET_PARALLELISM,
+            step_ms=25.0,
+            num_bins=60,
+        ),
+    )
+
+    process = PiecewiseRateProcess(
+        [(45.0, QUANTUM_REQUESTS), (30.0, QUANTUM_REQUESTS)] * 2
+    )
+    total = 4 * QUANTUM_REQUESTS
+    labels = ["burst 45 RPS", "calm 30 RPS", "burst 45 RPS", "calm 30 RPS"]
+
+    print(f"replaying {total} requests across four load quanta ...")
+    per_policy: dict[str, list[float]] = {}
+    for scheduler in [
+        SequentialScheduler(),
+        FixedScheduler(2),
+        FixedScheduler(4),
+        FMScheduler(table),
+    ]:
+        run = run_policy(
+            scheduler, workload, rps=45.0, cores=lucene.CORES,
+            num_requests=total, quantum_ms=lucene.QUANTUM_MS, seed=1311,
+            process=process, spin_fraction=lucene.SPIN_FRACTION,
+        )
+        tails = []
+        for start, stop in process.quantum_boundaries(total):
+            window = run.slice_by_arrival(max(start, stop - WINDOW), stop)
+            tails.append(window.tail_latency_ms(0.99))
+        per_policy[scheduler.name] = tails
+
+    rows = [
+        [label] + [per_policy[name][i] for name in per_policy]
+        for i, label in enumerate(labels)
+    ]
+    print(
+        render_table(
+            ["quantum (p99 of last 100, ms)"] + list(per_policy), rows
+        )
+    )
+    print(
+        "\nFM is best or tied in every quantum: aggressive like FIX-4 when "
+        "calm, conservative like SEQ-with-selective-parallelism in bursts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Quickstart: the FM pipeline in ~40 lines.
+
+1. Build a calibrated workload (the paper's Lucene enterprise search).
+2. Run the offline phase: search for the load-indexed interval table.
+3. Simulate an open-loop client at a fixed load under four policies.
+4. Compare 99th-percentile latency — FM should win.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import SearchConfig, build_interval_table
+from repro.experiments import render_table, run_policy
+from repro.schedulers import FixedScheduler, FMScheduler, SequentialScheduler
+from repro.workloads import lucene
+
+
+def main() -> None:
+    # 1. The workload: demand distribution + per-request speedup curves,
+    #    calibrated to the paper's Figure 2.
+    workload = lucene.lucene_workload(profile_size=4000)
+    profile = workload.profile
+    print(
+        f"workload: median {profile.median():.0f} ms, "
+        f"mean {profile.mean():.0f} ms, p99 {profile.percentile(0.99):.0f} ms"
+    )
+
+    # 2. Offline phase: one schedule per load level, targeting 24 total
+    #    software threads on the 15-core server (Section 6.1).
+    table = build_interval_table(
+        profile,
+        SearchConfig(
+            max_degree=lucene.MAX_DEGREE,
+            target_parallelism=lucene.TARGET_PARALLELISM,
+            step_ms=50.0,
+            num_bins=40,
+        ),
+    )
+    print(f"\ninterval table ({len(table)} rows, "
+          f"admission capacity {table.admission_capacity()}):")
+    print(table.format())
+
+    # 3. Online phase: simulate 1000 requests at 43 RPS per policy.
+    policies = [
+        SequentialScheduler(),
+        FixedScheduler(2),
+        FixedScheduler(4),
+        FMScheduler(table),
+    ]
+    rows = []
+    for scheduler in policies:
+        result = run_policy(
+            scheduler,
+            workload,
+            rps=43.0,
+            cores=lucene.CORES,
+            num_requests=1000,
+            quantum_ms=lucene.QUANTUM_MS,
+            seed=7,
+            spin_fraction=lucene.SPIN_FRACTION,
+        )
+        rows.append(
+            [
+                scheduler.name,
+                result.tail_latency_ms(0.99),
+                result.mean_latency_ms(),
+                result.average_threads(),
+                100.0 * result.cpu_utilization(),
+            ]
+        )
+
+    # 4. The comparison (FM should have the lowest tail).
+    print("\npolicy comparison at 43 RPS:")
+    print(render_table(
+        ["policy", "p99 (ms)", "mean (ms)", "avg threads", "CPU %"], rows
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy setup shim: the environment has no `wheel` package, so the
+PEP 517 editable path (which builds a wheel) is unavailable offline.
+`pip install -e .` falls back to `setup.py develop` through this file.
+Package metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

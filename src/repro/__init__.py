@@ -1,0 +1,61 @@
+"""repro — Few-to-Many (FM) incremental parallelism, reproduced.
+
+A production-quality reproduction of *"Few-to-Many: Incremental
+Parallelism for Reducing Tail Latency in Interactive Services"*
+(ASPLOS 2015): the FM offline interval-table search, the online
+self-scheduling policy with selective thread-priority boosting, every
+baseline scheduler from the paper's evaluation (SEQ, FIX-N, simple
+fixed-interval addition, Adaptive, Request-Clairvoyant), a virtual-time
+multicore server simulator, calibrated Lucene-like and Bing-like
+workloads, a miniature segmented search engine, and the full benchmark
+harness regenerating every table and figure of the evaluation.
+
+Quickstart::
+
+    import repro
+
+    workload = repro.workloads.lucene_workload(profile_size=4000)
+    table = repro.build_interval_table(
+        workload.profile,
+        repro.SearchConfig(max_degree=4, target_parallelism=24,
+                           step_ms=25, num_bins=60),
+    )
+    result = repro.experiments.run_policy(
+        repro.schedulers.FMScheduler(table), workload, rps=43, cores=15,
+        spin_fraction=repro.workloads.lucene.SPIN_FRACTION,
+    )
+    print(result.tail_latency_ms(0.99))
+"""
+
+from repro import cluster, core, experiments, runtime, schedulers, search, sim, workloads
+from repro.core import (
+    DemandProfile,
+    IntervalSchedule,
+    IntervalTable,
+    RequestProfile,
+    Schedule,
+    SearchConfig,
+    build_interval_table,
+    choose_max_degree,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DemandProfile",
+    "IntervalSchedule",
+    "IntervalTable",
+    "RequestProfile",
+    "Schedule",
+    "SearchConfig",
+    "build_interval_table",
+    "choose_max_degree",
+    "cluster",
+    "core",
+    "experiments",
+    "runtime",
+    "schedulers",
+    "search",
+    "sim",
+    "workloads",
+]

@@ -1,0 +1,69 @@
+"""Command-line entry point: ``python -m repro`` / ``repro-fm``.
+
+Runs any experiment from the EXPERIMENTS.md index and prints its
+tables, e.g.::
+
+    repro-fm fig8 --scale quick
+    repro-fm all --scale full
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.ablations import ABLATIONS
+from repro.experiments.config import FULL, QUICK, TINY, Scale, default_scale
+from repro.experiments.extensions import EXTENSIONS
+from repro.experiments.figures import ALL_EXPERIMENTS
+
+#: Every runnable experiment: the paper's figures/tables, the ablation
+#: studies, and the extension experiments.
+EXPERIMENTS = {**ALL_EXPERIMENTS, **ABLATIONS, **EXTENSIONS}
+
+__all__ = ["main", "build_parser"]
+
+_SCALES: dict[str, Scale] = {"tiny": TINY, "quick": QUICK, "full": FULL}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fm",
+        description=(
+            "Reproduce tables/figures from 'Few-to-Many: Incremental "
+            "Parallelism for Reducing Tail Latency in Interactive Services' "
+            "(ASPLOS 2015)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id from DESIGN.md / EXPERIMENTS.md, or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default=None,
+        help="fidelity preset (default: $REPRO_SCALE or 'quick')",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    scale = _SCALES[args.scale] if args.scale else default_scale()
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.perf_counter()
+        result = EXPERIMENTS[name](scale)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"\n[{name} completed in {elapsed:.1f}s at scale={scale.name}]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

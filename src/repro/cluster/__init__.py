@@ -1,0 +1,18 @@
+"""Cluster-level fan-out/aggregation analysis (the Section 7 motivation)."""
+
+from repro.cluster.aggregator import (
+    achieved_cluster_percentile,
+    aggregate_latencies,
+    cluster_tail,
+    required_per_server_percentile,
+)
+from repro.cluster.simulation import ClusterResult, simulate_cluster
+
+__all__ = [
+    "ClusterResult",
+    "achieved_cluster_percentile",
+    "aggregate_latencies",
+    "cluster_tail",
+    "required_per_server_percentile",
+    "simulate_cluster",
+]

@@ -1,0 +1,83 @@
+"""Fan-out aggregation: why per-server tails matter (Section 7).
+
+A Bing query fans out to every index-serving node (ISN) holding a shard
+of the index; the aggregator must wait for the slowest ISN, so "a long
+latency at any ISN manifests as a slow response".  The paper's rule of
+thumb: "assuming the aggregator has 10 ISNs, if we want to process 90%
+of user requests within 100 ms, then each ISN needs to reply within 100
+ms with probability around 0.99."
+
+Two views of the same math:
+
+* analytically, with independent per-ISN response times,
+  ``P(max <= t) = p^n`` — so an overall φ target over ``n`` ISNs needs
+  per-ISN percentile ``φ^(1/n)``;
+* empirically, :func:`aggregate_latencies` Monte-Carlo-samples the
+  per-query max over ``n`` draws from a measured ISN latency sample
+  (e.g. a :class:`~repro.sim.metrics.SimulationResult`'s latencies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.formulas import weighted_order_statistic
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "required_per_server_percentile",
+    "achieved_cluster_percentile",
+    "aggregate_latencies",
+    "cluster_tail",
+]
+
+
+def required_per_server_percentile(cluster_phi: float, num_servers: int) -> float:
+    """Per-server percentile needed so that ``cluster_phi`` of fan-out
+    queries meet the deadline: ``cluster_phi ** (1 / n)``."""
+    if not 0.0 < cluster_phi < 1.0:
+        raise ConfigurationError(f"cluster_phi must be in (0, 1): {cluster_phi}")
+    if num_servers < 1:
+        raise ConfigurationError(f"num_servers must be >= 1: {num_servers}")
+    return cluster_phi ** (1.0 / num_servers)
+
+
+def achieved_cluster_percentile(server_phi: float, num_servers: int) -> float:
+    """Fraction of fan-out queries whose *every* server meets the
+    deadline each server meets with probability ``server_phi``."""
+    if not 0.0 < server_phi <= 1.0:
+        raise ConfigurationError(f"server_phi must be in (0, 1]: {server_phi}")
+    if num_servers < 1:
+        raise ConfigurationError(f"num_servers must be >= 1: {num_servers}")
+    return server_phi**num_servers
+
+
+def aggregate_latencies(
+    server_latencies_ms: np.ndarray,
+    num_servers: int,
+    num_queries: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Monte Carlo fan-out: per cluster query, draw one latency per
+    server from the measured sample and keep the max (the aggregator
+    waits for the slowest shard)."""
+    sample = np.asarray(server_latencies_ms, dtype=float)
+    if sample.ndim != 1 or len(sample) == 0:
+        raise ConfigurationError("need a non-empty 1-D latency sample")
+    if num_servers < 1 or num_queries < 1:
+        raise ConfigurationError("num_servers and num_queries must be >= 1")
+    draws = rng.choice(sample, size=(num_queries, num_servers), replace=True)
+    return draws.max(axis=1)
+
+
+def cluster_tail(
+    server_latencies_ms: np.ndarray,
+    num_servers: int,
+    phi: float,
+    rng: np.random.Generator,
+    num_queries: int = 20_000,
+) -> float:
+    """The cluster-level φ-tail latency implied by a measured per-server
+    latency distribution under ``num_servers``-way fan-out."""
+    maxima = aggregate_latencies(server_latencies_ms, num_servers, num_queries, rng)
+    return weighted_order_statistic(maxima, np.ones_like(maxima), phi)

@@ -1,0 +1,95 @@
+"""The paper's primary contribution: FM offline analysis.
+
+Demand profiles, schedule representations, the Figure 6 latency and
+parallelism formulas, the Figure 7 interval-selection search, the
+scalability analysis that bounds software parallelism, Theorem 1
+machinery, and capacity/TCO planning.
+"""
+
+from repro.core.capacity import (
+    LoadLatencyPoint,
+    max_sustainable_rps,
+    server_reduction,
+    servers_needed,
+)
+from repro.core.demand import DemandProfile, RequestProfile
+from repro.core.queueing import (
+    mg1_ps_conditional_sojourn,
+    mg1_ps_mean_sojourn,
+    mg1_ps_slowdown,
+    utilization,
+)
+from repro.core.formulas import (
+    average_parallelism,
+    busy_time,
+    busy_times,
+    completion_time,
+    completion_times,
+    mean_latency,
+    tail_latency,
+    total_average_parallelism,
+    weighted_order_statistic,
+)
+from repro.core.scalability import SpeedupReportRow, choose_max_degree, speedup_report
+from repro.core.schedule import (
+    WAIT_FOR_EXIT,
+    IntervalSchedule,
+    Schedule,
+    ScheduleStep,
+)
+from repro.core.search import SearchConfig, build_interval_table, exhaustive_search
+from repro.core.speedup import (
+    AmdahlSpeedup,
+    LengthDependentSpeedupModel,
+    LinearSpeedup,
+    SpeedupCurve,
+    SpeedupModel,
+    TabulatedSpeedup,
+    UniformSpeedupModel,
+)
+from repro.core.table import IntervalTable, TableMetadata
+from repro.core.theory import WorkSchedule, WorkSegment, survival_integral
+
+__all__ = [
+    "AmdahlSpeedup",
+    "DemandProfile",
+    "IntervalSchedule",
+    "IntervalTable",
+    "LengthDependentSpeedupModel",
+    "LinearSpeedup",
+    "LoadLatencyPoint",
+    "RequestProfile",
+    "Schedule",
+    "ScheduleStep",
+    "SearchConfig",
+    "SpeedupCurve",
+    "SpeedupModel",
+    "SpeedupReportRow",
+    "TableMetadata",
+    "TabulatedSpeedup",
+    "UniformSpeedupModel",
+    "WAIT_FOR_EXIT",
+    "WorkSchedule",
+    "WorkSegment",
+    "average_parallelism",
+    "build_interval_table",
+    "busy_time",
+    "busy_times",
+    "choose_max_degree",
+    "completion_time",
+    "completion_times",
+    "exhaustive_search",
+    "max_sustainable_rps",
+    "mean_latency",
+    "mg1_ps_conditional_sojourn",
+    "mg1_ps_mean_sojourn",
+    "mg1_ps_slowdown",
+    "server_reduction",
+    "servers_needed",
+    "speedup_report",
+    "survival_integral",
+    "tail_latency",
+    "total_average_parallelism",
+    "utilization",
+    "weighted_order_statistic",
+]

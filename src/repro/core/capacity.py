@@ -1,0 +1,111 @@
+"""Capacity planning and TCO analysis (Sections 1 and 7).
+
+The paper's headline business result: "the provider can leverage FM to
+service the same user load with 42% fewer servers" — because a policy
+with lower tail latency at a given load can, equivalently, sustain a
+higher per-server load at a given tail-latency target.
+
+Given measured ``(RPS, tail latency)`` series per policy (produced by
+the experiment runner), these helpers compute the maximum sustainable
+RPS under a latency target and translate it into server counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LoadLatencyPoint", "max_sustainable_rps", "servers_needed", "server_reduction"]
+
+
+@dataclass(frozen=True)
+class LoadLatencyPoint:
+    """One measurement: offered load and the resulting tail latency."""
+
+    rps: float
+    latency_ms: float
+
+
+def _as_points(series: Sequence[LoadLatencyPoint | tuple[float, float]]) -> list[LoadLatencyPoint]:
+    points = [
+        p if isinstance(p, LoadLatencyPoint) else LoadLatencyPoint(float(p[0]), float(p[1]))
+        for p in series
+    ]
+    if len(points) < 2:
+        raise ConfigurationError("need at least two (rps, latency) points")
+    if any(b.rps <= a.rps for a, b in zip(points, points[1:])):
+        raise ConfigurationError("series must be sorted by strictly increasing RPS")
+    return points
+
+
+def max_sustainable_rps(
+    series: Sequence[LoadLatencyPoint | tuple[float, float]], target_ms: float
+) -> float:
+    """Largest load at which the policy's tail latency stays at or below
+    ``target_ms``, by linear interpolation between measured points.
+
+    Latency-vs-load curves are noisy but eventually increasing; we scan
+    for the last measured point under the target and interpolate toward
+    the first point above it.  Returns 0.0 when even the lightest load
+    misses the target, and the largest measured RPS when the target is
+    never exceeded.
+    """
+    if target_ms <= 0:
+        raise ConfigurationError(f"target_ms must be positive: {target_ms}")
+    points = _as_points(series)
+    if points[0].latency_ms > target_ms:
+        return 0.0
+    last_ok = points[0]
+    for point in points[1:]:
+        if point.latency_ms <= target_ms:
+            last_ok = point
+            continue
+        # Interpolate the crossing between last_ok and this point.
+        span = point.latency_ms - last_ok.latency_ms
+        if span <= 0:
+            return point.rps
+        fraction = (target_ms - last_ok.latency_ms) / span
+        return last_ok.rps + fraction * (point.rps - last_ok.rps)
+    return points[-1].rps
+
+
+def servers_needed(total_rps: float, per_server_rps: float) -> int:
+    """Servers required to absorb ``total_rps`` when each sustains
+    ``per_server_rps`` under the latency target."""
+    if total_rps < 0:
+        raise ConfigurationError(f"total_rps must be >= 0: {total_rps}")
+    if per_server_rps <= 0:
+        raise ConfigurationError(
+            f"policy cannot meet the latency target at any load "
+            f"(per_server_rps = {per_server_rps})"
+        )
+    return max(1, math.ceil(total_rps / per_server_rps))
+
+
+def server_reduction(
+    baseline_series: Sequence[LoadLatencyPoint | tuple[float, float]],
+    improved_series: Sequence[LoadLatencyPoint | tuple[float, float]],
+    target_ms: float,
+    total_rps: float | None = None,
+) -> float:
+    """Fraction of servers saved by the improved policy at a tail
+    target: ``1 - servers(improved) / servers(baseline)``.
+
+    With ``total_rps`` omitted the asymptotic ratio
+    ``1 - baseline_rps / improved_rps`` is returned (server counts
+    in the fleet limit); with it, integral server counts are used.
+    """
+    base_rps = max_sustainable_rps(baseline_series, target_ms)
+    improved_rps = max_sustainable_rps(improved_series, target_ms)
+    if base_rps <= 0:
+        raise ConfigurationError("baseline policy never meets the target")
+    if improved_rps <= 0:
+        raise ConfigurationError("improved policy never meets the target")
+    if total_rps is None:
+        return 1.0 - base_rps / improved_rps
+    base_servers = servers_needed(total_rps, base_rps)
+    improved_servers = servers_needed(total_rps, improved_rps)
+    return 1.0 - improved_servers / base_servers

@@ -1,0 +1,260 @@
+"""Service-demand profiles — the offline phase's primary input.
+
+A :class:`DemandProfile` is the reproduction of the paper's "request
+demand profile": for every profiled request, its sequential execution
+time and its speedup at each parallelism degree (Table 1: ``r in R``,
+``seq_r``, ``s_r(d_j)``).  Profiles also provide the histogram and
+percentile views used in Figures 1(a) and 2(a), and the demand-binning
+optimization of Section 4.1 ("grouping requests into demand distribution
+bins with their frequencies, which reduces our computation time to a few
+minutes").
+
+Profiles are value objects: arrays are copied on construction and never
+mutated.  All times are in milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.speedup import SpeedupCurve, SpeedupModel, TabulatedSpeedup
+from repro.errors import InvalidProfileError
+
+__all__ = ["DemandProfile", "RequestProfile"]
+
+
+@dataclass(frozen=True)
+class RequestProfile:
+    """One profiled request: sequential demand plus its speedup curve."""
+
+    seq_ms: float
+    speedup: SpeedupCurve
+
+    def parallel_time(self, degree: int) -> float:
+        """Execution time when run with ``degree`` dedicated cores."""
+        return self.seq_ms / self.speedup.speedup(degree)
+
+
+class DemandProfile:
+    """An immutable collection of request profiles.
+
+    Internally column-oriented for the vectorized offline search:
+
+    * ``seq`` — ``(N,)`` sequential times, sorted ascending;
+    * ``speedups`` — ``(N, max_degree)`` where column ``j`` holds
+      ``s_r(j + 1)``;
+    * ``weights`` — ``(N,)`` positive multiplicities (1.0 for raw
+      profiles; bin frequencies for binned profiles).
+
+    Sorting by demand is a structural invariant that the tail-latency
+    formula exploits: request completion time under any FM schedule is
+    non-decreasing in sequential demand *when speedup curves are also
+    ordered* (longer requests parallelize at least as well — true for
+    all workloads in the paper), so percentiles reduce to an index
+    lookup.
+    """
+
+    def __init__(
+        self,
+        seq_ms: Sequence[float] | np.ndarray,
+        speedups: np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+    ) -> None:
+        seq = np.asarray(seq_ms, dtype=float).copy()
+        if seq.ndim != 1 or len(seq) == 0:
+            raise InvalidProfileError("profile needs a non-empty 1-D demand array")
+        if np.any(seq <= 0) or not np.all(np.isfinite(seq)):
+            raise InvalidProfileError("sequential demands must be positive and finite")
+        tables = np.asarray(speedups, dtype=float).copy()
+        if tables.shape != (len(seq), tables.shape[1]) or tables.shape[1] < 1:
+            raise InvalidProfileError(
+                f"speedups must be (N, max_degree), got {tables.shape}"
+            )
+        if not np.allclose(tables[:, 0], 1.0):
+            raise InvalidProfileError("speedup column 0 must be s(1) = 1.0")
+        if np.any(np.diff(tables, axis=1) < -1e-9):
+            raise InvalidProfileError("speedup tables must be non-decreasing in degree")
+        if weights is None:
+            w = np.ones(len(seq), dtype=float)
+        else:
+            w = np.asarray(weights, dtype=float).copy()
+            if w.shape != seq.shape or np.any(w <= 0):
+                raise InvalidProfileError("weights must be positive, one per request")
+
+        order = np.argsort(seq, kind="stable")
+        self._seq = seq[order]
+        self._speedups = tables[order]
+        self._weights = w[order]
+        self._seq.setflags(write=False)
+        self._speedups.setflags(write=False)
+        self._weights.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_requests(
+        cls, requests: Iterable[RequestProfile], max_degree: int
+    ) -> "DemandProfile":
+        """Build a profile from individual :class:`RequestProfile` objects."""
+        reqs = list(requests)
+        if not reqs:
+            raise InvalidProfileError("no requests given")
+        seq = np.array([r.seq_ms for r in reqs], dtype=float)
+        tables = np.stack([r.speedup.table(max_degree) for r in reqs])
+        return cls(seq, tables)
+
+    @classmethod
+    def from_model(
+        cls,
+        seq_ms: Sequence[float] | np.ndarray,
+        model: SpeedupModel,
+        max_degree: int,
+    ) -> "DemandProfile":
+        """Build a profile by attaching model-derived speedup curves to
+        measured (or generated) sequential times."""
+        seq = np.asarray(seq_ms, dtype=float)
+        return cls(seq, model.tables_for(seq, max_degree))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def seq(self) -> np.ndarray:
+        """Sorted sequential demands, milliseconds, shape ``(N,)``."""
+        return self._seq
+
+    @property
+    def speedups(self) -> np.ndarray:
+        """Speedup tables aligned with :attr:`seq`, shape ``(N, max_degree)``."""
+        return self._speedups
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Request multiplicities aligned with :attr:`seq`."""
+        return self._weights
+
+    @property
+    def max_degree(self) -> int:
+        """Largest parallelism degree the profile carries speedups for."""
+        return self._speedups.shape[1]
+
+    def __len__(self) -> int:
+        return len(self._seq)
+
+    @property
+    def total_weight(self) -> float:
+        """Total request count represented (sum of multiplicities)."""
+        return float(self._weights.sum())
+
+    def request(self, index: int) -> RequestProfile:
+        """Materialize request ``index`` as a :class:`RequestProfile`."""
+        return RequestProfile(
+            seq_ms=float(self._seq[index]),
+            speedup=TabulatedSpeedup(self._speedups[index]),
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics (Figures 1(a) / 2(a))
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        """Weighted mean sequential demand."""
+        return float(np.average(self._seq, weights=self._weights))
+
+    def percentile(self, phi: float) -> float:
+        """Weighted ``phi``-quantile of sequential demand, ``phi`` in (0, 1].
+
+        Uses the paper's order-statistic definition (Eq. 5): the demand
+        of the ``ceil(phi * N)``-th smallest request.
+        """
+        if not 0.0 < phi <= 1.0:
+            raise ValueError(f"phi must be in (0, 1], got {phi}")
+        cum = np.cumsum(self._weights)
+        target = phi * cum[-1]
+        index = int(np.searchsorted(cum, target - 1e-9))
+        return float(self._seq[min(index, len(self._seq) - 1)])
+
+    def median(self) -> float:
+        """Weighted median sequential demand."""
+        return self.percentile(0.5)
+
+    def max(self) -> float:
+        """Longest sequential demand in the profile."""
+        return float(self._seq[-1])
+
+    def histogram(self, bin_ms: float) -> tuple[np.ndarray, np.ndarray]:
+        """Demand histogram with fixed-width bins, as plotted in
+        Figures 1(a)/2(a).
+
+        Returns ``(edges, counts)`` where ``edges`` has one more entry
+        than ``counts``.
+        """
+        if bin_ms <= 0:
+            raise ValueError(f"bin_ms must be positive, got {bin_ms}")
+        top = float(np.ceil(self._seq[-1] / bin_ms)) * bin_ms
+        edges = np.arange(0.0, top + bin_ms / 2, bin_ms)
+        counts, _ = np.histogram(self._seq, bins=edges, weights=self._weights)
+        return edges, counts
+
+    def average_speedup(self, degree: int) -> float:
+        """Weighted mean speedup at ``degree`` over all requests
+        (the "All requests" series of Figures 1(b)/2(b))."""
+        if not 1 <= degree <= self.max_degree:
+            raise ValueError(f"degree must be in [1, {self.max_degree}]")
+        return float(np.average(self._speedups[:, degree - 1], weights=self._weights))
+
+    def class_speedup(self, degree: int, lo: float, hi: float) -> float:
+        """Weighted mean speedup at ``degree`` over requests whose demand
+        percentile rank lies in ``[lo, hi)`` — e.g. ``(0.95, 1.0)`` for
+        the "Longest 5 %" series."""
+        cum = np.cumsum(self._weights)
+        ranks = (cum - self._weights / 2) / cum[-1]
+        mask = (ranks >= lo) & (ranks < hi)
+        if not mask.any():
+            raise InvalidProfileError(f"no requests in percentile band [{lo}, {hi})")
+        return float(
+            np.average(self._speedups[mask, degree - 1], weights=self._weights[mask])
+        )
+
+    # ------------------------------------------------------------------
+    # Binning (the fast offline-search path)
+    # ------------------------------------------------------------------
+    def binned(self, num_bins: int) -> "DemandProfile":
+        """Collapse the profile into ``num_bins`` equal-population demand
+        bins, each represented by its weighted-mean demand and speedups.
+
+        This is the paper's computation-time optimization; the search
+        accepts either form.  Binning preserves total weight.
+        """
+        if num_bins < 1:
+            raise ValueError(f"num_bins must be >= 1, got {num_bins}")
+        if num_bins >= len(self._seq):
+            return self
+        cum = np.cumsum(self._weights)
+        boundaries = np.linspace(0.0, cum[-1], num_bins + 1)[1:-1]
+        splits = np.searchsorted(cum, boundaries, side="left") + 1
+        groups = np.split(np.arange(len(self._seq)), splits)
+        seq, tables, weights = [], [], []
+        for group in groups:
+            if len(group) == 0:
+                continue
+            w = self._weights[group]
+            seq.append(np.average(self._seq[group], weights=w))
+            tables.append(np.average(self._speedups[group], axis=0, weights=w))
+            weights.append(w.sum())
+        tables_arr = np.stack(tables)
+        tables_arr[:, 0] = 1.0
+        return DemandProfile(np.array(seq), tables_arr, np.array(weights))
+
+    def subsample(self, n: int, rng: np.random.Generator) -> "DemandProfile":
+        """Random subsample of ``n`` requests (uniform over multiplicity),
+        for cheap experimentation; weights reset to 1."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        probabilities = self._weights / self._weights.sum()
+        idx = rng.choice(len(self._seq), size=min(n, len(self._seq)),
+                         replace=False, p=probabilities)
+        return DemandProfile(self._seq[idx], self._speedups[idx])

@@ -1,0 +1,188 @@
+"""Equations (1)-(5) of the paper (Figure 6): latency and parallelism
+of a request population under an FM interval schedule.
+
+Given an S-form schedule ``{v0, v1, ..., v_{n-1}}`` and a request with
+sequential demand ``seq_r`` and speedups ``s_r(d)``:
+
+* Eq. (1) ``time_r(S)`` — completion time: the admission delay ``v0``
+  plus the time spent in each parallelism phase.  Phase ``i`` (degree
+  ``i``) lasts ``v_i`` and retires ``s_r(i) * v_i`` units of sequential
+  work; the final degree ``n`` runs until the work is done.
+* Eq. (2) ``ap_r(S)`` — the request's time-averaged parallelism
+  (CPU-thread-time divided by completion time; the admission wait
+  counts as degree 0).
+* Eq. (3) ``ap_R(S, q_r)`` — expected total system parallelism with
+  ``q_r`` concurrent requests: the per-request average parallelism
+  weighted by residence time, times ``q_r``.
+* Eq. (4)/(5) — mean and φ-tail latency over the profile, the tail
+  being the order statistic ``L[ceil(φ · |R|)]``.
+
+Two implementations are provided: a scalar reference (direct transcription
+of Figure 6, used as ground truth in tests) and vectorized NumPy versions
+used by the offline search and analysis code.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.demand import DemandProfile, RequestProfile
+from repro.core.schedule import IntervalSchedule
+from repro.errors import InvalidScheduleError
+
+__all__ = [
+    "completion_time",
+    "busy_time",
+    "average_parallelism",
+    "completion_times",
+    "busy_times",
+    "total_average_parallelism",
+    "mean_latency",
+    "tail_latency",
+    "weighted_order_statistic",
+]
+
+
+# ----------------------------------------------------------------------
+# Scalar reference implementations (direct Figure 6 transcription)
+# ----------------------------------------------------------------------
+def completion_time(request: RequestProfile, schedule: IntervalSchedule) -> float:
+    """Eq. (1): completion time of one request under ``schedule``.
+
+    Walks the parallelism phases: phase ``i < n`` lasts ``v_i`` at
+    degree ``i`` (retiring ``s(i) * v_i`` work), the final phase runs at
+    degree ``n`` until the remaining work is gone.
+    """
+    n = schedule.max_degree
+    remaining = request.seq_ms
+    elapsed = schedule.v0
+    for degree in range(1, n):
+        speed = request.speedup.speedup(degree)
+        capacity = speed * schedule.intervals[degree]
+        if remaining <= capacity:
+            return elapsed + remaining / speed
+        remaining -= capacity
+        elapsed += schedule.intervals[degree]
+    return elapsed + remaining / request.speedup.speedup(n)
+
+
+def busy_time(request: RequestProfile, schedule: IntervalSchedule) -> float:
+    """CPU thread-time the request consumes: the Eq. (2) numerator
+    (``Σ i · duration_i``, with the admission wait contributing 0)."""
+    n = schedule.max_degree
+    remaining = request.seq_ms
+    busy = 0.0
+    for degree in range(1, n):
+        speed = request.speedup.speedup(degree)
+        capacity = speed * schedule.intervals[degree]
+        if remaining <= capacity:
+            return busy + degree * remaining / speed
+        remaining -= capacity
+        busy += degree * schedule.intervals[degree]
+    return busy + n * remaining / request.speedup.speedup(n)
+
+
+def average_parallelism(request: RequestProfile, schedule: IntervalSchedule) -> float:
+    """Eq. (2): the request's time-averaged parallelism degree."""
+    return busy_time(request, schedule) / completion_time(request, schedule)
+
+
+# ----------------------------------------------------------------------
+# Vectorized implementations over a DemandProfile
+# ----------------------------------------------------------------------
+def _phase_walk(
+    profile: DemandProfile, schedule: IntervalSchedule
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shared phase walk returning ``(times, busy)`` arrays, one entry
+    per profile row, both excluding nothing (times include ``v0``)."""
+    n = schedule.max_degree
+    if n > profile.max_degree:
+        raise InvalidScheduleError(
+            f"schedule degree {n} exceeds profile max degree {profile.max_degree}"
+        )
+    seq = profile.seq
+    speeds = profile.speedups
+    times = np.full(len(seq), schedule.v0, dtype=float)
+    busy = np.zeros(len(seq), dtype=float)
+    done = np.zeros(len(seq), dtype=float)
+    for degree in range(1, n):
+        speed = speeds[:, degree - 1]
+        capacity = speed * schedule.intervals[degree]
+        take = np.minimum(capacity, seq - done)
+        np.maximum(take, 0.0, out=take)
+        duration = take / speed
+        times += duration
+        busy += degree * duration
+        done += take
+    speed_n = speeds[:, n - 1]
+    final = (seq - done) / speed_n
+    times += final
+    busy += n * final
+    return times, busy
+
+
+def completion_times(profile: DemandProfile, schedule: IntervalSchedule) -> np.ndarray:
+    """Vectorized Eq. (1) over every request in ``profile``."""
+    times, _ = _phase_walk(profile, schedule)
+    return times
+
+
+def busy_times(profile: DemandProfile, schedule: IntervalSchedule) -> np.ndarray:
+    """Vectorized Eq. (2) numerator over every request in ``profile``."""
+    _, busy = _phase_walk(profile, schedule)
+    return busy
+
+
+def total_average_parallelism(
+    profile: DemandProfile, schedule: IntervalSchedule, q_r: int
+) -> float:
+    """Eq. (3): expected total software parallelism with ``q_r``
+    concurrent requests following ``schedule``.
+
+    The residence-time weighting makes this the steady-state expected
+    thread count: a random in-flight request is long with probability
+    proportional to its residence time.
+    """
+    if q_r < 1:
+        raise ValueError(f"q_r must be >= 1, got {q_r}")
+    times, busy = _phase_walk(profile, schedule)
+    w = profile.weights
+    return float(q_r * np.dot(busy, w) / np.dot(times, w))
+
+
+def mean_latency(profile: DemandProfile, schedule: IntervalSchedule) -> float:
+    """Eq. (4): weighted mean completion time over the profile."""
+    times, _ = _phase_walk(profile, schedule)
+    return float(np.average(times, weights=profile.weights))
+
+
+def tail_latency(
+    profile: DemandProfile, schedule: IntervalSchedule, phi: float = 0.99
+) -> float:
+    """Eq. (5): the φ-tail completion time (order statistic
+    ``L[ceil(φ · |R|)]`` with multiplicity weights)."""
+    times, _ = _phase_walk(profile, schedule)
+    return weighted_order_statistic(times, profile.weights, phi)
+
+
+def weighted_order_statistic(
+    values: np.ndarray, weights: np.ndarray, phi: float
+) -> float:
+    """Eq. (5) order statistic: the smallest ``v`` such that the total
+    weight of values ``<= v`` reaches ``phi`` of the whole.
+
+    For unit weights this is exactly ``sorted(values)[ceil(phi * N) - 1]``.
+    """
+    if not 0.0 < phi <= 1.0:
+        raise ValueError(f"phi must be in (0, 1], got {phi}")
+    values = np.asarray(values, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if values.shape != weights.shape or values.ndim != 1 or len(values) == 0:
+        raise ValueError("values and weights must be equal-length 1-D arrays")
+    order = np.argsort(values, kind="stable")
+    cum = np.cumsum(weights[order])
+    target = math.ceil(phi * cum[-1] - 1e-9)
+    index = int(np.searchsorted(cum, target - 1e-9))
+    return float(values[order[min(index, len(values) - 1)]])

@@ -1,0 +1,73 @@
+"""Analytic queueing baselines for validating the simulator.
+
+The simulator's sequential mode has exact textbook counterparts, which
+gives an independent check that its timing machinery is right:
+
+* With one core, full spin, and SEQ scheduling, the server is an
+  **M/G/1 processor-sharing** queue.  PS sojourn times are famously
+  insensitive to the service distribution beyond its mean:
+  ``E[T] = E[S] / (1 - rho)``, and conditional sojourn is linear in
+  service demand, ``E[T | S = x] = x / (1 - rho)``.
+* With ``c`` cores and fewer than ``c`` sequential requests nothing
+  queues, so at low utilization the system behaves like **M/G/inf**:
+  sojourn equals service.
+
+The test suite drives the simulator against these formulas; the
+functions also serve as sanity baselines in experiments ("is this
+latency just queueing?").
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "utilization",
+    "mg1_ps_mean_sojourn",
+    "mg1_ps_conditional_sojourn",
+    "mg1_ps_slowdown",
+]
+
+
+def utilization(arrival_rate_per_ms: float, mean_service_ms: float, cores: int = 1) -> float:
+    """Offered load ``rho = lambda * E[S] / c``."""
+    if arrival_rate_per_ms < 0:
+        raise ConfigurationError(f"arrival rate must be >= 0: {arrival_rate_per_ms}")
+    if mean_service_ms <= 0:
+        raise ConfigurationError(f"mean service must be positive: {mean_service_ms}")
+    if cores < 1:
+        raise ConfigurationError(f"cores must be >= 1: {cores}")
+    return arrival_rate_per_ms * mean_service_ms / cores
+
+
+def _check_stable(rho: float) -> None:
+    if not 0.0 <= rho < 1.0:
+        raise ConfigurationError(f"queue unstable or invalid: rho = {rho}")
+
+
+def mg1_ps_mean_sojourn(mean_service_ms: float, rho: float) -> float:
+    """M/G/1-PS expected sojourn: ``E[S] / (1 - rho)``.
+
+    Insensitive to the service distribution's shape — only the mean
+    enters — which is what makes it such a sharp simulator check for
+    heavy-tailed demand.
+    """
+    if mean_service_ms <= 0:
+        raise ConfigurationError(f"mean service must be positive: {mean_service_ms}")
+    _check_stable(rho)
+    return mean_service_ms / (1.0 - rho)
+
+
+def mg1_ps_conditional_sojourn(service_ms: float, rho: float) -> float:
+    """M/G/1-PS conditional sojourn ``E[T | S = x] = x / (1 - rho)``:
+    every request is stretched by the same factor."""
+    if service_ms <= 0:
+        raise ConfigurationError(f"service must be positive: {service_ms}")
+    _check_stable(rho)
+    return service_ms / (1.0 - rho)
+
+
+def mg1_ps_slowdown(rho: float) -> float:
+    """The PS stretch factor ``1 / (1 - rho)`` applied to every request."""
+    _check_stable(rho)
+    return 1.0 / (1.0 - rho)

@@ -1,0 +1,98 @@
+"""Scalability analysis: choosing the maximum software parallelism.
+
+Section 4 ("Judicious use of software parallelism"): the offline phase
+performs "a scalability analysis to determine a maximum degree of
+software parallelism to introduce", limiting the degree "to the amount
+effective at speeding up long requests".  The paper picks ``n = 4`` for
+Lucene (speedup flat at 5+) and ``n = 3`` for Bing (efficiency drops
+sharply at 4).
+
+:func:`choose_max_degree` encodes that rule: keep adding degrees while
+the marginal speedup of the *long* requests (the tail-latency drivers)
+justifies the extra thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.demand import DemandProfile
+from repro.errors import ConfigurationError
+
+__all__ = ["choose_max_degree", "speedup_report", "SpeedupReportRow"]
+
+
+def choose_max_degree(
+    profile: DemandProfile,
+    min_marginal_gain: float = 0.08,
+    longest_fraction: float = 0.05,
+    cap: int | None = None,
+) -> int:
+    """Pick the largest degree whose marginal speedup still pays off.
+
+    Walks degrees ``2, 3, ...`` and stops before the first degree whose
+    relative speedup gain for the longest ``longest_fraction`` of
+    requests falls below ``min_marginal_gain``
+    (``s(d) / s(d-1) - 1 < min_marginal_gain``).
+
+    Parameters
+    ----------
+    profile:
+        Demand profile carrying per-request speedup tables.
+    min_marginal_gain:
+        Minimum relative improvement a degree must deliver (default 8 %,
+        which selects 4 for the Lucene-like curves and 3 for the
+        Bing-like curves).
+    longest_fraction:
+        Which upper demand slice to evaluate (the paper profiles the
+        longest 5 %).
+    cap:
+        Optional hard upper bound (e.g. the core count).
+    """
+    if not 0.0 < longest_fraction <= 1.0:
+        raise ConfigurationError(f"longest_fraction must be in (0, 1]: {longest_fraction}")
+    if min_marginal_gain < 0.0:
+        raise ConfigurationError(f"min_marginal_gain must be >= 0: {min_marginal_gain}")
+    limit = profile.max_degree if cap is None else min(cap, profile.max_degree)
+    chosen = 1
+    lo = 1.0 - longest_fraction
+    for degree in range(2, limit + 1):
+        current = profile.class_speedup(degree, lo, 1.0)
+        previous = profile.class_speedup(degree - 1, lo, 1.0)
+        if current / previous - 1.0 < min_marginal_gain:
+            break
+        chosen = degree
+    return chosen
+
+
+@dataclass(frozen=True)
+class SpeedupReportRow:
+    """One degree's speedups for the three request classes plotted in
+    Figures 1(b) and 2(b)."""
+
+    degree: int
+    all_requests: float
+    longest: float
+    shortest: float
+
+
+def speedup_report(
+    profile: DemandProfile,
+    max_degree: int | None = None,
+    class_fraction: float = 0.05,
+) -> list[SpeedupReportRow]:
+    """Average speedup per degree for all requests, the longest
+    ``class_fraction``, and the shortest ``class_fraction`` — the data
+    behind Figures 1(b)/2(b)."""
+    limit = max_degree or profile.max_degree
+    rows = []
+    for degree in range(1, limit + 1):
+        rows.append(
+            SpeedupReportRow(
+                degree=degree,
+                all_requests=profile.average_speedup(degree),
+                longest=profile.class_speedup(degree, 1.0 - class_fraction, 1.0),
+                shortest=profile.class_speedup(degree, 0.0, class_fraction),
+            )
+        )
+    return rows

@@ -1,0 +1,405 @@
+"""Offline interval-selection search (Section 4.1, Figure 7).
+
+Enumerates candidate S-form schedules on a quantized time grid, keeps
+those whose expected total parallelism ``ap_R(S, q_r)`` stays within the
+hardware target, and picks the one minimizing φ-tail latency (mean
+latency breaking ties) for every load level ``q_r``.
+
+Two implementations:
+
+* :func:`exhaustive_search` — a literal transcription of the Figure 7
+  pseudocode (nested loops over ``v0 .. v_{n-1}``).  Exponential; used
+  as ground truth on tiny inputs.
+* :func:`build_interval_table` — the production path with the paper's
+  optimizations (interval steps, sum-of-intervals pruning, demand
+  binning) plus one of our own: because the admission delay ``v0``
+  shifts every completion time uniformly, the tail and mean for a
+  candidate are ``tail_nov0 + v0`` / ``mean_nov0 + v0`` and the
+  parallelism constraint is monotone in ``v0``, so the optimal ``v0``
+  per candidate has the closed form ``ceil(max(0, (q_r * busy / target
+  - time) / N) / step) * step`` instead of an enumeration dimension.
+  Tests verify exact equivalence with the exhaustive search.
+
+Admission control falls out of the search as in the paper: when the
+best candidate at some load needs ``v0 >= y`` (the longest request in
+the workload) or no candidate is feasible at all, the row becomes the
+``e1`` marker — new requests wait for an exit — reusing the previous
+row's degree intervals (exactly how Table 2's ``>= 25`` row relates to
+row 24).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.core.demand import DemandProfile
+from repro.core.formulas import (
+    mean_latency,
+    tail_latency,
+    total_average_parallelism,
+)
+from repro.core.schedule import IntervalSchedule, Schedule, ScheduleStep
+from repro.core.table import IntervalTable, TableMetadata
+from repro.errors import ConfigurationError, SearchInfeasibleError
+
+__all__ = ["SearchConfig", "build_interval_table", "exhaustive_search"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Inputs to the offline search (Table 1 / Section 4.1).
+
+    Parameters
+    ----------
+    max_degree:
+        Maximum software parallelism ``n`` per request (from the
+        scalability analysis; 4 for Lucene, 3 for Bing).
+    target_parallelism:
+        Target hardware parallelism ``target_p`` — total software
+        threads the system should sustain (24 for Lucene on 15 cores,
+        16 for Bing on 12 cores: a slight oversubscription).
+    step_ms:
+        Interval quantization step (the paper uses 5 ms for Table 2).
+    phi:
+        Tail percentile to optimize (0.99 throughout the paper).
+    max_interval_ms:
+        ``y``, the largest interval value searched; defaults to the
+        longest request in the profile, rounded up to a step.
+    max_load:
+        Highest load row to compute (the Figure 7 ``req_max`` input —
+        the system's admission capacity).  Defaults to
+        ``ceil(target_parallelism)``, reproducing Table 2's structure:
+        rows up to the thread target, then the ``e1`` admission row
+        (q >= 25 for ``target_p = 24``).  The search may emit the ``e1``
+        row earlier if it saturates before the cap.
+    num_bins:
+        Collapse the profile into this many demand bins first (the
+        paper's "few minutes" optimization).  ``None`` searches the raw
+        profile.
+    chunk_size:
+        Candidate-grid chunk size for the vectorized evaluation,
+        bounding peak memory.
+    """
+
+    max_degree: int
+    target_parallelism: float
+    step_ms: float = 5.0
+    phi: float = 0.99
+    max_interval_ms: float | None = None
+    max_load: int | None = None
+    num_bins: int | None = None
+    chunk_size: int = 100_000
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.max_degree < 1:
+            raise ConfigurationError(f"max_degree must be >= 1: {self.max_degree}")
+        if self.target_parallelism <= 0:
+            raise ConfigurationError(
+                f"target_parallelism must be positive: {self.target_parallelism}"
+            )
+        if self.step_ms <= 0:
+            raise ConfigurationError(f"step_ms must be positive: {self.step_ms}")
+        if not 0.0 < self.phi <= 1.0:
+            raise ConfigurationError(f"phi must be in (0, 1]: {self.phi}")
+        if self.max_load is not None and self.max_load < 1:
+            raise ConfigurationError(f"max_load must be >= 1: {self.max_load}")
+
+
+# ----------------------------------------------------------------------
+# Candidate grid
+# ----------------------------------------------------------------------
+def _grid_values(y: float, step: float) -> np.ndarray:
+    """Quantized interval values ``0, step, ..., <= y``."""
+    count = int(math.floor(y / step + _EPS)) + 1
+    return np.arange(count, dtype=float) * step
+
+
+def enumerate_combos(n: int, y: float, step: float) -> np.ndarray:
+    """All ``(v1, ..., v_{n-1})`` combinations on the step grid with
+    ``sum <= y`` (the paper's "sum of all intervals is less than the
+    lifetime of a request" pruning), in lexicographic order.
+
+    Returns a ``(G, n - 1)`` array; for ``n == 1`` a single empty combo.
+    """
+    dims = n - 1
+    if dims == 0:
+        return np.zeros((1, 0), dtype=float)
+    values = _grid_values(y, step)
+    combos: list[tuple[float, ...]] = []
+    budget = y + _EPS
+
+    def extend(prefix: tuple[float, ...], remaining: float, depth: int) -> None:
+        if depth == dims:
+            combos.append(prefix)
+            return
+        for v in values:
+            if v > remaining:
+                break
+            extend(prefix + (v,), remaining - v, depth + 1)
+
+    extend((), budget, 0)
+    return np.array(combos, dtype=float).reshape(len(combos), dims)
+
+
+# ----------------------------------------------------------------------
+# Vectorized candidate statistics
+# ----------------------------------------------------------------------
+@dataclass
+class _ComboStats:
+    """Per-candidate aggregates over the whole profile (v0 excluded)."""
+
+    tail: np.ndarray  # (G,) phi-tail completion time at v0 = 0
+    mean: np.ndarray  # (G,) mean completion time at v0 = 0
+    total_time: np.ndarray  # (G,) weighted sum of completion times at v0 = 0
+    total_busy: np.ndarray  # (G,) weighted sum of CPU thread-time
+
+
+def _evaluate_chunk(
+    profile: DemandProfile, combos: np.ndarray, n: int, phi: float
+) -> _ComboStats:
+    """Phase-walk Eq. (1)/(2) for a chunk of candidates at ``v0 = 0``."""
+    seq = profile.seq  # (B,)
+    speeds = profile.speedups  # (B, >= n)
+    weights = profile.weights  # (B,)
+    g = len(combos)
+    b = len(seq)
+    times = np.zeros((g, b), dtype=float)
+    busy = np.zeros((g, b), dtype=float)
+    done = np.zeros((g, b), dtype=float)
+    for degree in range(1, n):
+        speed = speeds[:, degree - 1][None, :]  # (1, B)
+        cap = speed * combos[:, degree - 1][:, None]  # (G, B)
+        take = np.clip(seq[None, :] - done, 0.0, cap)
+        duration = take / speed
+        times += duration
+        busy += degree * duration
+        done += take
+    speed_n = speeds[:, n - 1][None, :]
+    final = (seq[None, :] - done) / speed_n
+    times += final
+    busy += n * final
+
+    total_time = times @ weights
+    total_busy = busy @ weights
+    total_w = weights.sum()
+    mean = total_time / total_w
+
+    # Weighted phi-order statistic per row.  Completion time is not in
+    # general monotone in demand (long requests may scale much better),
+    # so sort each row.
+    order = np.argsort(times, axis=1, kind="stable")
+    sorted_times = np.take_along_axis(times, order, axis=1)
+    cum = np.cumsum(weights[order], axis=1)
+    target = math.ceil(phi * total_w - _EPS)
+    idx = np.sum(cum < target - _EPS, axis=1)
+    idx = np.minimum(idx, b - 1)
+    tail = np.take_along_axis(sorted_times, idx[:, None], axis=1)[:, 0]
+    return _ComboStats(tail=tail, mean=mean, total_time=total_time, total_busy=total_busy)
+
+
+def _evaluate_all(
+    profile: DemandProfile, combos: np.ndarray, n: int, phi: float, chunk: int
+) -> _ComboStats:
+    """Chunked evaluation keeping peak memory proportional to
+    ``chunk * len(profile)``.
+
+    The configured chunk size assumes a binned profile; for raw
+    profiles (tens of thousands of rows) the chunk shrinks so one
+    chunk's working set stays around 20M floats per array.
+    """
+    budget_elements = 20_000_000
+    effective = max(64, min(chunk, budget_elements // max(1, len(profile))))
+    parts = [
+        _evaluate_chunk(profile, combos[start : start + effective], n, phi)
+        for start in range(0, len(combos), effective)
+    ]
+    return _ComboStats(
+        tail=np.concatenate([p.tail for p in parts]),
+        mean=np.concatenate([p.mean for p in parts]),
+        total_time=np.concatenate([p.total_time for p in parts]),
+        total_busy=np.concatenate([p.total_busy for p in parts]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Table construction
+# ----------------------------------------------------------------------
+def build_interval_table(profile: DemandProfile, config: SearchConfig) -> IntervalTable:
+    """Run the offline search and return the load-indexed interval table.
+
+    Implements Figure 7 with the optimizations described in the module
+    docstring.  Rows are computed for ``q_r = 1, 2, ...`` until the
+    admission-control (``e1``) row appears or ``config.max_load`` is
+    reached; the final row always applies to all higher loads.
+    """
+    if config.max_degree > profile.max_degree:
+        raise ConfigurationError(
+            f"max_degree {config.max_degree} exceeds profile speedup "
+            f"columns {profile.max_degree}"
+        )
+    working = profile.binned(config.num_bins) if config.num_bins else profile
+    n = config.max_degree
+    step = config.step_ms
+    y = config.max_interval_ms
+    if y is None:
+        y = math.ceil(working.max() / step) * step
+
+    combos = enumerate_combos(n, y, step)
+    stats = _evaluate_all(working, combos, n, config.phi, config.chunk_size)
+    total_w = working.total_weight
+
+    load_cap = config.max_load or max(1, int(math.ceil(config.target_parallelism)))
+    schedules: list[Schedule] = []
+    previous_combo: np.ndarray | None = None
+    for q_r in range(1, load_cap + 1):
+        # Closed-form minimal admission delay per candidate:
+        # ap_R(S, q) = q * busy / (time + W * v0) <= target
+        v0_min = (q_r * stats.total_busy / config.target_parallelism - stats.total_time) / total_w
+        np.maximum(v0_min, 0.0, out=v0_min)
+        v0 = np.ceil((v0_min - _EPS) / step) * step
+        v0 += 0.0  # normalize -0.0 from the ceil of tiny negatives
+        feasible = v0 <= y + _EPS
+        if not feasible.any():
+            schedules.append(_e1_row(previous_combo, n))
+            break
+        tail_q = np.where(feasible, stats.tail + v0, np.inf)
+        mean_q = np.where(feasible, stats.mean + v0, np.inf)
+        best = _lexicographic_argmin(tail_q, mean_q, v0)
+        if v0[best] >= y - _EPS:
+            # The search "returned v0 = y": admission control (Section
+            # 4.1) — the row becomes e1 and the table is complete.
+            schedules.append(_e1_row(previous_combo, n))
+            break
+        chosen = IntervalSchedule(
+            [float(v0[best])] + [float(x) for x in combos[best]]
+        )
+        schedules.append(chosen.to_schedule())
+        previous_combo = combos[best]
+    else:
+        # Loop exhausted without admission control; cap with an e1 row
+        # so the table is total over loads.
+        schedules.append(_e1_row(previous_combo, n))
+
+    metadata = TableMetadata(
+        target_parallelism=config.target_parallelism,
+        max_degree=n,
+        step_ms=step,
+        phi=config.phi,
+        extra={"max_interval_ms": y, "num_bins": config.num_bins, **config.extra},
+    )
+    return IntervalTable(schedules, metadata=metadata)
+
+
+def _e1_row(previous_combo: np.ndarray | None, n: int) -> Schedule:
+    """Build the ``e1`` admission row: wait for an exit, then follow the
+    previous load's degree intervals (Table 2's ``>= 25`` row keeps row
+    24's ``t1..t3``).  With no previous row, run sequentially."""
+    if previous_combo is None or len(previous_combo) == 0:
+        return Schedule([ScheduleStep(0.0, 1)], wait_for_exit=True)
+    intervals = [0.0] + [float(v) for v in previous_combo]
+    return IntervalSchedule(intervals, wait_for_exit=True).to_schedule()
+
+
+def _lexicographic_argmin(
+    tail: np.ndarray, mean: np.ndarray, v0: np.ndarray
+) -> int:
+    """Index minimizing ``(tail, mean, v0, position)`` — the same winner
+    the Figure 7 loop order would keep."""
+    best = int(np.argmin(tail))
+    tol = 1e-9 * max(1.0, abs(tail[best]))
+    tied = np.flatnonzero(tail <= tail[best] + tol)
+    if len(tied) == 1:
+        return best
+    mean_best = mean[tied].min()
+    tied = tied[mean[tied] <= mean_best + tol]
+    if len(tied) == 1:
+        return int(tied[0])
+    v0_best = v0[tied].min()
+    tied = tied[v0[tied] <= v0_best + tol]
+    return int(tied[0])
+
+
+# ----------------------------------------------------------------------
+# Literal Figure 7 reference implementation
+# ----------------------------------------------------------------------
+def exhaustive_search(
+    profile: DemandProfile, config: SearchConfig
+) -> IntervalTable:
+    """Direct transcription of the Figure 7 pseudocode.
+
+    Nested loops over ``v0 .. v_{n-1}`` on the step grid; candidates are
+    feasible when ``ap_R(S, q_r) <= target_p``; the kept schedule
+    minimizes tail latency, then mean.  Exponential in ``n`` — use only
+    on small profiles/grids (it exists to validate the fast path).
+    """
+    working = profile.binned(config.num_bins) if config.num_bins else profile
+    n = config.max_degree
+    step = config.step_ms
+    y = config.max_interval_ms
+    if y is None:
+        y = math.ceil(working.max() / step) * step
+    values = _grid_values(y, step)
+    load_cap = config.max_load or max(1, int(math.ceil(config.target_parallelism)))
+
+    schedules: list[Schedule] = []
+    previous: IntervalSchedule | None = None
+    for q_r in range(1, load_cap + 1):
+        min_tail = math.inf
+        min_mean = math.inf
+        result: IntervalSchedule | None = None
+        for candidate in _iter_candidates(values, n, y):
+            schedule = IntervalSchedule(candidate)
+            if total_average_parallelism(working, schedule, q_r) > (
+                config.target_parallelism + _EPS
+            ):
+                continue
+            tail = tail_latency(working, schedule, config.phi)
+            mean = mean_latency(working, schedule)
+            if tail < min_tail - _EPS or (
+                abs(tail - min_tail) <= _EPS and mean < min_mean - _EPS
+            ):
+                min_tail, min_mean, result = tail, mean, schedule
+        at_capacity = result is None or result.v0 >= y - _EPS
+        if at_capacity:
+            base = previous.intervals[1:] if previous is not None else ()
+            schedules.append(_e1_row(np.array(base), n))
+            break
+        schedules.append(result.to_schedule())
+        previous = result
+    else:
+        # Load cap reached without saturating: close the table with the
+        # e1 row so it is total over loads (same as the fast path).
+        base = previous.intervals[1:] if previous is not None else ()
+        schedules.append(_e1_row(np.array(base), n))
+    if not schedules:
+        raise SearchInfeasibleError("no feasible schedule at load 1")
+
+    metadata = TableMetadata(
+        target_parallelism=config.target_parallelism,
+        max_degree=n,
+        step_ms=step,
+        phi=config.phi,
+        extra={"max_interval_ms": y, "exhaustive": True},
+    )
+    return IntervalTable(schedules, metadata=metadata)
+
+
+def _iter_candidates(
+    values: np.ndarray, n: int, y: float
+) -> Iterator[list[float]]:
+    """Yield ``[v0, v1, ..., v_{n-1}]`` in Figure 7 loop order, pruning
+    interval sums above ``y`` (``v0`` is exempt: it is an admission
+    delay, not execution progress)."""
+    for v0 in values:
+        for rest in itertools.product(values, repeat=n - 1):
+            if sum(rest) > y + _EPS:
+                continue
+            yield [float(v0), *map(float, rest)]

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch package failures with a single ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class InvalidScheduleError(ReproError):
+    """A schedule violates the FM structural invariants.
+
+    Raised when parallelism degrees are not strictly increasing, when
+    times are not strictly increasing, or when interval durations are
+    negative.
+    """
+
+
+class InvalidProfileError(ReproError):
+    """A demand profile is empty or contains non-positive service demands."""
+
+
+class InvalidSpeedupError(ReproError):
+    """A speedup curve violates s(1) = 1 or monotonicity requirements."""
+
+
+class SearchInfeasibleError(ReproError):
+    """The offline interval search found no feasible schedule for a load."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or component was configured with invalid parameters."""

@@ -1,0 +1,30 @@
+"""Experiment harness: runners, scales, cached tables, and one function
+per table/figure of the paper's evaluation."""
+
+from repro.experiments.ablations import ABLATIONS
+from repro.experiments.config import FULL, QUICK, TINY, Scale, default_scale
+from repro.experiments.extensions import EXTENSIONS
+from repro.experiments.figures import ALL_EXPERIMENTS
+from repro.experiments.report import FigureResult, TableData, render_table
+from repro.experiments.runner import PolicySeries, SweepResult, run_policy, run_sweep
+from repro.experiments.tables import bing_table, lucene_table
+
+__all__ = [
+    "ABLATIONS",
+    "ALL_EXPERIMENTS",
+    "EXTENSIONS",
+    "FULL",
+    "FigureResult",
+    "PolicySeries",
+    "QUICK",
+    "Scale",
+    "SweepResult",
+    "TINY",
+    "TableData",
+    "bing_table",
+    "default_scale",
+    "lucene_table",
+    "render_table",
+    "run_policy",
+    "run_sweep",
+]

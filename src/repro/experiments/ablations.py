@@ -1,0 +1,317 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+These go beyond the paper's figures: each isolates one mechanism of the
+FM design (or of this reproduction) and quantifies its effect.
+
+* :func:`ablation_progress_index` — wall-clock vs contention-normalized
+  execution progress as the interval-table index.
+* :func:`ablation_quantum` — sensitivity to the self-scheduling quantum
+  (the paper uses 5 ms and argues short quanta react faster).
+* :func:`ablation_search_modes` — binned vs exact offline search:
+  agreement of the resulting tables and the speedup of binning (the
+  paper's "hours to minutes" claim).
+* :func:`ablation_load_metric` — FM driven by instantaneous request
+  count (the paper's choice) vs a stale, periodically sampled count,
+  quantifying why "instantaneous" matters (Section 4.2).
+* :func:`ablation_spin_fraction` — robustness of the headline result to
+  the simulator's one free modeling parameter: the fraction of lost
+  parallelism that burns CPU rather than blocking.  If FM's win were an
+  artifact of the contention model, it would invert somewhere on
+  ``spin in [0, 1]``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.search import SearchConfig, build_interval_table
+from repro.core.table import IntervalTable
+from repro.experiments.config import Scale, default_scale
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import run_policy, run_sweep
+from repro.experiments.tables import lucene_table
+from repro.schedulers import FMScheduler
+from repro.schedulers.fm import FMScheduler as _FM
+from repro.sim.api import SchedulerContext
+from repro.sim.request import SimRequest
+from repro.workloads import lucene as lucene_mod
+
+__all__ = [
+    "ablation_progress_index",
+    "ablation_quantum",
+    "ablation_search_modes",
+    "ablation_load_metric",
+    "ablation_spin_fraction",
+    "ABLATIONS",
+]
+
+_RPS_POINTS = [36, 40, 43, 45, 47]
+
+
+def ablation_progress_index(scale: Scale | None = None) -> FigureResult:
+    """Wall-clock vs effective (contention-normalized) progress index."""
+    scale = scale or default_scale()
+    table = lucene_table(scale)
+    sweep = run_sweep(
+        {
+            "FM/effective": FMScheduler(table, progress="effective"),
+            "FM/wall": FMScheduler(table, progress="wall"),
+        },
+        lucene_mod.lucene_workload(profile_size=scale.profile_size),
+        _RPS_POINTS,
+        cores=lucene_mod.CORES,
+        num_requests=scale.num_requests,
+        quantum_ms=lucene_mod.QUANTUM_MS,
+        repeats=scale.repeats,
+        spin_fraction=lucene_mod.SPIN_FRACTION,
+    )
+    result = FigureResult(
+        "abl-progress", "Ablation: interval-table progress index"
+    )
+    result.add_table(
+        "99th percentile latency (ms) vs RPS",
+        ["RPS", "FM/effective", "FM/wall"],
+        [
+            [rps, sweep["FM/effective"].tail_ms[i], sweep["FM/wall"].tail_ms[i]]
+            for i, rps in enumerate(_RPS_POINTS)
+        ],
+    )
+    result.add_note(
+        "wall-clock indexing over-parallelizes under sustained contention: "
+        "requests age without progressing, climb the table early, and feed "
+        "back into more contention"
+    )
+    return result
+
+
+def ablation_quantum(scale: Scale | None = None) -> FigureResult:
+    """Self-scheduling quantum sensitivity (the paper uses 5 ms)."""
+    scale = scale or default_scale()
+    table = lucene_table(scale)
+    workload = lucene_mod.lucene_workload(profile_size=scale.profile_size)
+    result = FigureResult("abl-quantum", "Ablation: scheduling quantum length")
+    rows = []
+    for quantum in (1.0, 5.0, 20.0, 50.0):
+        tails = []
+        for rps in (40, 45):
+            run = run_policy(
+                FMScheduler(table),
+                workload,
+                rps=rps,
+                cores=lucene_mod.CORES,
+                num_requests=scale.num_requests,
+                quantum_ms=quantum,
+                seed=19,
+                spin_fraction=lucene_mod.SPIN_FRACTION,
+            )
+            tails.append(run.tail_latency_ms())
+        rows.append([quantum, *tails])
+    result.add_table(
+        "99th percentile latency (ms) by quantum",
+        ["quantum (ms)", "@40 RPS", "@45 RPS"], rows,
+    )
+    result.add_note(
+        "quanta well below the table's interval step cost little and react "
+        "fast; very long quanta delay degree steps and admission re-checks"
+    )
+    return result
+
+
+def ablation_search_modes(scale: Scale | None = None) -> FigureResult:
+    """Binned vs exact offline search: agreement and speedup."""
+    scale = scale or default_scale()
+    profile = lucene_mod.lucene_workload(profile_size=scale.profile_size).profile
+    base = dict(
+        max_degree=lucene_mod.MAX_DEGREE,
+        target_parallelism=lucene_mod.TARGET_PARALLELISM,
+        step_ms=max(25.0, scale.step_ms),
+    )
+
+    started = time.perf_counter()
+    exact = build_interval_table(profile, SearchConfig(**base))
+    exact_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    binned = build_interval_table(
+        profile, SearchConfig(**base, num_bins=scale.num_bins or 60)
+    )
+    binned_s = time.perf_counter() - started
+
+    # Table agreement: evaluate each row's schedule against the full
+    # profile and compare predicted tails.
+    from repro.core.formulas import tail_latency
+
+    deltas = []
+    for (load, a), (_, b) in zip(exact.rows(), binned.rows()):
+        if a.wait_for_exit or b.wait_for_exit:
+            continue
+        ta = tail_latency(profile, a.to_intervals(lucene_mod.MAX_DEGREE))
+        tb = tail_latency(profile, b.to_intervals(lucene_mod.MAX_DEGREE))
+        deltas.append(abs(ta - tb) / ta)
+    worst = max(deltas) if deltas else 0.0
+
+    result = FigureResult("abl-search", "Ablation: binned vs exact offline search")
+    result.add_table(
+        "search cost and agreement",
+        ["mode", "bins", "seconds", "rows"],
+        [
+            ["exact", len(profile), exact_s, len(exact)],
+            ["binned", scale.num_bins or 60, binned_s, len(binned)],
+        ],
+    )
+    result.add_table(
+        "row-level predicted-tail divergence",
+        ["metric", "value"],
+        [["max relative tail difference", worst]],
+    )
+    result.add_note(
+        "the paper: exact per-request search takes hours; demand binning "
+        "reduces it to minutes with near-identical schedules"
+    )
+    return result
+
+
+class _StaleLoadFM(_FM):
+    """FM variant whose load metric is sampled only every
+    ``refresh_ms`` — the coarse-grained indicator the paper rejects."""
+
+    def __init__(self, table: IntervalTable, refresh_ms: float) -> None:
+        super().__init__(table)
+        self.name = f"FM/stale{refresh_ms:g}ms"
+        self.refresh_ms = refresh_ms
+        self._cached_load = 1
+        self._last_refresh = -1e18
+
+    def reset(self) -> None:
+        self._cached_load = 1
+        self._last_refresh = -1e18
+
+    def _load(self, ctx: SchedulerContext) -> int:
+        if ctx.now_ms - self._last_refresh >= self.refresh_ms:
+            self._cached_load = ctx.system_count
+            self._last_refresh = ctx.now_ms
+        return self._cached_load
+
+    def on_arrival(self, ctx: SchedulerContext, request: SimRequest):
+        row = self.table.lookup(max(1, self._load(ctx)))
+        from repro.sim.api import Admission
+
+        if row.wait_for_exit:
+            return Admission.wait_for_exit()
+        if row.admission_delay_ms > 0:
+            return Admission.delay(row.admission_delay_ms)
+        return Admission.start(row.initial_degree)
+
+    def on_quantum(self, ctx: SchedulerContext, request: SimRequest) -> int:
+        row = self.table.lookup(max(1, self._load(ctx)))
+        progress = request.effective_progress_ms()
+        desired = max(row.degree_at_progress(progress), request.degree)
+        if (
+            self.boosting
+            and desired > request.degree
+            and desired >= row.max_degree
+            and not request.boosted
+        ):
+            ctx.try_boost(request, desired)
+        return desired
+
+
+def ablation_load_metric(scale: Scale | None = None) -> FigureResult:
+    """Instantaneous vs stale load as the interval-table index."""
+    scale = scale or default_scale()
+    table = lucene_table(scale)
+    sweep = run_sweep(
+        {
+            "FM (instantaneous)": FMScheduler(table),
+            "FM (stale 250 ms)": _StaleLoadFM(table, 250.0),
+            "FM (stale 1000 ms)": _StaleLoadFM(table, 1000.0),
+        },
+        lucene_mod.lucene_workload(profile_size=scale.profile_size),
+        _RPS_POINTS,
+        cores=lucene_mod.CORES,
+        num_requests=scale.num_requests,
+        quantum_ms=lucene_mod.QUANTUM_MS,
+        repeats=scale.repeats,
+        spin_fraction=lucene_mod.SPIN_FRACTION,
+    )
+    policies = sweep.policies()
+    result = FigureResult("abl-load", "Ablation: load-metric freshness")
+    result.add_table(
+        "99th percentile latency (ms) vs RPS",
+        ["RPS"] + policies,
+        [
+            [rps] + [sweep[p].tail_ms[i] for p in policies]
+            for i, rps in enumerate(_RPS_POINTS)
+        ],
+    )
+    result.add_note(
+        "Section 4.2: the instantaneous request count self-corrects within "
+        "a quantum; stale indicators mis-index the table during bursts"
+    )
+    return result
+
+
+def ablation_spin_fraction(scale: Scale | None = None) -> FigureResult:
+    """Robustness of FM's headline win to the contention model.
+
+    ``spin_fraction`` is this reproduction's only free hardware
+    parameter (DESIGN.md §4): 0 means lost parallelism is entirely
+    blocked/idle (harvestable), 1 means it entirely burns cores.  The
+    Lucene experiments use 0.25.  Sweep the whole range and check the
+    FM-vs-FIX-2 tail reduction at the paper's headline operating
+    points.
+    """
+    scale = scale or default_scale()
+    table = lucene_table(scale)
+    workload = lucene_mod.lucene_workload(profile_size=scale.profile_size)
+    from repro.schedulers import FixedScheduler, SequentialScheduler
+
+    rows = []
+    for spin in (0.0, 0.15, 0.25, 0.5, 1.0):
+        sweep = run_sweep(
+            {
+                "SEQ": SequentialScheduler(),
+                "FIX-2": FixedScheduler(2),
+                "FM": FMScheduler(table),
+            },
+            workload,
+            [40, 43],
+            cores=lucene_mod.CORES,
+            num_requests=scale.num_requests,
+            quantum_ms=lucene_mod.QUANTUM_MS,
+            repeats=scale.repeats,
+            spin_fraction=spin,
+        )
+        rows.append(
+            [
+                spin,
+                sweep["FM"].tail_ms[0],
+                f"{sweep.improvement('FIX-2', 'FM', 40):.0%}",
+                f"{sweep.improvement('SEQ', 'FM', 40):.0%}",
+                f"{sweep.improvement('FIX-2', 'FM', 43):.0%}",
+            ]
+        )
+    result = FigureResult(
+        "abl-spin", "Ablation: contention-model (spin fraction) sensitivity"
+    )
+    result.add_table(
+        "FM tail and reductions vs spin fraction",
+        ["spin", "FM p99 @40 (ms)", "vs FIX-2 @40", "vs SEQ @40", "vs FIX-2 @43"],
+        rows,
+    )
+    result.add_note(
+        "the headline ordering (FM < FIX-2 < SEQ at the paper's operating "
+        "points) must hold across the whole spin range for the "
+        "reproduction to be model-robust; the magnitude varies with spin"
+    )
+    return result
+
+
+#: Registry (merged into the CLI's experiment list).
+ABLATIONS = {
+    "abl-progress": ablation_progress_index,
+    "abl-quantum": ablation_quantum,
+    "abl-search": ablation_search_modes,
+    "abl-load": ablation_load_metric,
+    "abl-spin": ablation_spin_fraction,
+}

@@ -1,0 +1,74 @@
+"""Experiment scale presets and testbed configurations.
+
+Every figure function accepts a :class:`Scale` so the same code path
+serves three audiences: unit tests (tiny), pytest-benchmark runs
+(quick), and full paper-fidelity reproductions (full).  The default is
+read from the ``REPRO_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Scale", "TINY", "QUICK", "FULL", "default_scale"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Knobs trading fidelity for runtime.
+
+    Parameters
+    ----------
+    num_requests:
+        Requests per online simulation run (the paper uses 2K for
+        Lucene, 30K for Bing; Bing runs are scaled by ``bing_factor``).
+    profile_size:
+        Requests in the offline profiling set.
+    num_bins:
+        Demand bins for the interval search (``None`` = exact).
+    step_ms:
+        Interval-search quantization step.
+    repeats:
+        Independent seeds averaged per data point.
+    """
+
+    name: str
+    num_requests: int
+    profile_size: int
+    num_bins: int | None
+    step_ms: float
+    repeats: int = 1
+    bing_factor: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 10:
+            raise ConfigurationError(f"num_requests too small: {self.num_requests}")
+        if self.repeats < 1:
+            raise ConfigurationError(f"repeats must be >= 1: {self.repeats}")
+
+
+#: For unit tests: seconds per figure.
+TINY = Scale("tiny", num_requests=150, profile_size=600, num_bins=24, step_ms=100.0)
+
+#: For benchmark runs: tens of seconds per figure.
+QUICK = Scale("quick", num_requests=500, profile_size=3000, num_bins=40, step_ms=50.0, repeats=2)
+
+#: Paper fidelity: 2K-request runs, fine search grid.
+FULL = Scale(
+    "full", num_requests=2000, profile_size=10_000, num_bins=80, step_ms=20.0, repeats=3
+)
+
+_PRESETS = {scale.name: scale for scale in (TINY, QUICK, FULL)}
+
+
+def default_scale() -> Scale:
+    """Scale selected by ``REPRO_SCALE`` (default: quick)."""
+    name = os.environ.get("REPRO_SCALE", "quick").lower()
+    if name not in _PRESETS:
+        raise ConfigurationError(
+            f"unknown REPRO_SCALE={name!r}; choose from {sorted(_PRESETS)}"
+        )
+    return _PRESETS[name]

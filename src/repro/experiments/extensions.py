@@ -1,0 +1,207 @@
+"""Extension experiments beyond the paper's evaluation.
+
+* :func:`extension_reprofiling` — closes the paper's periodic-analysis
+  loop: under workload drift, FM with online re-profiling
+  (:class:`~repro.schedulers.reprofiling.ReprofilingFMScheduler`)
+  versus FM frozen on the stale table.
+* :func:`extension_cluster_simulation` — replaces the independence
+  approximation of :mod:`repro.cluster.aggregator` with a true
+  multi-ISN simulation where fan-out queries hit all shards
+  simultaneously, quantifying the correlated-burst penalty on the
+  cluster tail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.aggregator import cluster_tail
+from repro.cluster.simulation import simulate_cluster
+from repro.core.search import SearchConfig, build_interval_table
+from repro.experiments.config import Scale, default_scale
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import run_policy
+from repro.schedulers import FMScheduler
+from repro.schedulers.reprofiling import ReprofilingFMScheduler
+from repro.workloads import bing as bing_mod
+from repro.workloads import lucene as lucene_mod
+from repro.workloads.arrivals import PoissonProcess
+from repro.workloads.synthetic import DemandDistribution, LognormalComponent
+from repro.workloads.workload import Workload
+
+__all__ = [
+    "extension_reprofiling",
+    "extension_cluster_simulation",
+    "EXTENSIONS",
+]
+
+#: Pre-drift demand: a light search mix.
+_REGIME_A = DemandDistribution(
+    [LognormalComponent(0.7, 110.0, 0.5), LognormalComponent(0.3, 260.0, 0.6)],
+    cap_ms=900.0,
+    floor_ms=5.0,
+)
+#: Post-drift demand: the tail doubles (e.g. a new query feature ships).
+_REGIME_B = DemandDistribution(
+    [LognormalComponent(0.5, 110.0, 0.5), LognormalComponent(0.5, 420.0, 0.65)],
+    cap_ms=1400.0,
+    floor_ms=5.0,
+)
+
+
+def _drifting_workload(profile_size: int) -> Workload:
+    """First half of any draw follows regime A, second half regime B —
+    positional drift becomes temporal drift through the open-loop client."""
+    model = lucene_mod.lucene_workload(profile_size=10).speedup_model
+
+    def sampler(rng: np.random.Generator, n: int) -> np.ndarray:
+        half = n // 2
+        a = _REGIME_A.sample(rng, max(half, 1))
+        b = _REGIME_B.sample(rng, max(n - half, 1))
+        return np.concatenate([a[:half], b[: n - half]])
+
+    return Workload(
+        name="drifting",
+        sampler=sampler,
+        speedup_model=model,
+        max_degree=6,
+        profile_size=profile_size,
+    )
+
+
+def extension_reprofiling(scale: Scale | None = None) -> FigureResult:
+    """Workload drift: static FM table vs online re-profiling."""
+    scale = scale or default_scale()
+    workload = _drifting_workload(scale.profile_size)
+
+    # The deploy-time table only ever saw regime A.
+    rng = np.random.default_rng(41)
+    from repro.core.demand import DemandProfile
+
+    initial_profile = DemandProfile.from_model(
+        _REGIME_A.sample(rng, scale.profile_size), workload.speedup_model, 4
+    )
+    search = SearchConfig(
+        max_degree=4,
+        target_parallelism=lucene_mod.TARGET_PARALLELISM,
+        step_ms=50.0,
+        num_bins=30,
+    )
+    initial_table = build_interval_table(initial_profile, search)
+
+    n = 2 * scale.num_requests  # half regime A, half regime B
+    # Regime A runs light (~55% utilization); the drift pushes the mix
+    # to ~75% — loaded enough that a mis-calibrated table hurts, not so
+    # saturated that queueing drowns the comparison.
+    rps = 38.0
+    schedulers = {
+        "FM (static table)": FMScheduler(initial_table),
+        "FM (re-profiling)": ReprofilingFMScheduler(
+            initial_table,
+            workload.speedup_model,
+            search,
+            window=max(200, scale.num_requests // 2),
+            rebuild_every_ms=3_000.0,
+            min_samples=100,
+        ),
+    }
+    result = FigureResult(
+        "ext-reprofile", "Extension: online re-profiling under workload drift"
+    )
+    rows = []
+    rebuild_counts = {}
+    for name, scheduler in schedulers.items():
+        run = run_policy(
+            scheduler, workload, rps=rps, cores=lucene_mod.CORES,
+            num_requests=n, quantum_ms=lucene_mod.QUANTUM_MS, seed=42,
+            spin_fraction=lucene_mod.SPIN_FRACTION,
+        )
+        before = run.slice_by_arrival(0, n // 2)
+        after = run.slice_by_arrival(n // 2, n)
+        rows.append(
+            [name, before.tail_latency_ms(0.99), after.tail_latency_ms(0.99)]
+        )
+        if isinstance(scheduler, ReprofilingFMScheduler):
+            rebuild_counts[name] = len(scheduler.rebuilds)
+    result.add_table(
+        "99th percentile latency (ms) before/after the drift",
+        ["policy", "regime A (light)", "regime B (heavy tail)"],
+        rows,
+    )
+    for name, count in rebuild_counts.items():
+        result.add_note(f"{name}: {count} table rebuilds during the run")
+    result.add_note(
+        "the paper runs the offline analysis 'daily, weekly, or at any "
+        "other coarse granularity'; this closes that loop online"
+    )
+    result.add_note(
+        "the gain is deliberately modest: FM degrades gracefully under "
+        "drift because its load index self-corrects even when the table "
+        "is stale — re-profiling recovers the remaining few percent"
+    )
+    return result
+
+
+def extension_cluster_simulation(scale: Scale | None = None) -> FigureResult:
+    """Correlated fan-out bursts vs the independence approximation."""
+    scale = scale or default_scale()
+    workload = bing_mod.bing_workload(profile_size=scale.profile_size)
+    table = build_interval_table(
+        workload.profile,
+        SearchConfig(
+            max_degree=bing_mod.MAX_DEGREE,
+            target_parallelism=bing_mod.TARGET_PARALLELISM,
+            step_ms=5.0,
+            num_bins=scale.num_bins or 40,
+        ),
+    )
+    num_servers = 8
+    num_queries = scale.num_requests * 2
+    rps = 260.0
+
+    cluster = simulate_cluster(
+        scheduler_factory=lambda: FMScheduler(table, boosting=False),
+        workload=workload,
+        num_servers=num_servers,
+        num_queries=num_queries,
+        process=PoissonProcess(rps),
+        cores=bing_mod.CORES,
+        quantum_ms=bing_mod.QUANTUM_MS,
+        spin_fraction=bing_mod.SPIN_FRACTION,
+        seed=51,
+    )
+    # Independence approximation from one server's marginal distribution.
+    rng = np.random.default_rng(52)
+    marginal = cluster.server_latencies_ms[0]
+    rows = []
+    for phi in (0.9, 0.95, 0.99):
+        rows.append(
+            [
+                phi,
+                cluster.server_tail_ms(phi),
+                cluster_tail(marginal, num_servers, phi, rng),
+                cluster.cluster_tail_ms(phi),
+            ]
+        )
+    result = FigureResult(
+        "ext-cluster", "Extension: correlated fan-out vs independence"
+    )
+    result.add_table(
+        f"latency percentiles (ms), {num_servers}-way fan-out at {rps:.0f} RPS",
+        ["phi", "per-ISN", "cluster (independent approx)", "cluster (simulated)"],
+        rows,
+    )
+    result.add_note(
+        "fan-out queries hit every shard simultaneously, so queueing is "
+        "correlated across ISNs; the independence approximation "
+        "understates or overstates the cluster tail depending on how much "
+        "of the tail is queueing vs intrinsic demand"
+    )
+    return result
+
+
+#: Registry (merged into the CLI's experiment list).
+EXTENSIONS = {
+    "ext-reprofile": extension_reprofiling,
+    "ext-cluster": extension_cluster_simulation,
+}

@@ -1,0 +1,85 @@
+"""Plain-text rendering of experiment output.
+
+The paper's artifacts are plots; this harness reports the same numbers
+as aligned ASCII tables and series, one table per figure panel, so runs
+are diffable and greppable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["TableData", "FigureResult", "render_table", "format_cell"]
+
+
+def format_cell(value: object) -> str:
+    """Human formatting: floats to 4 significant digits, pass-through
+    for everything else."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(columns: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned table with a header rule."""
+    text_rows = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(row[i]) for row in text_rows)) if text_rows else len(str(col))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(str(col).ljust(w) for col, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.rjust(w) for cell, w in zip(row, widths)) for row in text_rows
+    ]
+    return "\n".join([header, rule, *body])
+
+
+@dataclass
+class TableData:
+    """One panel: a caption plus tabular data."""
+
+    caption: str
+    columns: list[str]
+    rows: list[list[object]]
+
+    def render(self) -> str:
+        return f"{self.caption}\n{render_table(self.columns, self.rows)}"
+
+
+@dataclass
+class FigureResult:
+    """A reproduced table/figure: identifier, panels, and notes
+    comparing against the paper's reported numbers."""
+
+    figure_id: str
+    title: str
+    tables: list[TableData] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_table(
+        self, caption: str, columns: list[str], rows: list[list[object]]
+    ) -> None:
+        self.tables.append(TableData(caption, columns, rows))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        parts = [f"=== {self.figure_id}: {self.title} ==="]
+        for table in self.tables:
+            parts.append("")
+            parts.append(table.render())
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)

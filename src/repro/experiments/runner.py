@@ -1,0 +1,154 @@
+"""Experiment runner: single runs and load sweeps.
+
+Mirrors the paper's methodology: an open-loop client replays a request
+trace at a configured RPS against one simulated server; each plotted
+point is the 99th-percentile / mean response time over the run
+(optionally averaged over independent seeds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.api import Scheduler
+from repro.sim.engine import simulate
+from repro.sim.metrics import SimulationResult
+from repro.workloads.arrivals import ArrivalProcess, PoissonProcess
+from repro.workloads.workload import Workload
+
+__all__ = ["run_policy", "run_sweep", "SweepResult", "PolicySeries"]
+
+
+def run_policy(
+    scheduler: Scheduler,
+    workload: Workload,
+    rps: float,
+    cores: int,
+    num_requests: int = 2000,
+    quantum_ms: float = 5.0,
+    seed: int = 42,
+    process: ArrivalProcess | None = None,
+    spin_fraction: float = 0.25,
+) -> SimulationResult:
+    """One experiment run: ``num_requests`` open-loop arrivals at
+    ``rps`` against a ``cores``-core server under ``scheduler``."""
+    rng = np.random.default_rng(seed)
+    arrivals = workload.arrivals(num_requests, process or PoissonProcess(rps), rng)
+    return simulate(
+        arrivals,
+        scheduler,
+        cores=cores,
+        quantum_ms=quantum_ms,
+        spin_fraction=spin_fraction,
+    )
+
+
+@dataclass
+class PolicySeries:
+    """One policy's measurements across the swept loads."""
+
+    policy: str
+    rps_values: list[float]
+    tail_ms: list[float]
+    mean_ms: list[float]
+    results: list[list[SimulationResult]] = field(default_factory=list)
+
+    def tail_points(self) -> list[tuple[float, float]]:
+        """``(rps, 99th-percentile latency)`` pairs."""
+        return list(zip(self.rps_values, self.tail_ms))
+
+    def mean_points(self) -> list[tuple[float, float]]:
+        """``(rps, mean latency)`` pairs."""
+        return list(zip(self.rps_values, self.mean_ms))
+
+
+@dataclass
+class SweepResult:
+    """All policies' series over one load sweep."""
+
+    series: dict[str, PolicySeries]
+
+    def __getitem__(self, policy: str) -> PolicySeries:
+        return self.series[policy]
+
+    def policies(self) -> list[str]:
+        return list(self.series)
+
+    def improvement(self, baseline: str, improved: str, rps: float) -> float:
+        """Relative 99th-percentile reduction of ``improved`` over
+        ``baseline`` at the given load: ``1 - improved/baseline``."""
+        base = dict(self.series[baseline].tail_points())[rps]
+        new = dict(self.series[improved].tail_points())[rps]
+        return 1.0 - new / base
+
+
+def run_sweep(
+    schedulers: Sequence[Scheduler] | dict[str, Scheduler],
+    workload: Workload,
+    rps_values: Sequence[float],
+    cores: int,
+    num_requests: int = 2000,
+    quantum_ms: float = 5.0,
+    seed: int = 42,
+    repeats: int = 1,
+    phi: float = 0.99,
+    keep_results: bool = False,
+    spin_fraction: float = 0.25,
+) -> SweepResult:
+    """Sweep load for every policy.
+
+    Each (policy, rps, repeat) run draws its trace from a seed that
+    depends only on ``(seed, rps, repeat)`` — all policies see
+    *identical traces* at each point, the paired-comparison discipline
+    that makes relative improvements meaningful at small run counts.
+    """
+    if isinstance(schedulers, dict):
+        named = list(schedulers.items())
+    else:
+        named = [(s.name, s) for s in schedulers]
+    if len({name for name, _ in named}) != len(named):
+        raise ConfigurationError("duplicate policy names in sweep")
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1: {repeats}")
+
+    series: dict[str, PolicySeries] = {}
+    for name, scheduler in named:
+        tails: list[float] = []
+        means: list[float] = []
+        kept: list[list[SimulationResult]] = []
+        for rps_index, rps in enumerate(rps_values):
+            run_tails: list[float] = []
+            run_means: list[float] = []
+            point_results: list[SimulationResult] = []
+            for repeat in range(repeats):
+                run_seed = seed + 7919 * rps_index + 104729 * repeat
+                result = run_policy(
+                    scheduler,
+                    workload,
+                    rps=rps,
+                    cores=cores,
+                    num_requests=num_requests,
+                    quantum_ms=quantum_ms,
+                    seed=run_seed,
+                    spin_fraction=spin_fraction,
+                )
+                run_tails.append(result.tail_latency_ms(phi))
+                run_means.append(result.mean_latency_ms())
+                if keep_results:
+                    point_results.append(result)
+            tails.append(float(np.mean(run_tails)))
+            means.append(float(np.mean(run_means)))
+            if keep_results:
+                kept.append(point_results)
+        series[name] = PolicySeries(
+            policy=name,
+            rps_values=[float(r) for r in rps_values],
+            tail_ms=tails,
+            mean_ms=means,
+            results=kept,
+        )
+    return SweepResult(series=series)

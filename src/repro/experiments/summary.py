@@ -1,0 +1,98 @@
+"""Collate rendered benchmark outputs into one report.
+
+After a benchmark session, ``benchmarks/output/`` holds one rendered
+text file per experiment.  :func:`collect` parses them back into
+(id, title, body) records and :func:`render_summary` produces a single
+markdown document — the raw material behind EXPERIMENTS.md.
+
+Usage::
+
+    python -m repro.experiments.summary [output_dir]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ExperimentOutput", "collect", "render_summary", "main"]
+
+_HEADER_RE = re.compile(r"^=== (?P<id>\S+): (?P<title>.*) ===$", re.MULTILINE)
+
+
+@dataclass(frozen=True)
+class ExperimentOutput:
+    """One experiment's rendered output."""
+
+    experiment_id: str
+    title: str
+    body: str
+    notes: tuple[str, ...]
+
+
+def parse_output(text: str) -> ExperimentOutput:
+    """Parse one rendered FigureResult back into structured form."""
+    match = _HEADER_RE.search(text)
+    if not match:
+        raise ConfigurationError("not a rendered FigureResult (missing === header)")
+    notes = tuple(
+        line[len("note: "):]
+        for line in text.splitlines()
+        if line.startswith("note: ")
+    )
+    body = text[match.end():].strip()
+    body = "\n".join(
+        line for line in body.splitlines() if not line.startswith("note: ")
+    ).strip()
+    return ExperimentOutput(
+        experiment_id=match.group("id"),
+        title=match.group("title"),
+        body=body,
+        notes=notes,
+    )
+
+
+def collect(output_dir: str | Path) -> list[ExperimentOutput]:
+    """Parse every ``*.txt`` under ``output_dir``, sorted by id."""
+    directory = Path(output_dir)
+    if not directory.is_dir():
+        raise ConfigurationError(f"not a directory: {directory}")
+    outputs = []
+    for path in sorted(directory.glob("*.txt")):
+        outputs.append(parse_output(path.read_text()))
+    if not outputs:
+        raise ConfigurationError(f"no rendered outputs in {directory}")
+    return sorted(outputs, key=lambda o: o.experiment_id)
+
+
+def render_summary(outputs: list[ExperimentOutput]) -> str:
+    """One markdown document with every experiment's tables and notes."""
+    parts = ["# Benchmark session summary", ""]
+    parts.append(f"{len(outputs)} experiments.")
+    parts.append("")
+    for output in outputs:
+        parts.append(f"## {output.experiment_id} — {output.title}")
+        parts.append("")
+        parts.append("```")
+        parts.append(output.body)
+        parts.append("```")
+        for note in output.notes:
+            parts.append(f"- {note}")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: print the summary for a benchmark output directory."""
+    args = argv if argv is not None else sys.argv[1:]
+    directory = args[0] if args else "benchmarks/output"
+    print(render_summary(collect(directory)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests on main()
+    sys.exit(main())

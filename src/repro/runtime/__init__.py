@@ -1,0 +1,20 @@
+"""Live FM runtime: incremental parallelism on real Python threads.
+
+The simulator (:mod:`repro.sim`) answers "what would FM do on this
+hardware"; this package answers "what does FM look like as running
+code".  Work units sleep rather than compute (sleeping releases the
+GIL), so adding worker threads to a request genuinely shortens it —
+the FM control loop, load tracking, admission queue, and self-
+scheduling quantum all run on actual threads with wall-clock time.
+"""
+
+from repro.runtime.server import LiveFMServer, LiveServerStats
+from repro.runtime.work import LiveRequest, SleepSlice, make_slices
+
+__all__ = [
+    "LiveFMServer",
+    "LiveRequest",
+    "LiveServerStats",
+    "SleepSlice",
+    "make_slices",
+]

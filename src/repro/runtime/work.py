@@ -1,0 +1,138 @@
+"""Work units for the live (real-thread) FM runtime.
+
+The simulator measures FM in virtual time; this package runs it on real
+``threading`` threads.  CPython's GIL would serialize *computational*
+work, so live requests are built from :class:`SleepSlice` units — each
+slice sleeps its cost, which releases the GIL, making intra-request
+parallelism physically real (the same trick network- or IO-bound
+services play).  Wall-clock speedups from adding workers are therefore
+genuine, while per-slice granularity bounds them exactly like segment
+granularity bounds Lucene's.
+
+A :class:`LiveRequest` is a bag of slices plus the runtime state FM
+needs: the currently *allowed* degree (the knob FM turns — compare the
+paper's "FM adds a thread by simply changing a field of
+ThreadPoolExecutor"), in-flight slice count, and completion latching.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SleepSlice", "LiveRequest"]
+
+
+class SleepSlice:
+    """One unit of request work: sleeps ``duration_ms`` when executed."""
+
+    __slots__ = ("duration_ms",)
+
+    def __init__(self, duration_ms: float) -> None:
+        if duration_ms <= 0:
+            raise ConfigurationError(f"slice duration must be positive: {duration_ms}")
+        self.duration_ms = duration_ms
+
+    def run(self) -> None:
+        """Execute the slice (sleeping releases the GIL)."""
+        time.sleep(self.duration_ms / 1000.0)
+
+
+def make_slices(total_ms: float, slice_ms: float) -> list[SleepSlice]:
+    """Split ``total_ms`` of work into slices of at most ``slice_ms``."""
+    if total_ms <= 0 or slice_ms <= 0:
+        raise ConfigurationError("total_ms and slice_ms must be positive")
+    slices: list[SleepSlice] = []
+    remaining = total_ms
+    while remaining > 1e-9:
+        chunk = min(slice_ms, remaining)
+        slices.append(SleepSlice(chunk))
+        remaining -= chunk
+    return slices
+
+
+class LiveRequest:
+    """One in-flight request in the live runtime.
+
+    Thread-safety: slice handout and completion accounting are guarded
+    by an internal lock; the *degree* field is a plain int written by
+    the scheduler thread and read by the dispatcher (a benign race —
+    exactly how the paper's implementation treats the thread-count
+    field).
+    """
+
+    def __init__(self, rid: int, slices: Sequence[SleepSlice]) -> None:
+        if not slices:
+            raise ConfigurationError("request needs at least one slice")
+        self.rid = rid
+        self.total_ms = sum(s.duration_ms for s in slices)
+        self._slices = list(slices)
+        self._next_slice = 0
+        self._in_flight = 0
+        self._lock = threading.Lock()
+        self.done = threading.Event()
+        #: Worker threads currently allowed (FM raises this, never lowers).
+        self.degree = 1
+        self.arrival_s = time.perf_counter()
+        self.start_s: float | None = None
+        self.finish_s: float | None = None
+        self.max_observed_degree = 1
+
+    # ------------------------------------------------------------------
+    def mark_started(self) -> None:
+        """Timestamp the start of execution (admission granted)."""
+        if self.start_s is None:
+            self.start_s = time.perf_counter()
+
+    def take_slice(self) -> SleepSlice | None:
+        """Claim the next slice if the degree budget allows; None when
+        nothing can be handed out right now."""
+        with self._lock:
+            if self._next_slice >= len(self._slices):
+                return None
+            if self._in_flight >= self.degree:
+                return None
+            slice_ = self._slices[self._next_slice]
+            self._next_slice += 1
+            self._in_flight += 1
+            if self._in_flight > self.max_observed_degree:
+                self.max_observed_degree = self._in_flight
+            return slice_
+
+    def complete_slice(self) -> bool:
+        """Account a finished slice; returns True when the request is done."""
+        with self._lock:
+            self._in_flight -= 1
+            finished = (
+                self._next_slice >= len(self._slices) and self._in_flight == 0
+            )
+        if finished and not self.done.is_set():
+            self.finish_s = time.perf_counter()
+            self.done.set()
+        return finished
+
+    @property
+    def wants_workers(self) -> bool:
+        """Whether the request could use another worker right now."""
+        with self._lock:
+            return (
+                self._next_slice < len(self._slices)
+                and self._in_flight < self.degree
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def latency_ms(self) -> float:
+        """Arrival-to-completion wall time."""
+        if self.finish_s is None:
+            raise ConfigurationError(f"request {self.rid} not finished")
+        return 1000.0 * (self.finish_s - self.arrival_s)
+
+    def progress_ms(self) -> float:
+        """Wall time since execution started (the FM schedule index)."""
+        if self.start_s is None:
+            return 0.0
+        return 1000.0 * (time.perf_counter() - self.start_s)

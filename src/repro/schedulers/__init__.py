@@ -1,0 +1,35 @@
+"""Scheduling policies evaluated in the paper (Section 5).
+
+* :class:`SequentialScheduler` — SEQ: every request runs with 1 thread.
+* :class:`FixedScheduler` — FIX-N: constant degree N, optionally with
+  Bing-style load protection and age-based priority boosting.
+* :class:`SimpleIntervalScheduler` — the Figure 4 strawman: +1 thread
+  every fixed interval, ignoring load.
+* :class:`AdaptiveScheduler` — Jeon et al. (EuroSys 2013): degree chosen
+  from load at arrival, constant thereafter.
+* :class:`ClairvoyantScheduler` — RC: oracle sequential times; long
+  requests get a fixed degree, short ones run sequentially.
+* :class:`FMScheduler` — the paper's contribution: interval-table
+  driven incremental parallelism with admission control and selective
+  thread priority boosting.
+* :class:`ReprofilingFMScheduler` — extension: FM with the paper's
+  periodic offline analysis run online against observed demand.
+"""
+
+from repro.schedulers.adaptive import AdaptiveScheduler
+from repro.schedulers.clairvoyant import ClairvoyantScheduler
+from repro.schedulers.fixed import FixedScheduler
+from repro.schedulers.fm import FMScheduler
+from repro.schedulers.reprofiling import ReprofilingFMScheduler
+from repro.schedulers.sequential import SequentialScheduler
+from repro.schedulers.simple_interval import SimpleIntervalScheduler
+
+__all__ = [
+    "AdaptiveScheduler",
+    "ClairvoyantScheduler",
+    "FixedScheduler",
+    "FMScheduler",
+    "ReprofilingFMScheduler",
+    "SequentialScheduler",
+    "SimpleIntervalScheduler",
+]

@@ -1,0 +1,44 @@
+"""Adaptive parallelism (Jeon et al., EuroSys 2013) — the prior state
+of the art the paper compares against (Section 5).
+
+"This scheduler selects the parallelism degree for a request based on
+load when the request first enters the system.  The parallelism degree
+remains constant."  It adapts to load but cannot distinguish short from
+long requests, so at moderate-to-high load it still parallelizes the
+plentiful short requests.
+
+The degree rule divides the thread budget by the instantaneous request
+count: with ``target_p`` total threads available and ``q`` requests in
+the system, each new request gets ``target_p / q`` threads (clamped to
+``[1, max_degree]``) — aggressive when idle, sequential when busy.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sim.api import Admission, Scheduler, SchedulerContext
+from repro.sim.request import SimRequest
+
+__all__ = ["AdaptiveScheduler"]
+
+
+class AdaptiveScheduler(Scheduler):
+    """Load-at-arrival parallelism with a constant degree thereafter."""
+
+    uses_quantum = False
+    name = "Adaptive"
+
+    def __init__(self, max_degree: int, target_parallelism: float) -> None:
+        if max_degree < 1:
+            raise ConfigurationError(f"max_degree must be >= 1: {max_degree}")
+        if target_parallelism < 1:
+            raise ConfigurationError(
+                f"target_parallelism must be >= 1: {target_parallelism}"
+            )
+        self.max_degree = max_degree
+        self.target_parallelism = target_parallelism
+
+    def on_arrival(self, ctx: SchedulerContext, request: SimRequest) -> Admission:
+        load = max(1, ctx.system_count)
+        degree = int(self.target_parallelism // load)
+        return Admission.start(min(max(degree, 1), self.max_degree))

@@ -1,0 +1,88 @@
+"""Request Clairvoyant (RC) — the oracular predictive baseline.
+
+Section 5: "This scheduler is oracular, because it is given all
+requests' sequential execution times.  It is an upper bound on
+predictive scheduling [Jeon et al., SIGIR 2014] ... It selects a
+parallelism degree for long requests when they enter the system based
+on a threshold and executes other requests sequentially.  The
+parallelism degree is constant."
+
+The paper tunes the threshold empirically (225 ms for Lucene);
+:func:`tune_threshold` reproduces that offline grid search against the
+demand profile using the Figure 6 formulas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.demand import DemandProfile
+from repro.errors import ConfigurationError
+from repro.sim.api import Admission, Scheduler, SchedulerContext
+from repro.sim.request import SimRequest
+
+__all__ = ["ClairvoyantScheduler", "tune_threshold"]
+
+
+class ClairvoyantScheduler(Scheduler):
+    """Oracle length threshold: long requests run at ``degree``, short
+    ones sequentially.  Load-oblivious by design (its weakness)."""
+
+    uses_quantum = False
+
+    def __init__(self, threshold_ms: float, degree: int) -> None:
+        if threshold_ms < 0:
+            raise ConfigurationError(f"threshold_ms must be >= 0: {threshold_ms}")
+        if degree < 1:
+            raise ConfigurationError(f"degree must be >= 1: {degree}")
+        self.threshold_ms = threshold_ms
+        self.degree = degree
+        self.name = f"RC({threshold_ms:g}ms,d{degree})"
+
+    def on_arrival(self, ctx: SchedulerContext, request: SimRequest) -> Admission:
+        if request.seq_ms >= self.threshold_ms:
+            return Admission.start(self.degree)
+        return Admission.start(1)
+
+
+def tune_threshold(
+    profile: DemandProfile,
+    degree: int,
+    target_parallelism: float | None = None,
+    load: int | None = None,
+    candidates: np.ndarray | None = None,
+) -> float:
+    """Offline grid search for the best RC threshold.
+
+    Mirrors "we experimentally search for the best threshold": lowering
+    the threshold parallelizes more requests (shorter tail) but raises
+    total parallelism and therefore contention.  Without a resource
+    budget the optimum degenerates to "parallelize everything", so the
+    tuning keeps the same constraint the FM search uses: at a reference
+    load of ``load`` concurrent requests, RC's expected total
+    parallelism ``q * sum(busy) / sum(time)`` must fit within
+    ``target_parallelism``.  Among feasible thresholds the smallest wins
+    (isolated tail latency is non-increasing as more requests
+    parallelize).
+
+    Callers normally pass the system's thread target as
+    ``target_parallelism`` (it defaults to ``4 * degree`` when absent);
+    ``load`` defaults to ``target_parallelism / 2`` — the high-load
+    operating point, where average per-request parallelism is around 2.
+    """
+    if target_parallelism is None:
+        target_parallelism = 4.0 * degree
+    if load is None:
+        load = max(1, int(round(target_parallelism / 2)))
+    if candidates is None:
+        candidates = np.unique(np.percentile(profile.seq, np.arange(1, 100)))
+    speed = profile.speedups[:, min(degree, profile.max_degree) - 1]
+    weights = profile.weights
+    for threshold in np.sort(candidates):
+        is_long = profile.seq >= threshold
+        times = np.where(is_long, profile.seq / speed, profile.seq)
+        busy = np.where(is_long, degree * profile.seq / speed, profile.seq)
+        ap = load * np.dot(busy, weights) / np.dot(times, weights)
+        if ap <= target_parallelism + 1e-9:
+            return float(threshold)
+    return float(profile.max())

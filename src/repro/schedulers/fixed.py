@@ -1,0 +1,74 @@
+"""FIX-N: a predefined fixed parallelism degree per request (Section 5).
+
+Reduces tail latency at low load but oversubscribes as load grows
+(Figure 3: FIX-4 crosses above SEQ near 42 RPS in Lucene).
+
+Two production variants from the paper are supported:
+
+* **load protection** (Section 7.2): Bing's production FIX-3
+  parallelizes "when the total number of requests in the system is less
+  than 30; otherwise, it runs requests sequentially";
+* **age-based boosting** (Figure 10(c)): the FIX-3+boosting ablation
+  grants old requests boosted thread priority, approximating FM's
+  selective boosting without its incremental degrees.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sim.api import Admission, Scheduler, SchedulerContext
+from repro.sim.request import SimRequest
+
+__all__ = ["FixedScheduler"]
+
+
+class FixedScheduler(Scheduler):
+    """Constant degree-N parallelism.
+
+    Parameters
+    ----------
+    degree:
+        Worker threads per request.
+    load_protection:
+        When set, requests arriving while ``system_count`` is at or
+        above this value run sequentially instead.
+    boost_after_ms:
+        When set, a request that has executed this long requests boosted
+        priority for its threads (subject to the global budget).
+    """
+
+    def __init__(
+        self,
+        degree: int,
+        load_protection: int | None = None,
+        boost_after_ms: float | None = None,
+    ) -> None:
+        if degree < 1:
+            raise ConfigurationError(f"degree must be >= 1, got {degree}")
+        if load_protection is not None and load_protection < 1:
+            raise ConfigurationError(f"load_protection must be >= 1: {load_protection}")
+        if boost_after_ms is not None and boost_after_ms < 0:
+            raise ConfigurationError(f"boost_after_ms must be >= 0: {boost_after_ms}")
+        self.degree = degree
+        self.load_protection = load_protection
+        self.boost_after_ms = boost_after_ms
+        self.uses_quantum = boost_after_ms is not None
+        self.name = f"FIX-{degree}"
+        if load_protection is not None:
+            self.name += f"/lp{load_protection}"
+        if boost_after_ms is not None:
+            self.name += "+boost"
+
+    def on_arrival(self, ctx: SchedulerContext, request: SimRequest) -> Admission:
+        if self.load_protection is not None and ctx.system_count >= self.load_protection:
+            return Admission.start(1)
+        return Admission.start(self.degree)
+
+    def on_quantum(self, ctx: SchedulerContext, request: SimRequest) -> int:
+        if (
+            self.boost_after_ms is not None
+            and not request.boosted
+            and request.progress_ms(ctx.now_ms) >= self.boost_after_ms
+        ):
+            ctx.try_boost(request, request.degree)
+        return request.degree

@@ -1,0 +1,22 @@
+"""SEQ: every request executes sequentially (Section 5).
+
+The reference point for all comparisons — it never oversubscribes, but
+long requests run at full sequential length, dominating the tail.
+"""
+
+from __future__ import annotations
+
+from repro.sim.api import Admission, Scheduler, SchedulerContext
+from repro.sim.request import SimRequest
+
+__all__ = ["SequentialScheduler"]
+
+
+class SequentialScheduler(Scheduler):
+    """One worker thread per request, forever."""
+
+    uses_quantum = False
+    name = "SEQ"
+
+    def on_arrival(self, ctx: SchedulerContext, request: SimRequest) -> Admission:
+        return Admission.start(1)

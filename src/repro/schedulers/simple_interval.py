@@ -1,0 +1,37 @@
+"""The Figure 4 strawman: add one thread every fixed interval.
+
+"The simplest approach to incremental parallelism is to simply add
+parallelism periodically, e.g., add one thread to each request after a
+fixed time interval.  Unfortunately, this approach does a poor job of
+controlling the total parallelism, regardless of the interval length."
+(Section 3.3.)  Simp-20ms/100ms/500ms in the paper's plots.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sim.api import Admission, Scheduler, SchedulerContext
+from repro.sim.request import SimRequest
+
+__all__ = ["SimpleIntervalScheduler"]
+
+
+class SimpleIntervalScheduler(Scheduler):
+    """Start sequential; gain one thread per ``interval_ms`` of
+    execution, up to ``max_degree`` — oblivious to system load."""
+
+    def __init__(self, interval_ms: float, max_degree: int) -> None:
+        if interval_ms <= 0:
+            raise ConfigurationError(f"interval_ms must be positive: {interval_ms}")
+        if max_degree < 1:
+            raise ConfigurationError(f"max_degree must be >= 1: {max_degree}")
+        self.interval_ms = interval_ms
+        self.max_degree = max_degree
+        self.name = f"Simp-{interval_ms:g}ms"
+
+    def on_arrival(self, ctx: SchedulerContext, request: SimRequest) -> Admission:
+        return Admission.start(1)
+
+    def on_quantum(self, ctx: SchedulerContext, request: SimRequest) -> int:
+        elapsed = request.progress_ms(ctx.now_ms)
+        return min(1 + int(elapsed // self.interval_ms), self.max_degree)

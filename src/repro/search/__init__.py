@@ -1,0 +1,33 @@
+"""Miniature segmented search engine (the Lucene substrate stand-in).
+
+A structurally faithful, in-memory inverted index: documents are
+tokenized into a segmented index (one worker can process one segment,
+exactly the unit Lucene's FM implementation parallelizes over), queries
+are scored with a BM25-style ranker, and execution is cost-accounted in
+deterministic work units so demand profiles can be derived without
+wall-clock measurement.
+"""
+
+from repro.search.corpus import Document, generate_corpus
+from repro.search.executor import QueryExecution, SearchEngine, SegmentTask
+from repro.search.index import InvertedIndex, Posting, Segment
+from repro.search.profiler import profile_queries
+from repro.search.query import Query, parse_query
+from repro.search.scoring import bm25_score
+from repro.search.tokenizer import tokenize
+
+__all__ = [
+    "Document",
+    "InvertedIndex",
+    "Posting",
+    "Query",
+    "QueryExecution",
+    "SearchEngine",
+    "Segment",
+    "SegmentTask",
+    "bm25_score",
+    "generate_corpus",
+    "parse_query",
+    "profile_queries",
+    "tokenize",
+]

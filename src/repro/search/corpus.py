@@ -1,0 +1,101 @@
+"""Synthetic Zipfian corpus and query-log generation.
+
+Stands in for the paper's 33M-page Wikipedia corpus and the Lucene
+nightly-benchmark query set.  Term frequencies follow a Zipf law — the
+property that makes search demand heavy-tailed: queries containing
+popular terms touch long postings lists and run long, rare-term queries
+run short.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Document", "generate_corpus", "generate_query_log", "zipf_weights"]
+
+
+@dataclass(frozen=True)
+class Document:
+    """One indexed document: id and token list (pre-tokenized)."""
+
+    doc_id: int
+    tokens: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+
+def zipf_weights(vocab_size: int, exponent: float = 1.1) -> np.ndarray:
+    """Normalized Zipf probabilities over term ranks ``1..vocab_size``."""
+    if vocab_size < 1:
+        raise ConfigurationError(f"vocab_size must be >= 1: {vocab_size}")
+    if exponent <= 0:
+        raise ConfigurationError(f"exponent must be positive: {exponent}")
+    ranks = np.arange(1, vocab_size + 1, dtype=float)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+def _term(rank: int) -> str:
+    """Stable synthetic term for a vocabulary rank."""
+    return f"t{rank}"
+
+
+def generate_corpus(
+    num_docs: int,
+    vocab_size: int = 5000,
+    mean_doc_len: int = 120,
+    zipf_exponent: float = 1.1,
+    seed: int = 7,
+) -> list[Document]:
+    """Generate ``num_docs`` documents with Zipf-distributed terms and
+    lognormal lengths."""
+    if num_docs < 1:
+        raise ConfigurationError(f"num_docs must be >= 1: {num_docs}")
+    if mean_doc_len < 1:
+        raise ConfigurationError(f"mean_doc_len must be >= 1: {mean_doc_len}")
+    rng = np.random.default_rng(seed)
+    probabilities = zipf_weights(vocab_size, zipf_exponent)
+    lengths = np.maximum(
+        1, rng.lognormal(np.log(mean_doc_len), 0.4, size=num_docs).astype(int)
+    )
+    documents = []
+    for doc_id, length in enumerate(lengths):
+        ranks = rng.choice(vocab_size, size=int(length), p=probabilities) + 1
+        documents.append(Document(doc_id, tuple(_term(r) for r in ranks)))
+    return documents
+
+
+def generate_query_log(
+    num_queries: int,
+    vocab_size: int = 5000,
+    zipf_exponent: float = 0.9,
+    max_terms: int = 6,
+    seed: int = 11,
+) -> list[str]:
+    """Generate a query log whose terms skew popular (a flatter Zipf
+    than documents, as real query logs do).
+
+    Query lengths follow a Zipf-ish law of their own (``P(k) ∝ k^-1.5``
+    over ``1..max_terms``): most queries are one or two terms, a rare
+    few are long — the length skew plus the postings-size skew is what
+    makes search service demand heavy-tailed.
+    """
+    if num_queries < 1:
+        raise ConfigurationError(f"num_queries must be >= 1: {num_queries}")
+    if max_terms < 1:
+        raise ConfigurationError(f"max_terms must be >= 1: {max_terms}")
+    rng = np.random.default_rng(seed)
+    probabilities = zipf_weights(vocab_size, zipf_exponent)
+    length_weights = np.arange(1, max_terms + 1, dtype=float) ** -1.5
+    length_weights /= length_weights.sum()
+    term_counts = rng.choice(max_terms, size=num_queries, p=length_weights) + 1
+    queries = []
+    for count in term_counts:
+        ranks = rng.choice(vocab_size, size=int(count), p=probabilities) + 1
+        queries.append(" ".join(_term(r) for r in ranks))
+    return queries

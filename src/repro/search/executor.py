@@ -1,0 +1,118 @@
+"""Query execution with per-segment tasks and deterministic cost units.
+
+The FM Lucene implementation parallelizes a request by handing index
+segments to worker threads; this executor mirrors that: a query becomes
+one :class:`SegmentTask` per segment, each task scans the postings of
+the query terms in its segment and scores candidates, and a final merge
+selects the global top-k.
+
+Costs are counted in *work units* — one unit per posting scanned plus a
+per-candidate scoring charge and a per-result merge charge.  Work units
+are deterministic, so the profiler can convert them to milliseconds
+with a single calibration constant instead of measuring wall time
+(which the GIL would distort; see DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.search.index import InvertedIndex, Segment
+from repro.search.query import Query
+from repro.search.scoring import bm25_score
+
+__all__ = ["SearchHit", "SegmentTask", "QueryExecution", "SearchEngine"]
+
+#: Work-unit charges for the cost model.
+POSTING_SCAN_COST = 1.0
+SCORE_COST = 0.5
+MERGE_COST = 0.2
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One scored result."""
+
+    doc_id: int
+    score: float
+
+
+@dataclass
+class SegmentTask:
+    """The work of one query against one segment — the parallelism unit."""
+
+    segment_id: int
+    hits: list[SearchHit] = field(default_factory=list)
+    cost_units: float = 0.0
+
+
+@dataclass
+class QueryExecution:
+    """Full result of executing one query: ranked hits + cost breakdown."""
+
+    query: Query
+    hits: list[SearchHit]
+    tasks: list[SegmentTask]
+
+    @property
+    def total_cost_units(self) -> float:
+        """Sequential cost: the sum of all segment tasks plus the merge."""
+        merge = MERGE_COST * sum(len(t.hits) for t in self.tasks)
+        return sum(t.cost_units for t in self.tasks) + merge
+
+    @property
+    def segment_costs(self) -> list[float]:
+        """Per-segment task costs — the inputs to the parallel makespan."""
+        return [t.cost_units for t in self.tasks]
+
+
+class SearchEngine:
+    """Executes queries against a segmented :class:`InvertedIndex`."""
+
+    def __init__(self, index: InvertedIndex) -> None:
+        self.index = index
+        # Corpus-wide stats are snapshotted once: the paper's engines
+        # serve a read-only index between rebuilds.
+        self._num_docs = index.num_docs
+        self._avg_len = index.average_doc_length
+        self._doc_freq: dict[str, int] = {}
+
+    def _document_frequency(self, term: str) -> int:
+        if term not in self._doc_freq:
+            self._doc_freq[term] = self.index.document_frequency(term)
+        return self._doc_freq[term]
+
+    def execute_segment(self, query: Query, segment: Segment) -> SegmentTask:
+        """Run one query against one segment (a worker thread's job)."""
+        task = SegmentTask(segment_id=segment.segment_id)
+        accumulator: dict[int, float] = {}
+        for term in query.terms:
+            postings = segment.postings(term)
+            task.cost_units += POSTING_SCAN_COST * len(postings)
+            df = self._document_frequency(term)
+            for posting in postings:
+                score = bm25_score(
+                    posting.term_freq,
+                    df,
+                    self._num_docs,
+                    segment.doc_lengths[posting.doc_id],
+                    self._avg_len,
+                )
+                accumulator[posting.doc_id] = accumulator.get(posting.doc_id, 0.0) + score
+        task.cost_units += SCORE_COST * len(accumulator)
+        top = heapq.nlargest(
+            query.top_k, accumulator.items(), key=lambda kv: (kv[1], -kv[0])
+        )
+        task.hits = [SearchHit(doc_id, score) for doc_id, score in top]
+        return task
+
+    def execute(self, query: Query) -> QueryExecution:
+        """Run the query against every segment and merge the top-k."""
+        tasks = [self.execute_segment(query, s) for s in self.index.segments]
+        merged = heapq.nlargest(
+            query.top_k,
+            (hit for task in tasks for hit in task.hits),
+            key=lambda hit: (hit.score, -hit.doc_id),
+        )
+        return QueryExecution(query=query, hits=merged, tasks=tasks)

@@ -1,0 +1,112 @@
+"""Segmented inverted index.
+
+"Lucene arranges its index into segments.  To add parallelism, we
+simply divide up the work for an individual request by these segments"
+(Section 6.1).  The segment is therefore the unit of intra-request
+parallelism; this index mirrors that layout: each segment holds its own
+term -> postings map and document statistics, and queries fan out one
+task per segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.search.corpus import Document
+
+__all__ = ["Posting", "Segment", "InvertedIndex"]
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One (document, term-frequency) pair in a postings list."""
+
+    doc_id: int
+    term_freq: int
+
+
+class Segment:
+    """One index segment: postings plus per-document lengths."""
+
+    def __init__(self, segment_id: int) -> None:
+        self.segment_id = segment_id
+        self._postings: dict[str, list[Posting]] = {}
+        self.doc_lengths: dict[int, int] = {}
+
+    def add_document(self, document: Document) -> None:
+        """Index one document into this segment."""
+        if document.doc_id in self.doc_lengths:
+            raise ConfigurationError(f"duplicate doc_id {document.doc_id}")
+        counts: dict[str, int] = {}
+        for token in document.tokens:
+            counts[token] = counts.get(token, 0) + 1
+        for term, tf in counts.items():
+            self._postings.setdefault(term, []).append(Posting(document.doc_id, tf))
+        self.doc_lengths[document.doc_id] = len(document)
+
+    def postings(self, term: str) -> Sequence[Posting]:
+        """Postings list for ``term`` (empty when absent)."""
+        return self._postings.get(term, ())
+
+    def document_frequency(self, term: str) -> int:
+        """Number of this segment's documents containing ``term``."""
+        return len(self._postings.get(term, ()))
+
+    @property
+    def num_docs(self) -> int:
+        return len(self.doc_lengths)
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(self.doc_lengths.values())
+
+    def __repr__(self) -> str:
+        return f"Segment(id={self.segment_id}, docs={self.num_docs})"
+
+
+class InvertedIndex:
+    """A fixed set of segments with corpus-wide statistics.
+
+    Documents are distributed round-robin so segments end up balanced —
+    like Lucene after a steady indexing run — but some imbalance always
+    remains, which is exactly what makes per-request speedup sublinear.
+    """
+
+    def __init__(self, num_segments: int) -> None:
+        if num_segments < 1:
+            raise ConfigurationError(f"num_segments must be >= 1: {num_segments}")
+        self.segments = [Segment(i) for i in range(num_segments)]
+
+    @classmethod
+    def build(cls, documents: Iterable[Document], num_segments: int) -> "InvertedIndex":
+        """Index a corpus round-robin into ``num_segments`` segments."""
+        index = cls(num_segments)
+        for position, document in enumerate(documents):
+            index.segments[position % num_segments].add_document(document)
+        if index.num_docs == 0:
+            raise ConfigurationError("cannot build an index from an empty corpus")
+        return index
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.segments)
+
+    @property
+    def num_docs(self) -> int:
+        return sum(segment.num_docs for segment in self.segments)
+
+    @property
+    def average_doc_length(self) -> float:
+        docs = self.num_docs
+        if docs == 0:
+            return 0.0
+        return sum(segment.total_tokens for segment in self.segments) / docs
+
+    def document_frequency(self, term: str) -> int:
+        """Corpus-wide document frequency of ``term``."""
+        return sum(segment.document_frequency(term) for segment in self.segments)
+
+    def __repr__(self) -> str:
+        return f"InvertedIndex(segments={self.num_segments}, docs={self.num_docs})"

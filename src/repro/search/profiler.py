@@ -1,0 +1,109 @@
+"""Deriving demand profiles from the miniature search engine.
+
+The paper's offline phase measures, for every profiled request, its
+sequential execution time and its speedup at each degree (Section 6.1:
+"We execute 10K requests in isolation with different degrees of
+parallelism and gather their execution times").  Here the measurement
+is analytical instead of wall-clock:
+
+* *sequential time* = total work units x ``unit_ms`` (one calibration
+  constant replaces the hardware);
+* *parallel time at degree d* = the makespan of scheduling the per-
+  segment task costs onto ``d`` workers (longest-processing-time
+  greedy — the same bound a work-stealing pool achieves) plus a
+  coordination overhead per extra worker.
+
+Speedup sublinearity is therefore *emergent*: it comes from real
+segment imbalance in the index plus the explicit coordination cost,
+exactly the two effects that bend the paper's measured curves.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.demand import DemandProfile
+from repro.errors import ConfigurationError
+from repro.search.executor import SearchEngine
+from repro.search.query import Query, parse_query
+
+__all__ = ["lpt_makespan", "parallel_time_units", "profile_queries"]
+
+
+def lpt_makespan(costs: Sequence[float], workers: int) -> float:
+    """Longest-processing-time-first makespan of ``costs`` on
+    ``workers`` identical machines."""
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1: {workers}")
+    loads = [0.0] * workers
+    for cost in sorted(costs, reverse=True):
+        lightest = min(range(workers), key=loads.__getitem__)
+        loads[lightest] += cost
+    return max(loads)
+
+
+def parallel_time_units(
+    costs: Sequence[float],
+    workers: int,
+    merge_units: float,
+    overhead_units_per_worker: float,
+) -> float:
+    """Execution cost of a query at a given parallelism degree: the
+    makespan of its segment tasks, the (sequential) merge, and the
+    coordination overhead of the extra workers."""
+    makespan = lpt_makespan(costs, workers)
+    return makespan + merge_units + overhead_units_per_worker * (workers - 1)
+
+
+def profile_queries(
+    engine: SearchEngine,
+    queries: Sequence[Query | str],
+    max_degree: int = 6,
+    unit_ms: float = 0.01,
+    overhead_units_per_worker: float = 25.0,
+) -> DemandProfile:
+    """Profile a query log into a :class:`DemandProfile`.
+
+    Parameters
+    ----------
+    engine:
+        The engine to execute against.
+    queries:
+        Query objects or raw query strings.
+    max_degree:
+        Largest parallelism degree to profile (speedup columns).
+    unit_ms:
+        Milliseconds per work unit — the hardware-speed calibration.
+    overhead_units_per_worker:
+        Coordination cost per additional worker, in work units.
+    """
+    if unit_ms <= 0:
+        raise ConfigurationError(f"unit_ms must be positive: {unit_ms}")
+    if max_degree < 1:
+        raise ConfigurationError(f"max_degree must be >= 1: {max_degree}")
+    parsed = [q if isinstance(q, Query) else parse_query(q) for q in queries]
+    if not parsed:
+        raise ConfigurationError("no queries to profile")
+
+    seq_ms = []
+    tables = []
+    for query in parsed:
+        execution = engine.execute(query)
+        costs = execution.segment_costs
+        merge_units = execution.total_cost_units - sum(costs)
+        total = execution.total_cost_units
+        times = [
+            parallel_time_units(costs, d, merge_units, overhead_units_per_worker)
+            for d in range(1, max_degree + 1)
+        ]
+        speedups = np.array([times[0] / t for t in times])
+        # Guard against non-monotone makespans from the LPT heuristic
+        # and normalize s(1) exactly.
+        speedups[0] = 1.0
+        np.maximum.accumulate(speedups, out=speedups)
+        np.minimum(speedups, np.arange(1, max_degree + 1, dtype=float), out=speedups)
+        seq_ms.append(total * unit_ms)
+        tables.append(speedups)
+    return DemandProfile(np.array(seq_ms), np.stack(tables))

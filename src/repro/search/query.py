@@ -1,0 +1,32 @@
+"""Query representation and parsing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.search.tokenizer import tokenize
+
+__all__ = ["Query", "parse_query"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A disjunctive (OR) term query with a result budget."""
+
+    terms: tuple[str, ...]
+    top_k: int = 10
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ConfigurationError("query needs at least one term")
+        if self.top_k < 1:
+            raise ConfigurationError(f"top_k must be >= 1: {self.top_k}")
+
+
+def parse_query(text: str, top_k: int = 10) -> Query:
+    """Tokenize free text into a :class:`Query`."""
+    terms = tuple(tokenize(text))
+    if not terms:
+        raise ConfigurationError(f"query has no indexable terms: {text!r}")
+    return Query(terms=terms, top_k=top_k)

@@ -1,0 +1,41 @@
+"""BM25 relevance scoring.
+
+Standard Okapi BM25, the same family of lexical scorers Lucene uses by
+default.  Scores are deterministic functions of corpus statistics, so
+identical queries always cost and rank identically — a property the
+profiler relies on.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["bm25_score", "idf"]
+
+
+def idf(doc_freq: int, num_docs: int) -> float:
+    """BM25 inverse document frequency with the +1 floor that keeps it
+    positive for very common terms."""
+    if num_docs < 1:
+        raise ValueError(f"num_docs must be >= 1: {num_docs}")
+    if doc_freq < 0 or doc_freq > num_docs:
+        raise ValueError(f"doc_freq out of range: {doc_freq} / {num_docs}")
+    return math.log(1.0 + (num_docs - doc_freq + 0.5) / (doc_freq + 0.5))
+
+
+def bm25_score(
+    term_freq: int,
+    doc_freq: int,
+    num_docs: int,
+    doc_length: int,
+    average_doc_length: float,
+    k1: float = 1.2,
+    b: float = 0.75,
+) -> float:
+    """BM25 contribution of one term occurrence set in one document."""
+    if term_freq < 0:
+        raise ValueError(f"term_freq must be >= 0: {term_freq}")
+    if average_doc_length <= 0:
+        raise ValueError(f"average_doc_length must be positive: {average_doc_length}")
+    norm = k1 * (1.0 - b + b * doc_length / average_doc_length)
+    return idf(doc_freq, num_docs) * term_freq * (k1 + 1.0) / (term_freq + norm)

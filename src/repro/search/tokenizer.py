@@ -1,0 +1,27 @@
+"""Tokenization for the miniature search engine.
+
+Deliberately simple — lowercase, alphanumeric word characters, a small
+stopword list — because the engine's purpose is structural fidelity
+(segments, postings, scoring) and deterministic cost accounting, not
+linguistic quality.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["STOPWORDS", "tokenize"]
+
+#: Terms dropped at both index and query time.
+STOPWORDS = frozenset(
+    "a an and are as at be by for from has he in is it its of on that the "
+    "to was were will with".split()
+)
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Split ``text`` into lowercase alphanumeric tokens, dropping
+    stopwords."""
+    return [t for t in _TOKEN_RE.findall(text.lower()) if t not in STOPWORDS]

@@ -1,0 +1,154 @@
+"""The contract between the simulator engine and scheduling policies.
+
+A :class:`Scheduler` decides, for each request, when it starts and with
+how many worker threads — the engine owns time, cores, and bookkeeping.
+The interface mirrors the hooks the paper's runtime exposes:
+
+* ``on_arrival`` — called when a request enters; the policy admits it
+  (with an initial degree), delays it (FM admission control, ``t0 > 0``),
+  or queues it until an exit (``t0 = e1``).
+* ``on_wait_check`` — re-evaluation hook for waiting requests, invoked
+  when load drops (request exits) so policies can self-correct, and on
+  expiry of a requested delay.
+* ``on_quantum`` — the self-scheduling hook (Section 4.2): every
+  scheduling quantum a running request re-reads the instantaneous load
+  and may raise its parallelism.  Degrees never decrease (Theorem 1).
+* ``on_exit`` — called when a request completes.
+
+Policies that never change degree mid-flight (SEQ, FIX-N, Adaptive, RC)
+set :attr:`Scheduler.uses_quantum` to ``False`` so the engine skips
+quantum events entirely.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.request import SimRequest
+
+__all__ = ["AdmissionAction", "Admission", "SchedulerContext", "Scheduler"]
+
+
+class AdmissionAction(enum.Enum):
+    """What to do with a request that is not yet running."""
+
+    START = "start"
+    DELAY = "delay"
+    WAIT_FOR_EXIT = "wait_for_exit"
+
+
+@dataclass(frozen=True)
+class Admission:
+    """A policy's decision for a waiting request."""
+
+    action: AdmissionAction
+    degree: int = 1
+    delay_ms: float = 0.0
+
+    @classmethod
+    def start(cls, degree: int) -> "Admission":
+        """Start executing now with ``degree`` worker threads."""
+        return cls(AdmissionAction.START, degree=degree)
+
+    @classmethod
+    def delay(cls, delay_ms: float) -> "Admission":
+        """Re-evaluate after ``delay_ms`` (FM's ``t0 > 0`` admission)."""
+        return cls(AdmissionAction.DELAY, delay_ms=delay_ms)
+
+    @classmethod
+    def wait_for_exit(cls) -> "Admission":
+        """Queue until another request exits (FM's ``e1`` marker)."""
+        return cls(AdmissionAction.WAIT_FOR_EXIT)
+
+
+class SchedulerContext:
+    """The system state a policy may observe, plus its one actuator
+    besides degrees: selective thread-priority boosting.
+
+    The engine implements this interface; policies receive it on every
+    hook call.  ``system_count`` is the paper's load metric — "the
+    number of requests in the system", waiting or running.
+    """
+
+    def __init__(self, engine) -> None:
+        self._engine = engine
+
+    @property
+    def now_ms(self) -> float:
+        """Current virtual time."""
+        return self._engine.now_ms
+
+    @property
+    def cores(self) -> int:
+        """Hardware parallelism of the simulated server."""
+        return self._engine.cores
+
+    @property
+    def system_count(self) -> int:
+        """Instantaneous number of requests in the system (running,
+        delayed, or queued) — the interval-table index."""
+        return self._engine.system_count
+
+    @property
+    def running_count(self) -> int:
+        """Requests actively executing."""
+        return self._engine.running_count
+
+    @property
+    def total_threads(self) -> int:
+        """Total software threads of all running requests."""
+        return self._engine.total_threads
+
+    @property
+    def boosted_threads(self) -> int:
+        """Threads currently holding boosted priority."""
+        return self._engine.boost.boosted_threads
+
+    def try_boost(self, request: "SimRequest", degree: int) -> bool:
+        """Request boosted priority for all of ``request``'s threads.
+
+        Succeeds only while the boosted-thread total stays strictly
+        below the core count (Section 4.2).  Idempotent for an
+        already-boosted request.
+        """
+        return self._engine.boost.try_boost(request, degree)
+
+
+class Scheduler(ABC):
+    """Base class for all scheduling policies."""
+
+    #: Whether the engine should deliver ``on_quantum`` ticks.
+    uses_quantum: bool = True
+
+    #: Display name used in experiment reports.
+    name: str = "scheduler"
+
+    @abstractmethod
+    def on_arrival(self, ctx: SchedulerContext, request: "SimRequest") -> Admission:
+        """Decide what happens to a newly arrived request."""
+
+    def on_wait_check(self, ctx: SchedulerContext, request: "SimRequest") -> Admission:
+        """Re-evaluate a waiting (delayed or queued) request.
+
+        Default: start sequentially — policies with admission control
+        override this.
+        """
+        return Admission.start(1)
+
+    def on_quantum(self, ctx: SchedulerContext, request: "SimRequest") -> int:
+        """Return the degree the running request should use from now on.
+
+        The engine clamps the result to never decrease.  Default keeps
+        the current degree.
+        """
+        return request.degree
+
+    def on_exit(self, ctx: SchedulerContext, request: "SimRequest") -> None:
+        """Notification that a request completed (optional hook)."""
+
+    def reset(self) -> None:
+        """Clear any per-run mutable state (optional hook)."""

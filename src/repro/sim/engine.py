@@ -1,0 +1,345 @@
+"""The virtual-time multicore server engine.
+
+A fluid discrete-event simulation: between state-change events every
+request's work-depletion rate is constant, so the engine only touches
+state when something happens — an arrival, an admission-delay expiry, a
+self-scheduling quantum, or a completion.  Completions are *tentative*
+events computed from current rates and carry a generation number; any
+rate change (degree raise, boost, arrival, exit) bumps the generation,
+invalidating stale completions still in the heap.
+
+Determinism: given identical arrival specs and scheduler state the run
+is bit-for-bit reproducible — the event queue breaks time ties by
+insertion order and no wall-clock or randomness enters the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.speedup import SpeedupCurve
+from repro.errors import SimulationError
+from repro.sim.api import Admission, AdmissionAction, Scheduler, SchedulerContext
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.metrics import MetricsCollector, SimulationResult
+from repro.sim.processor import BoostController, compute_shares
+from repro.sim.request import RequestState, SimRequest
+
+__all__ = ["ArrivalSpec", "Engine", "simulate"]
+
+_FINISH_EPS = 1e-6  # ms — one nanosecond of slack for float residue
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """One request the open-loop client will submit."""
+
+    time_ms: float
+    seq_ms: float
+    speedup: SpeedupCurve
+    tag: Any = None
+
+
+class Engine:
+    """Simulates one multicore server under a scheduling policy.
+
+    Parameters
+    ----------
+    cores:
+        Hardware parallelism (15 for the Lucene testbed, 12 for Bing).
+    scheduler:
+        The policy deciding admission, degrees, and boosting.
+    quantum_ms:
+        Self-scheduling period (Section 6.1 uses 5 ms).
+    spin_fraction:
+        Fraction of lost parallelism (``d - s(d)``) that burns CPU
+        rather than blocking (see :mod:`repro.sim.processor`).
+    """
+
+    def __init__(
+        self,
+        cores: int,
+        scheduler: Scheduler,
+        quantum_ms: float = 5.0,
+        spin_fraction: float = 0.25,
+    ) -> None:
+        if cores < 1:
+            raise SimulationError(f"cores must be >= 1, got {cores}")
+        if quantum_ms <= 0:
+            raise SimulationError(f"quantum_ms must be positive, got {quantum_ms}")
+        self.cores = cores
+        self.scheduler = scheduler
+        self.quantum_ms = quantum_ms
+        self.spin_fraction = spin_fraction
+        self.boost = BoostController(cores)
+
+        self.now_ms = 0.0
+        self._queue = EventQueue()
+        self._requests: dict[int, SimRequest] = {}
+        self._running: dict[int, SimRequest] = {}
+        self._waiting_fifo: list[int] = []  # e1-queued request ids, FIFO
+        self._delayed: set[int] = set()
+        self._candidate = 0  # requests mid-admission (counted in the load)
+        self._shares: dict[int, "object"] = {}
+        self._generation = 0
+        self._rates_dirty = False
+        self._metrics = MetricsCollector(cores)
+        self._ctx = SchedulerContext(self)
+        self._completed = 0
+
+    # ------------------------------------------------------------------
+    # Observable state (SchedulerContext reads these)
+    # ------------------------------------------------------------------
+    @property
+    def system_count(self) -> int:
+        """The interval-table load index: requests *admitted* to the
+        system (running or waiting out an admission delay), plus the
+        candidate currently being evaluated.
+
+        Requests queued behind the ``e1`` marker are outside the system
+        — they have not been admitted — so they do not inflate the
+        index (otherwise a transient backlog would pin every later
+        lookup at the ``e1`` row and starve the server).
+        """
+        return len(self._running) + len(self._delayed) + self._candidate
+
+    @property
+    def running_count(self) -> int:
+        return len(self._running)
+
+    @property
+    def total_threads(self) -> int:
+        return sum(r.degree for r in self._running.values())
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, arrivals: Sequence[ArrivalSpec]) -> SimulationResult:
+        """Execute all arrivals to completion and return the metrics."""
+        if not arrivals:
+            raise SimulationError("no arrivals to simulate")
+        self.scheduler.reset()
+        self.boost.reset()
+        for rid, spec in enumerate(sorted(arrivals, key=lambda s: s.time_ms)):
+            request = SimRequest(rid, spec.time_ms, spec.seq_ms, spec.speedup, tag=spec.tag)
+            self._requests[rid] = request
+            self._queue.push(spec.time_ms, Event(EventKind.ARRIVAL, request_id=rid))
+
+        while self._queue:
+            time_ms, event = self._queue.pop()
+            if event.kind is EventKind.COMPLETION and event.generation != self._generation:
+                continue  # stale rate snapshot
+            if time_ms < self.now_ms - _FINISH_EPS:
+                raise SimulationError(
+                    f"time went backwards: {time_ms} < {self.now_ms}"
+                )
+            self._commit(max(time_ms, self.now_ms))
+            self._dispatch(event)
+            if self._rates_dirty:
+                self._recompute_rates()
+
+        if self._completed != len(self._requests):
+            stuck = len(self._requests) - self._completed
+            raise SimulationError(
+                f"{stuck} requests never completed (scheduler deadlock?)"
+            )
+        return self._metrics.finalize()
+
+    # ------------------------------------------------------------------
+    # Event dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, event: Event) -> None:
+        if event.kind is EventKind.ARRIVAL:
+            self._handle_arrival(self._requests[event.request_id])
+        elif event.kind is EventKind.DELAY_EXPIRED:
+            self._handle_delay_expired(self._requests[event.request_id])
+        elif event.kind is EventKind.QUANTUM:
+            self._handle_quantum(self._requests[event.request_id])
+        elif event.kind is EventKind.COMPLETION:
+            self._handle_completion()
+        else:  # pragma: no cover - enum is closed
+            raise SimulationError(f"unknown event {event}")
+
+    def _handle_arrival(self, request: SimRequest) -> None:
+        # The request counts toward the load its own admission sees
+        # (the interval table is indexed by the count including it).
+        self._candidate = 1
+        decision = self.scheduler.on_arrival(self._ctx, request)
+        self._candidate = 0
+        self._apply_admission(request, decision)
+
+    def _handle_delay_expired(self, request: SimRequest) -> None:
+        if request.state is not RequestState.DELAYED:
+            return  # already started by a wait-check wake-up
+        self._delayed.discard(request.rid)
+        self._candidate = 1
+        decision = self.scheduler.on_wait_check(self._ctx, request)
+        self._candidate = 0
+        self._apply_admission(request, decision)
+
+    def _handle_quantum(self, request: SimRequest) -> None:
+        if request.state is not RequestState.RUNNING:
+            return
+        desired = self.scheduler.on_quantum(self._ctx, request)
+        new_degree = max(desired, request.degree)
+        if request.raise_degree(new_degree):
+            self._rates_dirty = True
+        self._queue.push(
+            self.now_ms + self.quantum_ms,
+            Event(EventKind.QUANTUM, request_id=request.rid),
+        )
+
+    def _handle_completion(self) -> None:
+        finished = [r for r in self._running.values() if r.is_finished]
+        if not finished:
+            raise SimulationError("completion event with no finished request")
+        for request in finished:
+            request.finish(self.now_ms)
+            del self._running[request.rid]
+            self._metrics.record(request)  # snapshot before boost release
+            self.boost.release(request)
+            self._completed += 1
+            self.scheduler.on_exit(self._ctx, request)
+        self._rates_dirty = True
+        self._wake_waiters(exits=len(finished))
+
+    # ------------------------------------------------------------------
+    # Admission machinery
+    # ------------------------------------------------------------------
+    def _apply_admission(self, request: SimRequest, decision: Admission) -> None:
+        if decision.action is AdmissionAction.START or (
+            decision.action is AdmissionAction.DELAY and decision.delay_ms <= 0
+        ):
+            degree = max(1, decision.degree)
+            request.start(self.now_ms, degree)
+            self._running[request.rid] = request
+            self._rates_dirty = True
+            if self.scheduler.uses_quantum:
+                self._queue.push(
+                    self.now_ms + self.quantum_ms,
+                    Event(EventKind.QUANTUM, request_id=request.rid),
+                )
+        elif decision.action is AdmissionAction.DELAY:
+            request.state = RequestState.DELAYED
+            self._delayed.add(request.rid)
+            self._queue.push(
+                self.now_ms + decision.delay_ms,
+                Event(EventKind.DELAY_EXPIRED, request_id=request.rid),
+            )
+        elif decision.action is AdmissionAction.WAIT_FOR_EXIT:
+            if not self._running and not self._delayed:
+                # Nothing will ever exit; queuing would deadlock.  Start
+                # sequentially — matches FM's behaviour, where the e1 row
+                # admits one request per exit and an idle system admits
+                # immediately.
+                request.start(self.now_ms, 1)
+                self._running[request.rid] = request
+                self._rates_dirty = True
+                if self.scheduler.uses_quantum:
+                    self._queue.push(
+                        self.now_ms + self.quantum_ms,
+                        Event(EventKind.QUANTUM, request_id=request.rid),
+                    )
+            else:
+                request.state = RequestState.QUEUED
+                self._waiting_fifo.append(request.rid)
+        else:  # pragma: no cover - enum is closed
+            raise SimulationError(f"unknown admission {decision}")
+
+    def _wake_waiters(self, exits: int) -> None:
+        """Re-evaluate waiting requests after ``exits`` completions
+        (Section 4.2: "When a request leaves, FM computes the load and
+        starts a queued request (if one exists)").
+
+        Queued (``e1``) requests are admitted in FIFO order for as long
+        as the policy's current row allows; at saturation the ``e1``
+        contract applies — "wait until another request exits and then
+        start executing sequentially" — one forced admission per exit.
+        """
+        forced = 0
+        while self._waiting_fifo:
+            request = self._requests[self._waiting_fifo[0]]
+            self._candidate = 1
+            decision = self.scheduler.on_wait_check(self._ctx, request)
+            self._candidate = 0
+            if decision.action is AdmissionAction.WAIT_FOR_EXIT:
+                if forced >= exits:
+                    break
+                decision = Admission.start(1)
+                forced += 1
+            self._waiting_fifo.pop(0)
+            self._apply_admission(request, decision)
+        # Delayed requests may start early when load drops.
+        for rid in sorted(self._delayed):
+            request = self._requests[rid]
+            decision = self.scheduler.on_wait_check(self._ctx, request)
+            if decision.action is AdmissionAction.START or (
+                decision.action is AdmissionAction.DELAY and decision.delay_ms <= 0
+            ):
+                self._delayed.discard(rid)
+                self._apply_admission(request, Admission.start(decision.degree))
+            # A longer delay keeps the original timer: the pending
+            # DELAY_EXPIRED event will re-check anyway.
+
+    # ------------------------------------------------------------------
+    # Fluid-rate machinery
+    # ------------------------------------------------------------------
+    def _commit(self, t: float) -> None:
+        """Advance work and metric integrals from ``now`` to ``t`` under
+        the current (constant) rates."""
+        dt = t - self.now_ms
+        if dt > 0:
+            busy_cores = 0.0
+            total_threads = 0
+            for request in self._running.values():
+                alloc = self._shares.get(request.rid)
+                core_alloc = alloc.core_alloc if alloc is not None else 0.0
+                factor = alloc.progress_factor if alloc is not None else 0.0
+                request.advance(dt, core_alloc, factor)
+                busy_cores += core_alloc
+                total_threads += request.degree
+            in_system = (
+                len(self._running) + len(self._delayed) + len(self._waiting_fifo)
+            )
+            self._metrics.observe_interval(dt, total_threads, busy_cores, in_system)
+        self.now_ms = t
+
+    def _recompute_rates(self) -> None:
+        """Refresh per-request rates and schedule the next tentative
+        completion; called after any state change."""
+        self._rates_dirty = False
+        self._generation += 1
+        self._shares = compute_shares(
+            self._running.values(), self.cores, self.spin_fraction
+        )
+        earliest: float | None = None
+        for request in self._running.values():
+            factor = self._shares[request.rid].progress_factor
+            request.rate = request.speedup.speedup(request.degree) * factor
+            if request.rate > 0:
+                eta = self.now_ms + request.remaining_work / request.rate
+                if earliest is None or eta < earliest:
+                    earliest = eta
+        if earliest is not None:
+            self._queue.push(
+                max(earliest, self.now_ms),
+                Event(EventKind.COMPLETION, generation=self._generation),
+            )
+
+
+def simulate(
+    arrivals: Sequence[ArrivalSpec],
+    scheduler: Scheduler,
+    cores: int,
+    quantum_ms: float = 5.0,
+    spin_fraction: float = 0.25,
+) -> SimulationResult:
+    """Convenience wrapper: build an :class:`Engine` and run it."""
+    engine = Engine(
+        cores=cores,
+        scheduler=scheduler,
+        quantum_ms=quantum_ms,
+        spin_fraction=spin_fraction,
+    )
+    return engine.run(arrivals)

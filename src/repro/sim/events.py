@@ -1,0 +1,78 @@
+"""Typed events and the time-ordered event queue.
+
+The engine is a discrete-event simulator: every state change is an
+event drawn from a single min-heap ordered by ``(time, sequence)``.
+The sequence number makes ordering of simultaneous events deterministic
+(FIFO in insertion order), which keeps whole simulations reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(enum.Enum):
+    """All event types the engine understands."""
+
+    ARRIVAL = "arrival"
+    #: Expiry of an FM admission delay (``t0 > 0``).
+    DELAY_EXPIRED = "delay_expired"
+    #: Self-scheduling tick for one running request (Section 4.2).
+    QUANTUM = "quantum"
+    #: Tentative completion; ``generation`` stale-checks it.
+    COMPLETION = "completion"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled occurrence.
+
+    ``request_id`` identifies the subject for all kinds but COMPLETION,
+    which instead carries the rate ``generation`` it was computed under:
+    any later rate change invalidates it.
+    """
+
+    kind: EventKind
+    request_id: int = -1
+    generation: int = -1
+
+
+@dataclass(order=True)
+class _HeapItem:
+    time_ms: float
+    sequence: int
+    event: Event = field(compare=False)
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`Event` keyed by time."""
+
+    def __init__(self) -> None:
+        self._heap: list[_HeapItem] = []
+        self._counter = itertools.count()
+
+    def push(self, time_ms: float, event: Event) -> None:
+        """Schedule ``event`` at ``time_ms``."""
+        if time_ms < 0:
+            raise ValueError(f"event time must be >= 0, got {time_ms}")
+        heapq.heappush(self._heap, _HeapItem(time_ms, next(self._counter), event))
+
+    def pop(self) -> tuple[float, Event]:
+        """Remove and return the earliest ``(time, event)``."""
+        item = heapq.heappop(self._heap)
+        return item.time_ms, item.event
+
+    def peek_time(self) -> float | None:
+        """Earliest scheduled time, or ``None`` when empty."""
+        return self._heap[0].time_ms if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

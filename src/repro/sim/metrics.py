@@ -1,0 +1,240 @@
+"""Measurement: per-request records and time-weighted system integrals.
+
+Provides everything the paper's evaluation plots need:
+
+* response-time percentiles and means (all latency figures) — latency
+  includes queueing delay, as in Section 6.1;
+* time-averaged software-thread count and CPU utilization
+  (Figures 9(c), 12(c));
+* per-request average parallelism split by demand class (Figure 9(a));
+* final-degree distributions (Figures 9(b), 12(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.formulas import weighted_order_statistic
+from repro.errors import SimulationError
+from repro.sim.request import SimRequest
+
+__all__ = ["RequestRecord", "MetricsCollector", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Immutable completion record of one request."""
+
+    rid: int
+    arrival_ms: float
+    start_ms: float
+    finish_ms: float
+    seq_ms: float
+    final_degree: int
+    average_parallelism: float
+    thread_time_ms: float
+    core_time_ms: float
+    boosted: bool
+    tag: Any = None
+
+    @property
+    def latency_ms(self) -> float:
+        """Arrival-to-completion response time."""
+        return self.finish_ms - self.arrival_ms
+
+    @property
+    def execution_ms(self) -> float:
+        """Start-to-completion wall time (excludes admission waits)."""
+        return self.finish_ms - self.start_ms
+
+    @property
+    def queueing_ms(self) -> float:
+        """Time spent waiting for admission."""
+        return self.start_ms - self.arrival_ms
+
+
+class MetricsCollector:
+    """Accumulates records and time-weighted integrals during a run."""
+
+    def __init__(self, cores: int) -> None:
+        self.cores = cores
+        self.records: list[RequestRecord] = []
+        self._thread_integral = 0.0
+        self._core_busy_integral = 0.0
+        self._system_count_integral = 0.0
+        self._observed_ms = 0.0
+        self._thread_residency: dict[int, float] = {}
+
+    def observe_interval(
+        self, dt_ms: float, total_threads: int, busy_cores: float, system_count: int
+    ) -> None:
+        """Integrate system-level gauges over a constant-rate interval."""
+        if dt_ms < 0:
+            raise SimulationError(f"negative interval {dt_ms}")
+        self._thread_integral += total_threads * dt_ms
+        self._core_busy_integral += busy_cores * dt_ms
+        self._system_count_integral += system_count * dt_ms
+        self._observed_ms += dt_ms
+        self._thread_residency[total_threads] = (
+            self._thread_residency.get(total_threads, 0.0) + dt_ms
+        )
+
+    def record(self, request: SimRequest) -> None:
+        """Snapshot a completed request."""
+        if request.start_ms is None or request.finish_ms is None:
+            raise SimulationError(f"request {request.rid} not finished")
+        self.records.append(
+            RequestRecord(
+                rid=request.rid,
+                arrival_ms=request.arrival_ms,
+                start_ms=request.start_ms,
+                finish_ms=request.finish_ms,
+                seq_ms=request.seq_ms,
+                final_degree=request.degree,
+                average_parallelism=request.average_parallelism,
+                thread_time_ms=request.thread_time_ms,
+                core_time_ms=request.core_time_ms,
+                boosted=request.boosted,
+                tag=request.tag,
+            )
+        )
+
+    def finalize(self) -> "SimulationResult":
+        """Produce the immutable result object."""
+        return SimulationResult(
+            records=sorted(self.records, key=lambda r: r.arrival_ms),
+            cores=self.cores,
+            duration_ms=self._observed_ms,
+            thread_integral=self._thread_integral,
+            core_busy_integral=self._core_busy_integral,
+            system_count_integral=self._system_count_integral,
+            thread_residency=dict(self._thread_residency),
+        )
+
+
+class SimulationResult:
+    """Completed-run measurements with the paper's metric views."""
+
+    def __init__(
+        self,
+        records: list[RequestRecord],
+        cores: int,
+        duration_ms: float,
+        thread_integral: float,
+        core_busy_integral: float,
+        system_count_integral: float,
+        thread_residency: dict[int, float] | None = None,
+    ) -> None:
+        if not records:
+            raise SimulationError("simulation produced no completed requests")
+        self.records = records
+        self.cores = cores
+        self.duration_ms = duration_ms
+        self._thread_integral = thread_integral
+        self._core_busy_integral = core_busy_integral
+        self._system_count_integral = system_count_integral
+        self._thread_residency = thread_residency or {}
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    # Latency views
+    # ------------------------------------------------------------------
+    def latencies_ms(self) -> np.ndarray:
+        """Response times in arrival order."""
+        return np.array([r.latency_ms for r in self.records], dtype=float)
+
+    def tail_latency_ms(self, phi: float = 0.99) -> float:
+        """φ-percentile response time (Eq. 5 order statistic)."""
+        lats = self.latencies_ms()
+        return weighted_order_statistic(lats, np.ones_like(lats), phi)
+
+    def mean_latency_ms(self) -> float:
+        """Mean response time."""
+        return float(self.latencies_ms().mean())
+
+    # ------------------------------------------------------------------
+    # System gauges (Figures 9(c), 12(c))
+    # ------------------------------------------------------------------
+    def average_threads(self) -> float:
+        """Time-averaged software-thread count."""
+        return self._thread_integral / self.duration_ms if self.duration_ms else 0.0
+
+    def cpu_utilization(self) -> float:
+        """Fraction of core-time spent executing request threads."""
+        capacity = self.cores * self.duration_ms
+        return self._core_busy_integral / capacity if capacity else 0.0
+
+    def average_system_count(self) -> float:
+        """Time-averaged number of requests in the system."""
+        return self._system_count_integral / self.duration_ms if self.duration_ms else 0.0
+
+    def thread_count_distribution(self, bins: list[tuple[int, int]]) -> dict[str, float]:
+        """Fraction of wall time spent with the total thread count in
+        each inclusive ``(lo, hi)`` bin (Figure 12(c)'s <11 / 11-20 /
+        21-23 breakdown)."""
+        total = sum(self._thread_residency.values())
+        out: dict[str, float] = {}
+        for lo, hi in bins:
+            label = f"{lo}-{hi}"
+            mass = sum(
+                ms for count, ms in self._thread_residency.items() if lo <= count <= hi
+            )
+            out[label] = mass / total if total else 0.0
+        return out
+
+    # ------------------------------------------------------------------
+    # Parallelism views (Figures 9(a,b), 12(b))
+    # ------------------------------------------------------------------
+    def average_parallelism(self, lo: float = 0.0, hi: float = 1.0) -> float:
+        """Mean per-request average parallelism over the demand-percentile
+        band ``[lo, hi)`` — e.g. ``(0.95, 1.0)`` for the longest 5 %."""
+        selected = self._demand_band(lo, hi)
+        return float(np.mean([r.average_parallelism for r in selected]))
+
+    def final_degree_histogram(self, lo: float = 0.0, hi: float = 1.0) -> dict[int, float]:
+        """Fraction of requests finishing at each parallelism degree."""
+        selected = self._demand_band(lo, hi)
+        counts: dict[int, int] = {}
+        for record in selected:
+            counts[record.final_degree] = counts.get(record.final_degree, 0) + 1
+        total = len(selected)
+        return {degree: count / total for degree, count in sorted(counts.items())}
+
+    def _demand_band(self, lo: float, hi: float) -> list[RequestRecord]:
+        if not 0.0 <= lo < hi <= 1.0:
+            raise ValueError(f"need 0 <= lo < hi <= 1, got [{lo}, {hi})")
+        ordered = sorted(self.records, key=lambda r: r.seq_ms)
+        n = len(ordered)
+        start = int(np.floor(lo * n))
+        stop = max(start + 1, int(np.ceil(hi * n)))
+        return ordered[start:stop]
+
+    # ------------------------------------------------------------------
+    # Slicing (warmup discard; Figure 11's per-quantum windows)
+    # ------------------------------------------------------------------
+    def slice_by_arrival(self, start: int, stop: int | None = None) -> "SimulationResult":
+        """Sub-result over records ``start:stop`` in arrival order.
+
+        System-level integrals are scaled by the retained fraction —
+        they remain whole-run averages, which is what the paper reports.
+        """
+        subset = self.records[start:stop]
+        if not subset:
+            raise ValueError(f"empty slice [{start}:{stop}]")
+        fraction = len(subset) / len(self.records)
+        return SimulationResult(
+            records=subset,
+            cores=self.cores,
+            duration_ms=self.duration_ms * fraction,
+            thread_integral=self._thread_integral * fraction,
+            core_busy_integral=self._core_busy_integral * fraction,
+            system_count_integral=self._system_count_integral * fraction,
+            thread_residency={
+                count: ms * fraction for count, ms in self._thread_residency.items()
+            },
+        )

@@ -1,0 +1,191 @@
+"""Request lifecycle state for the simulator.
+
+A :class:`SimRequest` tracks one request from arrival to completion:
+its remaining *sequential work* (milliseconds of single-core compute),
+its current parallelism degree, boost status, and the accounting needed
+for the paper's metrics (thread-time for average parallelism, Figure 9;
+per-degree residency for the degree distributions, Figures 9(b)/12(b)).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.speedup import SpeedupCurve
+from repro.errors import SimulationError
+
+__all__ = ["RequestState", "SimRequest"]
+
+_EPS = 1e-9
+
+
+class RequestState(enum.Enum):
+    """Lifecycle phases of a request inside the server."""
+
+    QUEUED = "queued"  # waiting for an exit (e1 admission)
+    DELAYED = "delayed"  # waiting out a t0 > 0 admission delay
+    RUNNING = "running"
+    DONE = "done"
+
+
+class SimRequest:
+    """One in-flight request."""
+
+    __slots__ = (
+        "rid",
+        "arrival_ms",
+        "seq_ms",
+        "speedup",
+        "state",
+        "remaining_work",
+        "degree",
+        "boosted",
+        "start_ms",
+        "finish_ms",
+        "thread_time_ms",
+        "core_time_ms",
+        "effective_ms",
+        "degree_residency",
+        "rate",
+        "tag",
+    )
+
+    def __init__(
+        self, rid: int, arrival_ms: float, seq_ms: float, speedup: SpeedupCurve,
+        tag: object = None,
+    ) -> None:
+        if seq_ms <= 0:
+            raise SimulationError(f"request {rid}: seq_ms must be positive, got {seq_ms}")
+        self.rid = rid
+        self.arrival_ms = arrival_ms
+        self.seq_ms = seq_ms
+        self.speedup = speedup
+        self.state = RequestState.QUEUED
+        self.remaining_work = seq_ms
+        self.degree = 0
+        self.boosted = False
+        self.start_ms: float | None = None
+        self.finish_ms: float | None = None
+        #: Integral of software-thread count over execution time.
+        self.thread_time_ms = 0.0
+        #: Integral of physical-core usage (threads x share) over time.
+        self.core_time_ms = 0.0
+        #: Full-speed-equivalent execution time: wall time weighted by
+        #: the contention factor.  Equals wall time when uncontended.
+        self.effective_ms = 0.0
+        #: Wall-time spent at each degree, ``{degree: ms}``.
+        self.degree_residency: dict[int, float] = {}
+        #: Current work-depletion rate (sequential-ms per wall-ms).
+        self.rate = 0.0
+        #: Opaque caller payload (e.g. the originating query).
+        self.tag = tag
+
+    # ------------------------------------------------------------------
+    def start(self, now_ms: float, degree: int) -> None:
+        """Transition to RUNNING with ``degree`` worker threads."""
+        if self.state is RequestState.RUNNING or self.state is RequestState.DONE:
+            raise SimulationError(f"request {self.rid}: cannot start from {self.state}")
+        if degree < 1:
+            raise SimulationError(f"request {self.rid}: start degree must be >= 1")
+        self.state = RequestState.RUNNING
+        self.start_ms = now_ms
+        self.degree = degree
+
+    def raise_degree(self, degree: int) -> bool:
+        """Increase parallelism; returns True when the degree changed.
+
+        FM property: degrees never decrease — a lower request is a
+        programming error in the policy, not a runtime condition.
+        """
+        if self.state is not RequestState.RUNNING:
+            raise SimulationError(f"request {self.rid}: not running")
+        if degree < self.degree:
+            raise SimulationError(
+                f"request {self.rid}: degree may not decrease "
+                f"({self.degree} -> {degree})"
+            )
+        if degree == self.degree:
+            return False
+        self.degree = degree
+        return True
+
+    def progress_ms(self, now_ms: float) -> float:
+        """Wall time spent executing.
+
+        Requests run continuously once started, so this is simply
+        ``now - start`` (the paper's implementation timestamps request
+        start and compares elapsed time against interval thresholds).
+        """
+        if self.start_ms is None:
+            return 0.0
+        return now_ms - self.start_ms
+
+    def effective_progress_ms(self) -> float:
+        """Contention-normalized execution time: how long the request
+        *would* have been running at full speed to reach its current
+        work state.  Climbing the interval table on this index instead
+        of wall time avoids over-parallelizing when the server is
+        oversubscribed (wall time keeps passing while work stalls)."""
+        return self.effective_ms
+
+    def advance(self, dt_ms: float, core_alloc: float, progress_factor: float = 1.0) -> None:
+        """Deplete work for ``dt_ms`` of wall time at the current rate
+        and accumulate the metric integrals.
+
+        ``core_alloc`` is the total physical-core share this request's
+        threads are consuming and ``progress_factor`` the contention
+        slowdown (both from the allocator).
+        """
+        if self.state is not RequestState.RUNNING or dt_ms <= 0:
+            return
+        self.effective_ms += progress_factor * dt_ms
+        self.remaining_work -= self.rate * dt_ms
+        if self.remaining_work < -1e-6:
+            raise SimulationError(
+                f"request {self.rid}: overshoot {self.remaining_work}"
+            )
+        self.remaining_work = max(self.remaining_work, 0.0)
+        self.thread_time_ms += self.degree * dt_ms
+        self.core_time_ms += core_alloc * dt_ms
+        self.degree_residency[self.degree] = (
+            self.degree_residency.get(self.degree, 0.0) + dt_ms
+        )
+
+    @property
+    def is_finished(self) -> bool:
+        """Whether all sequential work has been retired."""
+        return self.remaining_work <= _EPS
+
+    def finish(self, now_ms: float) -> None:
+        """Transition to DONE."""
+        if self.state is not RequestState.RUNNING:
+            raise SimulationError(f"request {self.rid}: cannot finish from {self.state}")
+        self.state = RequestState.DONE
+        self.finish_ms = now_ms
+
+    # ------------------------------------------------------------------
+    @property
+    def latency_ms(self) -> float:
+        """Arrival-to-completion response time (queueing included)."""
+        if self.finish_ms is None:
+            raise SimulationError(f"request {self.rid}: not finished")
+        return self.finish_ms - self.arrival_ms
+
+    @property
+    def execution_ms(self) -> float:
+        """Start-to-completion wall time."""
+        if self.finish_ms is None or self.start_ms is None:
+            raise SimulationError(f"request {self.rid}: not finished")
+        return self.finish_ms - self.start_ms
+
+    @property
+    def average_parallelism(self) -> float:
+        """Time-averaged software-thread count while executing."""
+        exec_ms = self.execution_ms
+        return self.thread_time_ms / exec_ms if exec_ms > 0 else float(self.degree)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimRequest(rid={self.rid}, state={self.state.value}, "
+            f"seq={self.seq_ms:g}, degree={self.degree})"
+        )

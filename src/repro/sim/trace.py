@@ -1,0 +1,142 @@
+"""Structured event tracing for simulator runs.
+
+A :class:`TraceRecorder` wraps any :class:`~repro.sim.api.Scheduler`
+and records every decision the policy makes — admissions, delays,
+queueing, degree changes, boosts, exits — with timestamps and the load
+observed at each decision.  Traces make scheduler behaviour inspectable
+("why did request 17 climb to degree 3 at t = 210 ms?") and power the
+per-request timeline renderer used in debugging and the examples.
+
+The recorder is transparent: it forwards every hook to the wrapped
+policy and never changes decisions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sim.api import Admission, AdmissionAction, Scheduler, SchedulerContext
+from repro.sim.request import SimRequest
+
+__all__ = ["TraceEventKind", "TraceEvent", "TraceRecorder"]
+
+
+class TraceEventKind(enum.Enum):
+    """Decision points captured by the recorder."""
+
+    ADMIT = "admit"
+    DELAY = "delay"
+    QUEUE = "queue"
+    DEGREE_UP = "degree_up"
+    BOOST = "boost"
+    EXIT = "exit"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded decision."""
+
+    time_ms: float
+    kind: TraceEventKind
+    request_id: int
+    load: int
+    detail: Any = None
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        base = f"t={self.time_ms:9.2f}ms  q={self.load:3d}  r{self.request_id:<5d} {self.kind.value}"
+        if self.detail is not None:
+            base += f" {self.detail}"
+        return base
+
+
+class TraceRecorder(Scheduler):
+    """Transparent tracing wrapper around another scheduler."""
+
+    def __init__(self, inner: Scheduler) -> None:
+        self.inner = inner
+        self.uses_quantum = inner.uses_quantum
+        self.name = f"trace({inner.name})"
+        self.events: list[TraceEvent] = []
+
+    def reset(self) -> None:
+        self.events = []
+        self.inner.reset()
+
+    # ------------------------------------------------------------------
+    def _record_admission(
+        self, ctx: SchedulerContext, request: SimRequest, decision: Admission
+    ) -> Admission:
+        if decision.action is AdmissionAction.START:
+            kind, detail = TraceEventKind.ADMIT, f"d{decision.degree}"
+        elif decision.action is AdmissionAction.DELAY:
+            kind, detail = TraceEventKind.DELAY, f"{decision.delay_ms:g}ms"
+        else:
+            kind, detail = TraceEventKind.QUEUE, "e1"
+        self.events.append(
+            TraceEvent(ctx.now_ms, kind, request.rid, ctx.system_count, detail)
+        )
+        return decision
+
+    def on_arrival(self, ctx: SchedulerContext, request: SimRequest) -> Admission:
+        return self._record_admission(ctx, request, self.inner.on_arrival(ctx, request))
+
+    def on_wait_check(self, ctx: SchedulerContext, request: SimRequest) -> Admission:
+        return self._record_admission(
+            ctx, request, self.inner.on_wait_check(ctx, request)
+        )
+
+    def on_quantum(self, ctx: SchedulerContext, request: SimRequest) -> int:
+        was_boosted = request.boosted
+        desired = self.inner.on_quantum(ctx, request)
+        if desired > request.degree:
+            self.events.append(
+                TraceEvent(
+                    ctx.now_ms,
+                    TraceEventKind.DEGREE_UP,
+                    request.rid,
+                    ctx.system_count,
+                    f"d{request.degree}->d{desired}",
+                )
+            )
+        if request.boosted and not was_boosted:
+            self.events.append(
+                TraceEvent(
+                    ctx.now_ms, TraceEventKind.BOOST, request.rid, ctx.system_count
+                )
+            )
+        return desired
+
+    def on_exit(self, ctx: SchedulerContext, request: SimRequest) -> None:
+        self.events.append(
+            TraceEvent(
+                ctx.now_ms,
+                TraceEventKind.EXIT,
+                request.rid,
+                ctx.system_count,
+                f"latency={request.latency_ms:.1f}ms d{request.degree}",
+            )
+        )
+        self.inner.on_exit(ctx, request)
+
+    # ------------------------------------------------------------------
+    def timeline(self, request_id: int) -> list[TraceEvent]:
+        """All recorded events of one request, in time order."""
+        return [e for e in self.events if e.request_id == request_id]
+
+    def counts(self) -> dict[TraceEventKind, int]:
+        """Event counts by kind — a quick behavioural fingerprint."""
+        out: dict[TraceEventKind, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def render(self, limit: int | None = None) -> str:
+        """Human-readable trace dump (optionally truncated)."""
+        events = self.events if limit is None else self.events[:limit]
+        lines = [event.describe() for event in events]
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... ({len(self.events) - limit} more events)")
+        return "\n".join(lines)

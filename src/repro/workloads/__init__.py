@@ -1,0 +1,39 @@
+"""Workload substrate: demand distributions, speedup calibrations, and
+arrival processes reproducing the paper's production traces."""
+
+from repro.workloads import bing, lucene
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    PiecewiseRateProcess,
+    PoissonProcess,
+    RateQuantum,
+    UniformProcess,
+)
+from repro.workloads.bing import bing_workload
+from repro.workloads.lucene import lucene_workload
+from repro.workloads.trace_io import load_trace, save_trace, trace_to_profile
+from repro.workloads.synthetic import (
+    DemandDistribution,
+    LognormalComponent,
+    bimodal_distribution,
+)
+from repro.workloads.workload import Workload
+
+__all__ = [
+    "ArrivalProcess",
+    "DemandDistribution",
+    "LognormalComponent",
+    "PiecewiseRateProcess",
+    "PoissonProcess",
+    "RateQuantum",
+    "UniformProcess",
+    "Workload",
+    "bimodal_distribution",
+    "bing",
+    "bing_workload",
+    "load_trace",
+    "lucene",
+    "lucene_workload",
+    "save_trace",
+    "trace_to_profile",
+]

@@ -1,0 +1,126 @@
+"""Arrival processes for the open-loop client.
+
+The paper's client "issues requests in random order following a Poisson
+distribution in an open loop" and varies load by changing the average
+arrival rate (RPS).  The Figure 11 load-variation experiment switches
+rate between quanta of 500 requests (45 → 30 → 45 → 30 RPS).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ArrivalProcess", "PoissonProcess", "UniformProcess", "PiecewiseRateProcess"]
+
+
+class ArrivalProcess(ABC):
+    """Generates absolute arrival times for ``n`` requests."""
+
+    @abstractmethod
+    def times_ms(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Return ``n`` non-decreasing arrival times in milliseconds."""
+
+
+class PoissonProcess(ArrivalProcess):
+    """Open-loop Poisson arrivals at a constant average rate."""
+
+    def __init__(self, rps: float) -> None:
+        if rps <= 0:
+            raise ConfigurationError(f"rps must be positive: {rps}")
+        self.rps = rps
+
+    def times_ms(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1: {n}")
+        gaps = rng.exponential(1000.0 / self.rps, size=n)
+        return np.cumsum(gaps)
+
+    def __repr__(self) -> str:
+        return f"PoissonProcess(rps={self.rps:g})"
+
+
+class UniformProcess(ArrivalProcess):
+    """Deterministic, evenly spaced arrivals — useful for tests where
+    queueing randomness would obscure the behaviour under study."""
+
+    def __init__(self, rps: float) -> None:
+        if rps <= 0:
+            raise ConfigurationError(f"rps must be positive: {rps}")
+        self.rps = rps
+
+    def times_ms(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1: {n}")
+        gap = 1000.0 / self.rps
+        return gap * np.arange(1, n + 1, dtype=float)
+
+    def __repr__(self) -> str:
+        return f"UniformProcess(rps={self.rps:g})"
+
+
+@dataclass(frozen=True)
+class RateQuantum:
+    """One load-variation quantum: ``count`` requests at ``rps``."""
+
+    rps: float
+    count: int
+
+
+class PiecewiseRateProcess(ArrivalProcess):
+    """Poisson arrivals whose rate switches between fixed-size request
+    quanta (the Figure 11 burst experiment).
+
+    ``quanta`` repeats cyclically if ``n`` exceeds the total count.
+    """
+
+    def __init__(self, quanta: list[RateQuantum] | list[tuple[float, int]]) -> None:
+        normalized = [
+            q if isinstance(q, RateQuantum) else RateQuantum(float(q[0]), int(q[1]))
+            for q in quanta
+        ]
+        if not normalized:
+            raise ConfigurationError("need at least one rate quantum")
+        for q in normalized:
+            if q.rps <= 0 or q.count < 1:
+                raise ConfigurationError(f"invalid quantum {q}")
+        self.quanta = normalized
+
+    def times_ms(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1: {n}")
+        gaps = np.empty(n, dtype=float)
+        filled = 0
+        index = 0
+        while filled < n:
+            quantum = self.quanta[index % len(self.quanta)]
+            take = min(quantum.count, n - filled)
+            gaps[filled : filled + take] = rng.exponential(
+                1000.0 / quantum.rps, size=take
+            )
+            filled += take
+            index += 1
+        return np.cumsum(gaps)
+
+    def quantum_boundaries(self, n: int) -> list[tuple[int, int]]:
+        """Request-index ranges ``[(start, stop), ...]`` of each quantum
+        within the first ``n`` requests — for Figure 11's per-quantum
+        tail statistics."""
+        bounds = []
+        filled = 0
+        index = 0
+        while filled < n:
+            quantum = self.quanta[index % len(self.quanta)]
+            take = min(quantum.count, n - filled)
+            bounds.append((filled, filled + take))
+            filled += take
+            index += 1
+        return bounds
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{q.rps:g}x{q.count}" for q in self.quanta)
+        return f"PiecewiseRateProcess({inner})"

@@ -1,0 +1,96 @@
+"""The Bing-like index-server workload (Sections 2 and 7, Figure 1).
+
+Calibrated to the published characteristics of the 30K-request ISN
+profiling run:
+
+* demand histogram (Figure 1(a)): "most requests are short, with more
+  than 85% taking below 15 ms.  A few requests are very long, up to 200
+  ms.  The gap between the median and the 99th percentile is a factor
+  of 27x.  The slight rise in frequency at 200 ms is because the server
+  terminates any request at 200 ms" — an 80/20 lognormal mixture
+  truncated at 200 ms reproduces the shape (median ≈ 7 ms, ~80 % under
+  15 ms, 99th near the cap; the long-mass weight is pushed slightly
+  above the quoted 15 % so the 100-350 RPS range reaches the ~70 %
+  utilization the paper cites for loaded ISNs);
+* speedup (Figure 1(b)): "Long requests have over 2 times speedup with
+  3 threads.  In contrast, short requests have limited speedup, a
+  factor of 1.2 with 3 threads ... at degrees higher than 4, additional
+  parallelism does not lead to speed up."
+
+Testbed constants from Section 7.1: 12 cores, ``target_p = 16``,
+maximum degree 3, no thread boosting, 100-350 RPS load range.
+"""
+
+from __future__ import annotations
+
+from repro.core.speedup import LengthDependentSpeedupModel, TabulatedSpeedup
+from repro.workloads.synthetic import DemandDistribution, LognormalComponent
+from repro.workloads.workload import Workload
+
+__all__ = [
+    "bing_workload",
+    "CORES",
+    "TARGET_PARALLELISM",
+    "MAX_DEGREE",
+    "QUANTUM_MS",
+    "SPIN_FRACTION",
+    "RPS_RANGE",
+    "TERMINATION_MS",
+]
+
+#: Two 6-core Xeons (Section 7.1).
+CORES = 12
+#: "A slightly higher number than the 12 available cores."
+TARGET_PARALLELISM = 16
+#: "The efficiency of parallelism drops significantly at degree 4, thus
+#: we configure FM to increase the parallelism degree up to 3."
+MAX_DEGREE = 3
+#: Same self-scheduling quantum as Lucene.
+QUANTUM_MS = 5.0
+#: Fraction of lost parallelism that burns CPU rather than blocking.
+#: ISN parallelism loss is dominated by shard skew (idle workers), so
+#: less of it burns cores than in Lucene's merge-heavy execution.
+SPIN_FRACTION = 0.15
+#: The load range of the Figure 12 plots.
+RPS_RANGE = (100, 150, 180, 200, 230, 260, 280, 310, 350)
+#: The ISN terminates requests at 200 ms and returns partial results.
+TERMINATION_MS = 200.0
+
+#: Figure 1(b) anchors: shortest 5 % reach only ~1.2x at degree 3;
+#: longest 5 % exceed 2x at 3 and plateau near 2.5x by degree 5.
+_SHORT_CURVE = TabulatedSpeedup([1.0, 1.12, 1.20, 1.25, 1.27, 1.27])
+_LONG_CURVE = TabulatedSpeedup([1.0, 1.80, 2.25, 2.40, 2.45, 2.45])
+
+#: Figure 1(a) shape: ~80 % short (median 6 ms), ~20 % long (median
+#: 120 ms), truncated at the 200 ms termination deadline.  Mean ~30 ms
+#: puts the top of the RPS range near saturation with FIX-3's overhead,
+#: reproducing the Figure 12 knee ordering.
+_DEMAND = DemandDistribution(
+    [
+        LognormalComponent(0.80, 6.0, 0.45),
+        LognormalComponent(0.20, 120.0, 0.60),
+    ],
+    cap_ms=TERMINATION_MS,
+    floor_ms=0.5,
+)
+
+
+def bing_workload(
+    profile_size: int = 30_000, profile_seed: int = 201_309, max_degree: int = 5
+) -> Workload:
+    """Build the calibrated Bing-like ISN workload."""
+    model = LengthDependentSpeedupModel(
+        short_curve=_SHORT_CURVE,
+        long_curve=_LONG_CURVE,
+        short_ms=3.0,
+        long_ms=120.0,
+        max_degree=max_degree,
+    )
+    return Workload(
+        name="bing",
+        sampler=_DEMAND,
+        speedup_model=model,
+        max_degree=max_degree,
+        profile_size=profile_size,
+        profile_seed=profile_seed,
+    )

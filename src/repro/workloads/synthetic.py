@@ -1,0 +1,98 @@
+"""Parametric service-demand distributions.
+
+Interactive-service demand is heavy-tailed: "most user search requests
+are short, but a significant percentage are long" (Section 1), with
+99th-percentile execution times 10x the mean and 100x the median.
+Lognormal mixtures reproduce those shapes; :class:`DemandDistribution`
+instances are reusable samplers consumed by :class:`~repro.workloads.workload.Workload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LognormalComponent", "DemandDistribution", "bimodal_distribution"]
+
+
+@dataclass(frozen=True)
+class LognormalComponent:
+    """One mixture component: lognormal with the given *median* (ms) and
+    log-space sigma, weighted by ``weight``."""
+
+    weight: float
+    median_ms: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigurationError(f"weight must be positive: {self}")
+        if self.median_ms <= 0:
+            raise ConfigurationError(f"median_ms must be positive: {self}")
+        if self.sigma < 0:
+            raise ConfigurationError(f"sigma must be >= 0: {self}")
+
+
+class DemandDistribution:
+    """Lognormal-mixture demand sampler with optional truncation.
+
+    ``cap_ms`` models request termination (Bing "terminates any request
+    at 200 ms and returns its partial results", producing the Figure
+    1(a) spike at the cap); ``floor_ms`` keeps demands strictly positive.
+    """
+
+    def __init__(
+        self,
+        components: list[LognormalComponent] | list[tuple[float, float, float]],
+        cap_ms: float | None = None,
+        floor_ms: float = 0.1,
+    ) -> None:
+        self.components = [
+            c if isinstance(c, LognormalComponent) else LognormalComponent(*c)
+            for c in components
+        ]
+        if not self.components:
+            raise ConfigurationError("need at least one mixture component")
+        if cap_ms is not None and cap_ms <= floor_ms:
+            raise ConfigurationError(f"cap_ms must exceed floor_ms: {cap_ms}")
+        if floor_ms <= 0:
+            raise ConfigurationError(f"floor_ms must be positive: {floor_ms}")
+        self.cap_ms = cap_ms
+        self.floor_ms = floor_ms
+        total = sum(c.weight for c in self.components)
+        self._probabilities = np.array([c.weight / total for c in self.components])
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` sequential demands in milliseconds."""
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1: {n}")
+        choices = rng.choice(len(self.components), size=n, p=self._probabilities)
+        medians = np.array([c.median_ms for c in self.components])
+        sigmas = np.array([c.sigma for c in self.components])
+        # median * exp(sigma * z): exact point masses when sigma == 0.
+        values = medians[choices] * np.exp(sigmas[choices] * rng.standard_normal(n))
+        np.maximum(values, self.floor_ms, out=values)
+        if self.cap_ms is not None:
+            np.minimum(values, self.cap_ms, out=values)
+        return values
+
+    def __call__(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.sample(rng, n)
+
+
+def bimodal_distribution(
+    short_ms: float, long_ms: float, long_fraction: float = 0.5
+) -> DemandDistribution:
+    """Degenerate two-point "distribution" like the Figure 5 worked
+    example (50 ms short / 150 ms long, equal probability)."""
+    if not 0.0 < long_fraction < 1.0:
+        raise ConfigurationError(f"long_fraction must be in (0, 1): {long_fraction}")
+    return DemandDistribution(
+        [
+            LognormalComponent(1.0 - long_fraction, short_ms, 0.0),
+            LognormalComponent(long_fraction, long_ms, 0.0),
+        ]
+    )

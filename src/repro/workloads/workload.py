@@ -1,0 +1,69 @@
+"""The Workload bundle: demand distribution + speedups + sampling.
+
+A :class:`Workload` packages everything an experiment needs: a profiled
+:class:`~repro.core.demand.DemandProfile` for the offline phase (the
+paper's 10K Lucene / 30K Bing profiling runs) and samplers that generate
+fresh request traces for the online experiments (the paper's separate
+2K-request Lucene runs / 30K-request Bing replays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.demand import DemandProfile
+from repro.core.speedup import SpeedupModel
+from repro.errors import ConfigurationError
+from repro.sim.engine import ArrivalSpec
+from repro.workloads.arrivals import ArrivalProcess
+
+__all__ = ["Workload"]
+
+DemandSampler = Callable[[np.random.Generator, int], np.ndarray]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named workload with its demand sampler and speedup model."""
+
+    name: str
+    sampler: DemandSampler
+    speedup_model: SpeedupModel
+    max_degree: int
+    profile_size: int = 10_000
+    profile_seed: int = 1_000_003
+
+    def __post_init__(self) -> None:
+        if self.max_degree < 1:
+            raise ConfigurationError(f"max_degree must be >= 1: {self.max_degree}")
+        if self.profile_size < 1:
+            raise ConfigurationError(f"profile_size must be >= 1: {self.profile_size}")
+
+    @property
+    def profile(self) -> DemandProfile:
+        """The offline profiling set (deterministic: fixed seed)."""
+        return self.sample_profile(self.profile_size, np.random.default_rng(self.profile_seed))
+
+    def sample_profile(self, n: int, rng: np.random.Generator) -> DemandProfile:
+        """Draw ``n`` requests as a profile (for offline analysis)."""
+        seq = self.sampler(rng, n)
+        return DemandProfile.from_model(seq, self.speedup_model, self.max_degree)
+
+    def arrivals(
+        self, n: int, process: ArrivalProcess, rng: np.random.Generator
+    ) -> list[ArrivalSpec]:
+        """Draw ``n`` requests with arrival times from ``process`` —
+        the open-loop client's trace for one experiment run."""
+        seq = self.sampler(rng, n)
+        times = process.times_ms(n, rng)
+        return [
+            ArrivalSpec(
+                time_ms=float(t),
+                seq_ms=float(s),
+                speedup=self.speedup_model.curve_for(float(s)),
+            )
+            for t, s in zip(times, seq)
+        ]

@@ -1,0 +1,73 @@
+"""Tests for fan-out aggregation math."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.aggregator import (
+    achieved_cluster_percentile,
+    aggregate_latencies,
+    cluster_tail,
+    required_per_server_percentile,
+)
+from repro.errors import ConfigurationError
+
+
+class TestAnalytics:
+    def test_paper_rule_of_thumb(self):
+        """Section 7: 10 ISNs, 90 % cluster target -> ~99 % per ISN."""
+        assert required_per_server_percentile(0.9, 10) == pytest.approx(0.9895, abs=1e-3)
+
+    def test_single_server_is_identity(self):
+        assert required_per_server_percentile(0.9, 1) == pytest.approx(0.9)
+        assert achieved_cluster_percentile(0.9, 1) == pytest.approx(0.9)
+
+    def test_inverse_relationship(self):
+        per_server = required_per_server_percentile(0.9, 40)
+        assert achieved_cluster_percentile(per_server, 40) == pytest.approx(0.9)
+
+    def test_more_servers_need_tighter_tails(self):
+        values = [required_per_server_percentile(0.9, n) for n in (1, 10, 100)]
+        assert values[0] < values[1] < values[2]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            required_per_server_percentile(1.0, 10)
+        with pytest.raises(ConfigurationError):
+            required_per_server_percentile(0.9, 0)
+        with pytest.raises(ConfigurationError):
+            achieved_cluster_percentile(0.0, 10)
+
+
+class TestMonteCarlo:
+    def test_max_of_draws(self):
+        rng = np.random.default_rng(1)
+        sample = np.array([10.0, 20.0])
+        maxima = aggregate_latencies(sample, num_servers=8, num_queries=3000, rng=rng)
+        # With 8 draws from {10, 20}, nearly every query sees a 20.
+        assert (maxima == 20.0).mean() > 0.95
+
+    def test_single_server_preserves_distribution(self):
+        rng = np.random.default_rng(2)
+        sample = np.arange(1.0, 101.0)
+        maxima = aggregate_latencies(sample, 1, 20_000, rng)
+        assert np.mean(maxima) == pytest.approx(sample.mean(), rel=0.05)
+
+    def test_cluster_tail_grows_with_fanout(self):
+        rng = np.random.default_rng(3)
+        sample = np.random.default_rng(0).lognormal(3.0, 1.0, size=5000)
+        tails = [cluster_tail(sample, n, 0.9, rng) for n in (1, 10, 50)]
+        assert tails[0] < tails[1] < tails[2]
+
+    def test_cluster_tail_bounded_by_sample_max(self):
+        rng = np.random.default_rng(4)
+        sample = np.random.default_rng(1).uniform(1.0, 100.0, size=1000)
+        assert cluster_tail(sample, 100, 0.99, rng) <= sample.max()
+
+    def test_validation(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ConfigurationError):
+            aggregate_latencies(np.array([]), 2, 10, rng)
+        with pytest.raises(ConfigurationError):
+            aggregate_latencies(np.array([1.0]), 0, 10, rng)

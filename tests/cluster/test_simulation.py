@@ -1,0 +1,62 @@
+"""Tests for the true multi-ISN cluster simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulation import simulate_cluster
+from repro.errors import ConfigurationError
+from repro.schedulers import SequentialScheduler
+from repro.workloads.arrivals import UniformProcess
+
+
+class TestSimulateCluster:
+    def _run(self, tiny_workload, num_servers=4, num_queries=60):
+        return simulate_cluster(
+            scheduler_factory=SequentialScheduler,
+            workload=tiny_workload,
+            num_servers=num_servers,
+            num_queries=num_queries,
+            process=UniformProcess(50.0),
+            cores=4,
+            seed=1,
+        )
+
+    def test_shapes(self, tiny_workload):
+        result = self._run(tiny_workload)
+        assert result.query_latencies_ms.shape == (60,)
+        assert len(result.server_latencies_ms) == 4
+        assert all(lats.shape == (60,) for lats in result.server_latencies_ms)
+
+    def test_cluster_latency_is_max_over_shards(self, tiny_workload):
+        result = self._run(tiny_workload)
+        stacked = np.stack(result.server_latencies_ms)
+        assert np.allclose(result.query_latencies_ms, stacked.max(axis=0))
+
+    def test_cluster_tail_dominates_server_tail(self, tiny_workload):
+        result = self._run(tiny_workload, num_servers=6)
+        assert result.cluster_tail_ms(0.9) >= result.server_tail_ms(0.9)
+
+    def test_single_server_degenerates(self, tiny_workload):
+        result = self._run(tiny_workload, num_servers=1)
+        assert np.allclose(
+            result.query_latencies_ms, result.server_latencies_ms[0]
+        )
+
+    def test_deterministic(self, tiny_workload):
+        a = self._run(tiny_workload)
+        b = self._run(tiny_workload)
+        assert np.array_equal(a.query_latencies_ms, b.query_latencies_ms)
+
+    def test_validation(self, tiny_workload):
+        with pytest.raises(ConfigurationError):
+            simulate_cluster(
+                SequentialScheduler, tiny_workload, num_servers=0,
+                num_queries=10, process=UniformProcess(10.0), cores=2,
+            )
+        with pytest.raises(ConfigurationError):
+            simulate_cluster(
+                SequentialScheduler, tiny_workload, num_servers=2,
+                num_queries=0, process=UniformProcess(10.0), cores=2,
+            )

@@ -1,0 +1,59 @@
+"""Shared fixtures: small deterministic profiles, workloads, and tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.demand import DemandProfile
+from repro.core.search import SearchConfig, build_interval_table
+from repro.core.speedup import TabulatedSpeedup, UniformSpeedupModel
+from repro.core.table import IntervalTable
+from repro.workloads.workload import Workload
+
+
+@pytest.fixture
+def fig5_profile() -> DemandProfile:
+    """The paper's Figure 5 worked example: 50/150 ms, s(3) = 2."""
+    seq = np.array([50.0, 150.0])
+    speedups = np.array([[1.0, 1.5, 2.0], [1.0, 1.5, 2.0]])
+    return DemandProfile(seq, speedups)
+
+
+@pytest.fixture
+def small_profile() -> DemandProfile:
+    """A 40-request heavy-tailed profile with a shared sublinear curve."""
+    rng = np.random.default_rng(7)
+    seq = np.sort(rng.lognormal(np.log(80.0), 0.8, size=40))
+    curve = TabulatedSpeedup([1.0, 1.8, 2.4, 2.8])
+    model = UniformSpeedupModel(curve)
+    return DemandProfile.from_model(seq, model, max_degree=4)
+
+
+@pytest.fixture
+def small_table(small_profile: DemandProfile) -> IntervalTable:
+    """An interval table over the small profile (coarse grid)."""
+    config = SearchConfig(
+        max_degree=3, target_parallelism=8.0, step_ms=50.0, max_load=10
+    )
+    return build_interval_table(small_profile, config)
+
+
+@pytest.fixture
+def tiny_workload() -> Workload:
+    """A fast bimodal workload for simulator-level tests."""
+    curve = TabulatedSpeedup([1.0, 1.7, 2.2, 2.5])
+
+    def sampler(rng: np.random.Generator, n: int) -> np.ndarray:
+        short = rng.uniform(5.0, 20.0, size=n)
+        long_ = rng.uniform(100.0, 300.0, size=n)
+        is_long = rng.random(n) < 0.2
+        return np.where(is_long, long_, short)
+
+    return Workload(
+        name="tiny",
+        sampler=sampler,
+        speedup_model=UniformSpeedupModel(curve),
+        max_degree=4,
+        profile_size=300,
+    )

@@ -1,0 +1,87 @@
+"""Tests for capacity planning / TCO helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.capacity import (
+    LoadLatencyPoint,
+    max_sustainable_rps,
+    server_reduction,
+    servers_needed,
+)
+from repro.errors import ConfigurationError
+
+_BASE = [(100, 80.0), (200, 100.0), (300, 150.0), (400, 260.0)]
+_BETTER = [(100, 70.0), (200, 80.0), (300, 100.0), (400, 160.0)]
+
+
+class TestMaxSustainableRps:
+    def test_interpolates_crossing(self):
+        # target 120 between (200, 100) and (300, 150): 200 + 100 * 20/50
+        assert max_sustainable_rps(_BASE, 120.0) == pytest.approx(240.0)
+
+    def test_target_never_exceeded(self):
+        assert max_sustainable_rps(_BASE, 1000.0) == 400.0
+
+    def test_target_below_first_point(self):
+        assert max_sustainable_rps(_BASE, 50.0) == 0.0
+
+    def test_exact_point(self):
+        assert max_sustainable_rps(_BASE, 100.0) == pytest.approx(200.0)
+
+    def test_accepts_point_objects(self):
+        points = [LoadLatencyPoint(100, 80.0), LoadLatencyPoint(200, 160.0)]
+        assert max_sustainable_rps(points, 120.0) == pytest.approx(150.0)
+
+    def test_non_monotone_latency_uses_last_crossing(self):
+        noisy = [(100, 90.0), (200, 110.0), (300, 105.0), (400, 200.0)]
+        # last point under 120 is 300; crossing toward 400
+        got = max_sustainable_rps(noisy, 120.0)
+        assert 300.0 < got < 400.0
+
+    def test_rejects_bad_series(self):
+        with pytest.raises(ConfigurationError):
+            max_sustainable_rps([(100, 80.0)], 100.0)
+        with pytest.raises(ConfigurationError):
+            max_sustainable_rps([(200, 80.0), (100, 90.0)], 100.0)
+        with pytest.raises(ConfigurationError):
+            max_sustainable_rps(_BASE, 0.0)
+
+
+class TestServersNeeded:
+    def test_ceiling(self):
+        assert servers_needed(1000.0, 240.0) == 5
+        assert servers_needed(960.0, 240.0) == 4
+
+    def test_minimum_one(self):
+        assert servers_needed(0.0, 100.0) == 1
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            servers_needed(-1.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            servers_needed(100.0, 0.0)
+
+
+class TestServerReduction:
+    def test_asymptotic_ratio(self):
+        # base sustains 240, improved sustains 340 at 120 ms
+        reduction = server_reduction(_BASE, _BETTER, 120.0)
+        base = max_sustainable_rps(_BASE, 120.0)
+        improved = max_sustainable_rps(_BETTER, 120.0)
+        assert reduction == pytest.approx(1.0 - base / improved)
+        assert 0.0 < reduction < 1.0
+
+    def test_with_total_load(self):
+        reduction = server_reduction(_BASE, _BETTER, 120.0, total_rps=10_000.0)
+        assert 0.0 <= reduction < 1.0
+
+    def test_identical_series_is_zero(self):
+        assert server_reduction(_BASE, _BASE, 120.0) == pytest.approx(0.0)
+
+    def test_rejects_infeasible_policy(self):
+        with pytest.raises(ConfigurationError):
+            server_reduction([(100, 500.0), (200, 600.0)], _BETTER, 120.0)
+        with pytest.raises(ConfigurationError):
+            server_reduction(_BASE, [(100, 500.0), (200, 600.0)], 120.0)

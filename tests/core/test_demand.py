@@ -1,0 +1,189 @@
+"""Tests for demand profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.demand import DemandProfile, RequestProfile
+from repro.core.speedup import TabulatedSpeedup, UniformSpeedupModel
+from repro.errors import InvalidProfileError
+
+
+def _profile(seq, weights=None) -> DemandProfile:
+    seq = np.asarray(seq, dtype=float)
+    tables = np.tile([1.0, 1.5, 2.0], (len(seq), 1))
+    return DemandProfile(seq, tables, weights)
+
+
+class TestConstruction:
+    def test_sorts_by_demand(self):
+        p = _profile([30.0, 10.0, 20.0])
+        assert list(p.seq) == [10.0, 20.0, 30.0]
+
+    def test_sorting_keeps_rows_aligned(self):
+        seq = np.array([30.0, 10.0])
+        tables = np.array([[1.0, 1.9, 2.8], [1.0, 1.1, 1.2]])
+        p = DemandProfile(seq, tables)
+        assert p.seq[0] == 10.0
+        assert p.speedups[0, 2] == pytest.approx(1.2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidProfileError):
+            _profile([])
+
+    def test_rejects_nonpositive_demand(self):
+        with pytest.raises(InvalidProfileError):
+            _profile([10.0, 0.0])
+
+    def test_rejects_bad_speedup_shape(self):
+        with pytest.raises(InvalidProfileError):
+            DemandProfile(np.array([1.0, 2.0]), np.array([[1.0, 1.5]]))
+
+    def test_rejects_bad_s1_column(self):
+        with pytest.raises(InvalidProfileError):
+            DemandProfile(np.array([1.0]), np.array([[1.1, 1.5]]))
+
+    def test_rejects_decreasing_speedups(self):
+        with pytest.raises(InvalidProfileError):
+            DemandProfile(np.array([1.0]), np.array([[1.0, 2.0, 1.5]]))
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(InvalidProfileError):
+            _profile([1.0, 2.0], weights=[1.0, 0.0])
+
+    def test_arrays_are_immutable(self):
+        p = _profile([10.0])
+        with pytest.raises(ValueError):
+            p.seq[0] = 5.0
+
+    def test_from_requests(self):
+        reqs = [
+            RequestProfile(100.0, TabulatedSpeedup([1.0, 1.8])),
+            RequestProfile(50.0, TabulatedSpeedup([1.0, 1.2])),
+        ]
+        p = DemandProfile.from_requests(reqs, max_degree=2)
+        assert list(p.seq) == [50.0, 100.0]
+        assert p.speedups[1, 1] == pytest.approx(1.8)
+
+    def test_from_model(self):
+        model = UniformSpeedupModel(TabulatedSpeedup([1.0, 1.5]))
+        p = DemandProfile.from_model([10.0, 20.0], model, max_degree=2)
+        assert p.max_degree == 2
+
+    def test_request_accessor_roundtrip(self):
+        p = _profile([10.0, 20.0])
+        req = p.request(1)
+        assert req.seq_ms == 20.0
+        assert req.speedup.speedup(3) == pytest.approx(2.0)
+        assert req.parallel_time(3) == pytest.approx(10.0)
+
+
+class TestStatistics:
+    def test_percentile_matches_order_statistic(self):
+        p = _profile(np.arange(1.0, 101.0))
+        # ceil(0.99 * 100) = 99th smallest = 99.0
+        assert p.percentile(0.99) == 99.0
+        assert p.percentile(1.0) == 100.0
+        assert p.median() == 50.0
+
+    def test_percentile_with_weights(self):
+        p = _profile([10.0, 20.0], weights=[99.0, 1.0])
+        assert p.percentile(0.5) == 10.0
+        assert p.percentile(0.999) == 20.0
+
+    def test_percentile_rejects_bad_phi(self):
+        p = _profile([10.0])
+        with pytest.raises(ValueError):
+            p.percentile(0.0)
+
+    def test_mean(self):
+        p = _profile([10.0, 30.0], weights=[1.0, 3.0])
+        assert p.mean() == pytest.approx(25.0)
+
+    def test_histogram_total(self):
+        p = _profile([5.0, 15.0, 25.0, 26.0])
+        edges, counts = p.histogram(10.0)
+        assert counts.sum() == 4
+        assert len(edges) == len(counts) + 1
+        assert counts[2] == 2
+
+    def test_histogram_rejects_bad_bin(self):
+        with pytest.raises(ValueError):
+            _profile([5.0]).histogram(0.0)
+
+    def test_average_speedup(self):
+        p = _profile([10.0, 20.0])
+        assert p.average_speedup(2) == pytest.approx(1.5)
+        with pytest.raises(ValueError):
+            p.average_speedup(4)
+
+    def test_class_speedup_selects_band(self):
+        seq = np.array([10.0, 20.0, 30.0, 40.0])
+        tables = np.array(
+            [[1.0, 1.1], [1.0, 1.2], [1.0, 1.3], [1.0, 1.4]]
+        )
+        p = DemandProfile(seq, tables)
+        assert p.class_speedup(2, 0.75, 1.0) == pytest.approx(1.4)
+        assert p.class_speedup(2, 0.0, 0.25) == pytest.approx(1.1)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.1, max_value=1e4), min_size=1, max_size=60
+        ),
+        phi=st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=60)
+    def test_percentile_is_an_observed_value(self, values, phi):
+        p = _profile(values)
+        assert p.percentile(phi) in p.seq
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.1, max_value=1e4), min_size=2, max_size=60
+        )
+    )
+    @settings(max_examples=60)
+    def test_percentile_monotone_in_phi(self, values):
+        p = _profile(values)
+        phis = [0.1, 0.3, 0.5, 0.7, 0.9, 1.0]
+        results = [p.percentile(phi) for phi in phis]
+        assert all(b >= a for a, b in zip(results, results[1:]))
+
+
+class TestBinning:
+    def test_binned_preserves_total_weight(self):
+        rng = np.random.default_rng(1)
+        p = _profile(rng.lognormal(3.0, 1.0, size=200))
+        b = p.binned(20)
+        assert b.total_weight == pytest.approx(p.total_weight)
+        assert len(b) <= 20
+
+    def test_binned_preserves_mean_approximately(self):
+        rng = np.random.default_rng(2)
+        p = _profile(rng.lognormal(3.0, 1.0, size=500))
+        b = p.binned(50)
+        assert b.mean() == pytest.approx(p.mean(), rel=0.05)
+
+    def test_binned_noop_when_bins_exceed_size(self):
+        p = _profile([1.0, 2.0, 3.0])
+        assert p.binned(10) is p
+
+    def test_binned_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            _profile([1.0]).binned(0)
+
+    def test_bins_sorted_and_valid(self):
+        rng = np.random.default_rng(3)
+        p = _profile(rng.lognormal(3.0, 1.0, size=100))
+        b = p.binned(10)
+        assert np.all(np.diff(b.seq) >= 0)
+        assert np.allclose(b.speedups[:, 0], 1.0)
+
+    def test_subsample(self):
+        rng = np.random.default_rng(4)
+        p = _profile(np.arange(1.0, 101.0))
+        s = p.subsample(10, rng)
+        assert len(s) == 10
+        assert set(s.seq).issubset(set(p.seq))

@@ -1,0 +1,202 @@
+"""Tests for the Figure 6 equations (1)-(5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.demand import DemandProfile, RequestProfile
+from repro.core.formulas import (
+    average_parallelism,
+    busy_time,
+    busy_times,
+    completion_time,
+    completion_times,
+    mean_latency,
+    tail_latency,
+    total_average_parallelism,
+    weighted_order_statistic,
+)
+from repro.core.schedule import IntervalSchedule
+from repro.core.speedup import TabulatedSpeedup
+from repro.errors import InvalidScheduleError
+
+_CURVE = TabulatedSpeedup([1.0, 1.5, 2.0])
+
+
+def _fig5_profile() -> DemandProfile:
+    seq = np.array([50.0, 150.0])
+    return DemandProfile(seq, np.tile([1.0, 1.5, 2.0], (2, 1)))
+
+
+class TestPaperWorkedExample:
+    """The Section 4.1 numbers: S = {0, 50, 0}, s(3) = 2."""
+
+    def test_short_request_finishes_sequentially(self):
+        req = RequestProfile(50.0, _CURVE)
+        sched = IntervalSchedule([0.0, 50.0, 0.0])
+        assert completion_time(req, sched) == pytest.approx(50.0)
+        assert busy_time(req, sched) == pytest.approx(50.0)
+        assert average_parallelism(req, sched) == pytest.approx(1.0)
+
+    def test_long_request_speeds_up(self):
+        """Long requests finish 50 ms later with speedup 2 — tail 100 ms."""
+        req = RequestProfile(150.0, _CURVE)
+        sched = IntervalSchedule([0.0, 50.0, 0.0])
+        assert completion_time(req, sched) == pytest.approx(100.0)
+        # busy = 1 * 50 + 3 * 50
+        assert busy_time(req, sched) == pytest.approx(200.0)
+
+    def test_average_parallelism_of_mix(self):
+        """The paper: average parallelism 1.67 = 250 / 150."""
+        profile = _fig5_profile()
+        sched = IntervalSchedule([0.0, 50.0, 0.0])
+        ap = total_average_parallelism(profile, sched, q_r=1)
+        assert ap == pytest.approx(250.0 / 150.0)
+
+    def test_immediate_d3(self):
+        """q <= 2: everyone starts at degree 3, long tail = 75 ms."""
+        profile = _fig5_profile()
+        sched = IntervalSchedule([0.0, 0.0, 0.0])
+        times = completion_times(profile, sched)
+        assert times == pytest.approx([25.0, 75.0])
+        assert total_average_parallelism(profile, sched, 2) == pytest.approx(6.0)
+
+    def test_admission_delay_shifts_everything(self):
+        profile = _fig5_profile()
+        base = IntervalSchedule([0.0, 50.0, 0.0])
+        delayed = IntervalSchedule([30.0, 50.0, 0.0])
+        shift = completion_times(profile, delayed) - completion_times(profile, base)
+        assert shift == pytest.approx([30.0, 30.0])
+        assert tail_latency(profile, delayed) == pytest.approx(
+            tail_latency(profile, base) + 30.0
+        )
+        assert mean_latency(profile, delayed) == pytest.approx(
+            mean_latency(profile, base) + 30.0
+        )
+        # Admission waiting counts as degree 0: busy unchanged.
+        assert busy_times(profile, delayed) == pytest.approx(
+            busy_times(profile, base)
+        )
+
+
+class TestScalarVectorAgreement:
+    @given(
+        seqs=st.lists(
+            st.floats(min_value=1.0, max_value=500.0), min_size=1, max_size=20
+        ),
+        v0=st.sampled_from([0.0, 10.0, 50.0]),
+        v1=st.sampled_from([0.0, 25.0, 100.0]),
+        v2=st.sampled_from([0.0, 25.0, 100.0]),
+    )
+    @settings(max_examples=100)
+    def test_vectorized_equals_scalar(self, seqs, v0, v1, v2):
+        profile = DemandProfile(
+            np.array(seqs), np.tile([1.0, 1.5, 2.0], (len(seqs), 1))
+        )
+        sched = IntervalSchedule([v0, v1, v2])
+        vec_times = completion_times(profile, sched)
+        vec_busy = busy_times(profile, sched)
+        for i in range(len(profile)):
+            req = profile.request(i)
+            assert vec_times[i] == pytest.approx(completion_time(req, sched))
+            assert vec_busy[i] == pytest.approx(busy_time(req, sched))
+
+    def test_schedule_wider_than_profile_rejected(self):
+        profile = _fig5_profile()
+        with pytest.raises(InvalidScheduleError):
+            completion_times(profile, IntervalSchedule([0.0] * 4))
+
+
+class TestInvariants:
+    @given(
+        seq=st.floats(min_value=1.0, max_value=1000.0),
+        v1=st.sampled_from([0.0, 20.0, 80.0]),
+        v2=st.sampled_from([0.0, 20.0, 80.0]),
+    )
+    @settings(max_examples=100)
+    def test_parallelism_never_slower_than_sequential_tail(self, seq, v1, v2):
+        """Adding parallelism phases never makes a request slower than
+        pure sequential execution (speedups >= 1)."""
+        req = RequestProfile(seq, _CURVE)
+        sched = IntervalSchedule([0.0, v1, v2])
+        assert completion_time(req, sched) <= seq + 1e-9
+
+    @given(seq=st.floats(min_value=1.0, max_value=1000.0))
+    @settings(max_examples=50)
+    def test_sequential_schedule_is_identity(self, seq):
+        req = RequestProfile(seq, _CURVE)
+        sched = IntervalSchedule([0.0, 2000.0, 0.0])
+        assert completion_time(req, sched) == pytest.approx(seq)
+        assert average_parallelism(req, sched) == pytest.approx(1.0)
+
+    @given(
+        seqs=st.lists(
+            st.floats(min_value=1.0, max_value=500.0), min_size=2, max_size=20
+        )
+    )
+    @settings(max_examples=50)
+    def test_busy_at_least_work(self, seqs):
+        """CPU thread-time >= sequential work (parallelism only adds)."""
+        profile = DemandProfile(
+            np.array(seqs), np.tile([1.0, 1.5, 2.0], (len(seqs), 1))
+        )
+        sched = IntervalSchedule([0.0, 10.0, 10.0])
+        assert np.all(busy_times(profile, sched) >= profile.seq - 1e-9)
+
+    def test_ap_scales_linearly_with_load(self):
+        profile = _fig5_profile()
+        sched = IntervalSchedule([0.0, 50.0, 0.0])
+        one = total_average_parallelism(profile, sched, 1)
+        five = total_average_parallelism(profile, sched, 5)
+        assert five == pytest.approx(5 * one)
+
+    def test_ap_rejects_bad_load(self):
+        with pytest.raises(ValueError):
+            total_average_parallelism(_fig5_profile(), IntervalSchedule([0.0]), 0)
+
+
+class TestWeightedOrderStatistic:
+    def test_matches_paper_definition_unit_weights(self):
+        values = np.arange(1.0, 101.0)
+        weights = np.ones(100)
+        # L[ceil(0.99 * 100)] = L[99]
+        assert weighted_order_statistic(values, weights, 0.99) == 99.0
+        assert weighted_order_statistic(values, weights, 1.0) == 100.0
+        assert weighted_order_statistic(values, weights, 0.01) == 1.0
+
+    def test_respects_weights(self):
+        values = np.array([10.0, 99.0])
+        weights = np.array([999.0, 1.0])
+        assert weighted_order_statistic(values, weights, 0.99) == 10.0
+        assert weighted_order_statistic(values, weights, 0.9999) == 99.0
+
+    def test_unsorted_input(self):
+        values = np.array([30.0, 10.0, 20.0])
+        weights = np.ones(3)
+        assert weighted_order_statistic(values, weights, 1.0) == 30.0
+        assert weighted_order_statistic(values, weights, 0.34) == 20.0
+
+    def test_rejects_bad_phi(self):
+        with pytest.raises(ValueError):
+            weighted_order_statistic(np.array([1.0]), np.array([1.0]), 1.5)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_order_statistic(np.array([1.0]), np.array([1.0, 2.0]), 0.5)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50
+        ),
+        phi=st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=100)
+    def test_unit_weight_matches_numpy_ceil_index(self, values, phi):
+        import math
+
+        arr = np.array(values)
+        expected = np.sort(arr)[math.ceil(phi * len(arr) - 1e-9) - 1]
+        got = weighted_order_statistic(arr, np.ones(len(arr)), phi)
+        assert got == expected

@@ -1,0 +1,73 @@
+"""Tests for the max-software-parallelism selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.demand import DemandProfile
+from repro.core.scalability import choose_max_degree, speedup_report
+from repro.errors import ConfigurationError
+from repro.workloads.bing import bing_workload
+from repro.workloads.lucene import lucene_workload
+
+
+def _profile_with_tables(tables: np.ndarray) -> DemandProfile:
+    seq = np.linspace(10.0, 100.0, len(tables))
+    return DemandProfile(seq, tables)
+
+
+class TestChooseMaxDegree:
+    def test_flat_curve_stays_sequential(self):
+        tables = np.tile([1.0, 1.0, 1.0], (20, 1))
+        assert choose_max_degree(_profile_with_tables(tables)) == 1
+
+    def test_linear_curve_uses_everything(self):
+        tables = np.tile([1.0, 2.0, 3.0, 4.0], (20, 1))
+        assert choose_max_degree(_profile_with_tables(tables)) == 4
+
+    def test_plateau_cuts_off(self):
+        tables = np.tile([1.0, 1.8, 2.4, 2.45, 2.46], (20, 1))
+        assert choose_max_degree(_profile_with_tables(tables)) == 3
+
+    def test_cap(self):
+        tables = np.tile([1.0, 2.0, 3.0, 4.0], (20, 1))
+        assert choose_max_degree(_profile_with_tables(tables), cap=2) == 2
+
+    def test_rejects_bad_params(self):
+        tables = np.tile([1.0, 2.0], (20, 1))
+        profile = _profile_with_tables(tables)
+        with pytest.raises(ConfigurationError):
+            choose_max_degree(profile, longest_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            choose_max_degree(profile, min_marginal_gain=-0.1)
+
+    def test_lucene_selects_four(self):
+        """The paper configures Lucene with n = 4."""
+        profile = lucene_workload(profile_size=2000).profile
+        assert choose_max_degree(profile) == 4
+
+    def test_bing_selects_three(self):
+        """The paper configures Bing with n = 3."""
+        profile = bing_workload(profile_size=2000).profile
+        assert choose_max_degree(profile) == 3
+
+
+class TestSpeedupReport:
+    def test_long_requests_scale_best(self):
+        profile = lucene_workload(profile_size=2000).profile
+        for row in speedup_report(profile):
+            assert row.longest >= row.all_requests >= row.shortest
+
+    def test_degree_one_is_unity(self):
+        profile = bing_workload(profile_size=1000).profile
+        row = speedup_report(profile, max_degree=1)[0]
+        assert row.all_requests == pytest.approx(1.0)
+        assert row.longest == pytest.approx(1.0)
+
+    def test_bing_speedup_anchors(self):
+        """Figure 1(b): long > 2x at degree 3, short ~1.2x."""
+        profile = bing_workload(profile_size=5000).profile
+        rows = {r.degree: r for r in speedup_report(profile)}
+        assert rows[3].longest > 2.0
+        assert rows[3].shortest == pytest.approx(1.2, abs=0.15)

@@ -1,0 +1,146 @@
+"""Tests for the σ and S schedule representations."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schedule import IntervalSchedule, Schedule, ScheduleStep
+from repro.errors import InvalidScheduleError
+
+
+class TestScheduleValidation:
+    def test_requires_steps(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule([])
+
+    def test_requires_increasing_times(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule([ScheduleStep(50.0, 1), ScheduleStep(50.0, 2)])
+
+    def test_requires_increasing_degrees(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule([ScheduleStep(0.0, 2), ScheduleStep(50.0, 2)])
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(InvalidScheduleError):
+            ScheduleStep(-1.0, 1)
+
+    def test_rejects_zero_degree(self):
+        with pytest.raises(InvalidScheduleError):
+            ScheduleStep(0.0, 0)
+
+
+class TestScheduleSemantics:
+    def test_paper_example(self):
+        """σ = {(0, d1), (50, d3)} from Section 4.1."""
+        sched = Schedule([ScheduleStep(0.0, 1), ScheduleStep(50.0, 3)])
+        assert sched.initial_degree == 1
+        assert sched.max_degree == 3
+        assert sched.admission_delay_ms == 0.0
+        assert sched.degree_at_progress(0.0) == 1
+        assert sched.degree_at_progress(49.9) == 1
+        assert sched.degree_at_progress(50.0) == 3
+        assert sched.degree_at_progress(1e6) == 3
+
+    def test_progress_steps_subtract_admission_delay(self):
+        sched = Schedule([ScheduleStep(30.0, 1), ScheduleStep(130.0, 2)])
+        assert sched.progress_steps() == [(0.0, 1), (100.0, 2)]
+        assert sched.degree_at_progress(99.0) == 1
+        assert sched.degree_at_progress(100.0) == 2
+
+    def test_describe_matches_table2_style(self):
+        sched = Schedule([ScheduleStep(0.0, 1), ScheduleStep(50.0, 3)])
+        assert sched.describe() == "0, d1  50, d3"
+
+    def test_describe_e1(self):
+        sched = Schedule([ScheduleStep(0.0, 1)], wait_for_exit=True)
+        assert sched.describe() == "e1, d1"
+
+    def test_dict_roundtrip(self):
+        sched = Schedule(
+            [ScheduleStep(10.0, 1), ScheduleStep(60.0, 4)], wait_for_exit=True
+        )
+        assert Schedule.from_dict(sched.to_dict()) == sched
+
+
+class TestIntervalSchedule:
+    def test_paper_equivalence_example(self):
+        """S = {0, 50, 0} ⇔ σ = {(0, d1), (50, d3)} for n = 3."""
+        s = IntervalSchedule([0.0, 50.0, 0.0])
+        sigma = s.to_schedule()
+        assert sigma == Schedule([ScheduleStep(0.0, 1), ScheduleStep(50.0, 3)])
+        assert sigma.to_intervals(3) == s
+
+    def test_all_zero_starts_at_max_degree(self):
+        sigma = IntervalSchedule([0.0, 0.0, 0.0]).to_schedule()
+        assert sigma == Schedule([ScheduleStep(0.0, 3)])
+
+    def test_admission_delay(self):
+        sigma = IntervalSchedule([50.0, 100.0, 0.0]).to_schedule()
+        assert sigma.admission_delay_ms == 50.0
+        assert sigma.steps[1].time_ms == 150.0  # arrival-relative
+
+    def test_skipped_degree(self):
+        sigma = IntervalSchedule([0.0, 0.0, 50.0]).to_schedule()
+        assert [s.degree for s in sigma.steps] == [2, 3]
+
+    def test_phase_duration(self):
+        s = IntervalSchedule([0.0, 50.0, 25.0])
+        assert s.phase_duration(1) == 50.0
+        assert s.phase_duration(2) == 25.0
+        assert s.phase_duration(3) == math.inf
+        with pytest.raises(ValueError):
+            s.phase_duration(4)
+
+    def test_rejects_negative_interval(self):
+        with pytest.raises(InvalidScheduleError):
+            IntervalSchedule([0.0, -1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidScheduleError):
+            IntervalSchedule([])
+
+    def test_dict_roundtrip(self):
+        s = IntervalSchedule([5.0, 10.0], wait_for_exit=True)
+        assert IntervalSchedule.from_dict(s.to_dict()) == s
+
+    @given(
+        intervals=st.lists(
+            st.sampled_from([0.0, 5.0, 25.0, 100.0]), min_size=1, max_size=6
+        ),
+        wait=st.booleans(),
+    )
+    @settings(max_examples=200)
+    def test_roundtrip_s_to_sigma_to_s(self, intervals, wait):
+        """S -> σ -> S is the identity (zero phases collapse and
+        reconstruct positionally)."""
+        s = IntervalSchedule(intervals, wait_for_exit=wait)
+        back = s.to_schedule().to_intervals(s.max_degree)
+        if wait:
+            # e1 discards the numeric v0.
+            assert back.intervals[1:] == s.intervals[1:]
+        else:
+            assert back == s
+
+    @given(
+        intervals=st.lists(
+            st.sampled_from([0.0, 5.0, 25.0, 100.0]), min_size=1, max_size=6
+        )
+    )
+    @settings(max_examples=200)
+    def test_sigma_degree_thresholds_consistent(self, intervals):
+        """degree_at_progress agrees with a direct phase walk of S."""
+        s = IntervalSchedule(intervals)
+        sigma = s.to_schedule()
+        n = s.max_degree
+        elapsed = 0.0
+        for degree in range(1, n):
+            duration = s.intervals[degree]
+            if duration > 0:
+                midpoint = elapsed + duration / 2
+                assert sigma.degree_at_progress(midpoint) == degree
+            elapsed += duration
+        assert sigma.degree_at_progress(elapsed + 1.0) == sigma.max_degree

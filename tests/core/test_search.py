@@ -1,0 +1,219 @@
+"""Tests for the offline interval-selection search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.demand import DemandProfile
+from repro.core.formulas import total_average_parallelism
+from repro.core.schedule import IntervalSchedule
+from repro.core.search import (
+    SearchConfig,
+    build_interval_table,
+    enumerate_combos,
+    exhaustive_search,
+)
+from repro.errors import ConfigurationError
+
+
+def _profile(seqs, curve=(1.0, 1.5, 2.0)) -> DemandProfile:
+    seqs = np.asarray(seqs, dtype=float)
+    return DemandProfile(seqs, np.tile(curve, (len(seqs), 1)))
+
+
+class TestEnumerateCombos:
+    def test_degenerate_n1(self):
+        combos = enumerate_combos(1, 100.0, 50.0)
+        assert combos.shape == (1, 0)
+
+    def test_n2_is_grid(self):
+        combos = enumerate_combos(2, 100.0, 50.0)
+        assert combos[:, 0].tolist() == [0.0, 50.0, 100.0]
+
+    def test_sum_pruning(self):
+        combos = enumerate_combos(3, 100.0, 50.0)
+        assert np.all(combos.sum(axis=1) <= 100.0 + 1e-9)
+        # (0,0), (0,50), (0,100), (50,0), (50,50), (100,0)
+        assert len(combos) == 6
+
+    def test_lexicographic_order(self):
+        combos = enumerate_combos(3, 100.0, 50.0)
+        as_tuples = [tuple(row) for row in combos]
+        assert as_tuples == sorted(as_tuples)
+
+
+class TestSearchConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            SearchConfig(max_degree=0, target_parallelism=4)
+        with pytest.raises(ConfigurationError):
+            SearchConfig(max_degree=2, target_parallelism=0)
+        with pytest.raises(ConfigurationError):
+            SearchConfig(max_degree=2, target_parallelism=4, step_ms=0)
+        with pytest.raises(ConfigurationError):
+            SearchConfig(max_degree=2, target_parallelism=4, phi=1.5)
+        with pytest.raises(ConfigurationError):
+            SearchConfig(max_degree=2, target_parallelism=4, max_load=0)
+
+    def test_rejects_degree_beyond_profile(self):
+        profile = _profile([50.0], curve=(1.0, 1.5))
+        config = SearchConfig(max_degree=3, target_parallelism=4)
+        with pytest.raises(ConfigurationError):
+            build_interval_table(profile, config)
+
+
+class TestFig5Example:
+    """Structure of the paper's worked example (Figure 5)."""
+
+    def _table(self):
+        profile = _profile([50.0, 150.0])
+        config = SearchConfig(max_degree=3, target_parallelism=6.0, step_ms=50.0)
+        return build_interval_table(profile, config)
+
+    def test_low_load_runs_full_parallel(self):
+        table = self._table()
+        for q in (1, 2):
+            row = table.lookup(q)
+            assert row.initial_degree == 3
+            assert row.admission_delay_ms == 0.0
+
+    def test_admission_capacity_at_target_plus_one(self):
+        """Paper: q >= 7 is the e1 row for target_p = 6."""
+        table = self._table()
+        assert table.admission_capacity() == 7
+        assert table.lookup(100).wait_for_exit
+
+    def test_every_row_meets_the_parallelism_target(self):
+        profile = _profile([50.0, 150.0])
+        table = self._table()
+        for load, schedule in table.rows():
+            if schedule.wait_for_exit:
+                continue
+            intervals = schedule.to_intervals(3)
+            ap = total_average_parallelism(profile, intervals, load)
+            assert ap <= 6.0 + 1e-6
+
+    def test_admission_delays_monotone_in_load(self):
+        table = self._table()
+        delays = [
+            row.admission_delay_ms
+            for _, row in table.rows()
+            if not row.wait_for_exit
+        ]
+        assert all(b >= a for a, b in zip(delays, delays[1:]))
+
+
+class TestFastMatchesExhaustive:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seqs=st.lists(
+            st.floats(min_value=10.0, max_value=200.0), min_size=1, max_size=5
+        ),
+        target=st.sampled_from([3.0, 6.0, 10.0]),
+    )
+    def test_equivalence_n2(self, seqs, target):
+        profile = _profile(seqs, curve=(1.0, 1.6))
+        config = SearchConfig(
+            max_degree=2, target_parallelism=target, step_ms=50.0, max_load=8
+        )
+        fast = build_interval_table(profile, config)
+        slow = exhaustive_search(profile, config)
+        assert len(fast) == len(slow)
+        for (l1, s1), (l2, s2) in zip(fast.rows(), slow.rows()):
+            assert l1 == l2
+            assert s1 == s2, f"load {l1}: {s1.describe()} != {s2.describe()}"
+
+    def test_equivalence_n3_fixed_case(self):
+        profile = _profile([50.0, 150.0, 400.0])
+        config = SearchConfig(
+            max_degree=3, target_parallelism=5.0, step_ms=100.0, max_load=8
+        )
+        fast = build_interval_table(profile, config)
+        slow = exhaustive_search(profile, config)
+        for (_, s1), (_, s2) in zip(fast.rows(), slow.rows()):
+            assert s1 == s2
+
+
+class TestTableProperties:
+    def test_binned_close_to_exact(self):
+        rng = np.random.default_rng(11)
+        profile = _profile(rng.lognormal(4.0, 0.8, size=300))
+        config_exact = SearchConfig(
+            max_degree=3, target_parallelism=8.0, step_ms=50.0, max_load=10
+        )
+        config_binned = SearchConfig(
+            max_degree=3,
+            target_parallelism=8.0,
+            step_ms=50.0,
+            max_load=10,
+            num_bins=30,
+        )
+        exact = build_interval_table(profile, config_exact)
+        binned = build_interval_table(profile, config_binned)
+        # Same structure; row-level interval values may differ slightly.
+        assert len(exact) == len(binned)
+        for (_, a), (_, b) in zip(exact.rows(), binned.rows()):
+            assert a.wait_for_exit == b.wait_for_exit
+            assert abs(a.admission_delay_ms - b.admission_delay_ms) <= 100.0
+
+    def test_rows_satisfy_target(self, small_profile):
+        config = SearchConfig(
+            max_degree=4, target_parallelism=10.0, step_ms=50.0, max_load=12
+        )
+        table = build_interval_table(small_profile, config)
+        for load, schedule in table.rows():
+            if schedule.wait_for_exit:
+                continue
+            intervals = schedule.to_intervals(4)
+            ap = total_average_parallelism(small_profile, intervals, load)
+            assert ap <= 10.0 + 1e-6
+
+    def test_ends_with_e1_row(self, small_profile):
+        config = SearchConfig(
+            max_degree=2, target_parallelism=4.0, step_ms=100.0
+        )
+        table = build_interval_table(small_profile, config)
+        assert table.lookup(table.max_load).wait_for_exit
+
+    def test_metadata_recorded(self, small_profile):
+        config = SearchConfig(max_degree=2, target_parallelism=4.0, step_ms=100.0)
+        table = build_interval_table(small_profile, config)
+        assert table.metadata is not None
+        assert table.metadata.target_parallelism == 4.0
+        assert table.metadata.max_degree == 2
+
+    def test_single_degree_search(self, small_profile):
+        """n = 1 degenerates to pure admission control."""
+        config = SearchConfig(
+            max_degree=1, target_parallelism=3.0, step_ms=50.0, max_load=6
+        )
+        table = build_interval_table(small_profile, config)
+        for _, schedule in table.rows():
+            assert schedule.max_degree == 1
+
+    def test_low_load_has_zero_delay(self, small_profile):
+        config = SearchConfig(
+            max_degree=3, target_parallelism=9.0, step_ms=50.0, max_load=9
+        )
+        table = build_interval_table(small_profile, config)
+        assert table.lookup(1).admission_delay_ms == 0.0
+        # And at load 1 the request should get full parallelism.
+        assert table.lookup(1).initial_degree == 3
+
+    def test_higher_load_means_weakly_less_parallelism(self, small_profile):
+        """The mean latency under each row's schedule is non-decreasing
+        in load: more load, more conservative schedules."""
+        from repro.core.formulas import mean_latency
+
+        config = SearchConfig(
+            max_degree=3, target_parallelism=9.0, step_ms=25.0, max_load=9
+        )
+        table = build_interval_table(small_profile, config)
+        means = []
+        for _, schedule in table.rows():
+            if schedule.wait_for_exit:
+                continue
+            means.append(mean_latency(small_profile, schedule.to_intervals(3)))
+        assert all(b >= a - 1e-9 for a, b in zip(means, means[1:]))

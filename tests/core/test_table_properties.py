@@ -1,0 +1,89 @@
+"""Property-based tests for interval-table serialization and display."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schedule import Schedule, ScheduleStep
+from repro.core.table import IntervalTable, TableMetadata
+
+
+@st.composite
+def _schedules(draw) -> Schedule:
+    wait = draw(st.booleans())
+    n_steps = draw(st.integers(min_value=1, max_value=4))
+    degrees = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=8),
+                min_size=n_steps,
+                max_size=n_steps,
+                unique=True,
+            )
+        )
+    )
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=500.0),
+            min_size=n_steps,
+            max_size=n_steps,
+        )
+    )
+    times = []
+    t = 0.0 if wait else draw(st.floats(min_value=0.0, max_value=200.0))
+    for gap in gaps:
+        times.append(t)
+        t += gap
+    steps = [ScheduleStep(time, degree) for time, degree in zip(times, degrees)]
+    return Schedule(steps, wait_for_exit=wait)
+
+
+@st.composite
+def _tables(draw) -> IntervalTable:
+    rows = draw(st.lists(_schedules(), min_size=1, max_size=8))
+    meta = None
+    if draw(st.booleans()):
+        meta = TableMetadata(
+            target_parallelism=draw(st.floats(min_value=1.0, max_value=64.0)),
+            max_degree=draw(st.integers(min_value=1, max_value=8)),
+            step_ms=draw(st.floats(min_value=1.0, max_value=100.0)),
+        )
+    return IntervalTable(rows, metadata=meta)
+
+
+class TestRoundTrips:
+    @given(table=_tables())
+    @settings(max_examples=100)
+    def test_dict_roundtrip_preserves_rows(self, table: IntervalTable):
+        back = IntervalTable.from_dict(table.to_dict())
+        assert back.rows() == table.rows()
+        if table.metadata is not None:
+            assert back.metadata.target_parallelism == table.metadata.target_parallelism
+
+    @given(table=_tables())
+    @settings(max_examples=60)
+    def test_file_roundtrip(self, table: IntervalTable):
+        import json
+
+        payload = json.dumps(table.to_dict())
+        back = IntervalTable.from_dict(json.loads(payload))
+        assert back.rows() == table.rows()
+
+    @given(table=_tables())
+    @settings(max_examples=60)
+    def test_format_has_one_line_per_group_plus_header(self, table: IntervalTable):
+        text = table.format(collapse=False)
+        assert len(text.splitlines()) == len(table) + 1
+
+    @given(table=_tables())
+    @settings(max_examples=60)
+    def test_lookup_total_over_loads(self, table: IntervalTable):
+        for load in (1, len(table), len(table) + 50):
+            assert table.lookup(load) is not None
+
+    @given(table=_tables())
+    @settings(max_examples=60)
+    def test_collapse_never_loses_rows(self, table: IntervalTable):
+        collapsed = table.format(collapse=True).splitlines()
+        expanded = table.format(collapse=False).splitlines()
+        assert len(collapsed) <= len(expanded)

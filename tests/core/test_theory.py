@@ -1,0 +1,142 @@
+"""Tests for the Theorem 1 machinery (appendix)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.demand import DemandProfile
+from repro.core.speedup import LinearSpeedup, TabulatedSpeedup
+from repro.core.theory import WorkSchedule, WorkSegment, survival_integral
+from repro.errors import InvalidScheduleError
+
+_SUBLINEAR = TabulatedSpeedup([1.0, 1.8, 2.4, 2.8])
+
+
+def _profile(seqs) -> DemandProfile:
+    seqs = np.asarray(seqs, dtype=float)
+    return DemandProfile(seqs, np.tile([1.0, 1.8, 2.4, 2.8], (len(seqs), 1)))
+
+
+class TestSurvivalIntegral:
+    def test_full_range_is_mean(self):
+        p = _profile([10.0, 30.0])
+        assert survival_integral(p, 0.0, 100.0) == pytest.approx(20.0)
+
+    def test_below_min_demand_is_full_measure(self):
+        p = _profile([10.0, 30.0])
+        # 1 - F(x) = 1 on [0, 10)
+        assert survival_integral(p, 0.0, 10.0) == pytest.approx(10.0)
+
+    def test_partial_overlap(self):
+        p = _profile([10.0, 30.0])
+        # on [10, 30): only the 30 ms request survives -> 0.5 * 20
+        assert survival_integral(p, 10.0, 30.0) == pytest.approx(10.0)
+
+    def test_rejects_reversed_range(self):
+        with pytest.raises(ValueError):
+            survival_integral(_profile([10.0]), 5.0, 1.0)
+
+
+class TestWorkSchedule:
+    def test_validation(self):
+        with pytest.raises(InvalidScheduleError):
+            WorkSchedule([])
+        with pytest.raises(InvalidScheduleError):
+            WorkSegment(-1.0, 1)
+        with pytest.raises(InvalidScheduleError):
+            WorkSegment(1.0, 0)
+
+    def test_processing_time(self):
+        sched = WorkSchedule([WorkSegment(10.0, 1), WorkSegment(18.0, 2)])
+        assert sched.processing_time(_SUBLINEAR) == pytest.approx(10.0 + 10.0)
+
+    def test_is_non_decreasing(self):
+        assert WorkSchedule([WorkSegment(1.0, 1), WorkSegment(1.0, 3)]).is_non_decreasing()
+        assert not WorkSchedule(
+            [WorkSegment(1.0, 3), WorkSegment(1.0, 1)]
+        ).is_non_decreasing()
+
+    def test_zero_work_segments_ignored_for_ordering(self):
+        sched = WorkSchedule(
+            [WorkSegment(1.0, 2), WorkSegment(0.0, 1), WorkSegment(1.0, 3)]
+        )
+        assert sched.is_non_decreasing()
+
+    def test_swap_preserves_processing_time(self):
+        sched = WorkSchedule([WorkSegment(10.0, 3), WorkSegment(30.0, 1)])
+        swapped = sched.swap(0, 1)
+        assert swapped.processing_time(_SUBLINEAR) == pytest.approx(
+            sched.processing_time(_SUBLINEAR)
+        )
+        assert swapped.total_work == sched.total_work
+
+
+class TestTheorem1:
+    """The appendix's exchange argument, executably."""
+
+    def test_exchange_never_helps_decreasing_order(self):
+        """Fixing a decreasing pair never increases resource usage."""
+        rng = np.random.default_rng(3)
+        profile = _profile(np.sort(rng.lognormal(3.5, 0.9, size=60)))
+        w = profile.percentile(0.99)
+        decreasing = WorkSchedule(
+            [WorkSegment(0.3 * w, 4), WorkSegment(0.7 * w, 1)]
+        )
+        fixed = decreasing.swap(0, 1)
+        assert fixed.is_non_decreasing()
+        assert fixed.resource_usage(profile, _SUBLINEAR) <= decreasing.resource_usage(
+            profile, _SUBLINEAR
+        )
+
+    def test_sorted_is_optimal_among_permutations(self):
+        rng = np.random.default_rng(4)
+        profile = _profile(np.sort(rng.lognormal(3.5, 0.9, size=60)))
+        w = profile.percentile(0.99)
+        segments = [
+            WorkSegment(0.4 * w, 1),
+            WorkSegment(0.3 * w, 2),
+            WorkSegment(0.2 * w, 3),
+            WorkSegment(0.1 * w, 4),
+        ]
+        sorted_usage = WorkSchedule(segments).sorted_non_decreasing().resource_usage(
+            profile, _SUBLINEAR
+        )
+        for perm in itertools.permutations(segments):
+            usage = WorkSchedule(list(perm)).resource_usage(profile, _SUBLINEAR)
+            assert sorted_usage <= usage + 1e-9
+
+    def test_linear_speedup_makes_order_irrelevant(self):
+        """With s(d) = d (efficiency constant), the theorem's strict
+        inequality collapses: every ordering costs the same."""
+        profile = _profile([20.0, 50.0, 90.0])
+        linear = LinearSpeedup()
+        a = WorkSchedule([WorkSegment(30.0, 1), WorkSegment(30.0, 3)])
+        b = a.swap(0, 1)
+        assert a.resource_usage(profile, linear) == pytest.approx(
+            b.resource_usage(profile, linear)
+        )
+
+    @given(
+        works=st.lists(
+            st.floats(min_value=1.0, max_value=50.0), min_size=2, max_size=5
+        ),
+        degrees=st.lists(st.integers(min_value=1, max_value=4), min_size=2, max_size=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sorting_never_increases_usage(self, works, degrees):
+        size = min(len(works), len(degrees))
+        segments = [WorkSegment(w, d) for w, d in zip(works[:size], degrees[:size])]
+        rng = np.random.default_rng(5)
+        profile = _profile(np.sort(rng.lognormal(3.0, 1.0, size=40)))
+        sched = WorkSchedule(segments)
+        ordered = sched.sorted_non_decreasing()
+        assert ordered.resource_usage(profile, _SUBLINEAR) <= (
+            sched.resource_usage(profile, _SUBLINEAR) + 1e-9
+        )
+        assert ordered.processing_time(_SUBLINEAR) == pytest.approx(
+            sched.processing_time(_SUBLINEAR)
+        )

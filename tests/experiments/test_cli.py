@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.figures import ALL_EXPERIMENTS
+
+
+class TestParser:
+    def test_accepts_every_experiment(self):
+        parser = build_parser()
+        for name in ALL_EXPERIMENTS:
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_accepts_all_keyword(self):
+        args = build_parser().parse_args(["all", "--scale", "tiny"])
+        assert args.experiment == "all"
+        assert args.scale == "tiny"
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--scale", "huge"])
+
+
+class TestMain:
+    def test_runs_fig5(self, capsys):
+        assert main(["fig5", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out
+        assert "interval table" in out
+
+    def test_runs_thm1(self, capsys):
+        assert main(["thm1", "--scale", "tiny"]) == 0
+        assert "few-to-many" in capsys.readouterr().out

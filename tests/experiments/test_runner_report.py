@@ -1,0 +1,118 @@
+"""Tests for the experiment runner and report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.report import FigureResult, TableData, format_cell, render_table
+from repro.experiments.runner import run_policy, run_sweep
+from repro.schedulers import FixedScheduler, SequentialScheduler
+
+
+class TestRunPolicy:
+    def test_basic_run(self, tiny_workload):
+        result = run_policy(
+            SequentialScheduler(), tiny_workload, rps=40.0, cores=4,
+            num_requests=100, seed=1,
+        )
+        assert len(result) == 100
+        assert result.tail_latency_ms() > 0
+
+    def test_seed_controls_trace(self, tiny_workload):
+        a = run_policy(SequentialScheduler(), tiny_workload, rps=40.0, cores=4,
+                       num_requests=50, seed=1)
+        b = run_policy(SequentialScheduler(), tiny_workload, rps=40.0, cores=4,
+                       num_requests=50, seed=1)
+        c = run_policy(SequentialScheduler(), tiny_workload, rps=40.0, cores=4,
+                       num_requests=50, seed=2)
+        assert a.tail_latency_ms() == b.tail_latency_ms()
+        assert a.tail_latency_ms() != c.tail_latency_ms()
+
+
+class TestRunSweep:
+    def test_sweep_structure(self, tiny_workload):
+        sweep = run_sweep(
+            [SequentialScheduler(), FixedScheduler(2)],
+            tiny_workload,
+            rps_values=[30.0, 60.0],
+            cores=4,
+            num_requests=80,
+        )
+        assert sweep.policies() == ["SEQ", "FIX-2"]
+        assert len(sweep["SEQ"].tail_points()) == 2
+        assert sweep["SEQ"].rps_values == [30.0, 60.0]
+
+    def test_policies_see_identical_traces(self, tiny_workload):
+        """Paired comparison: at zero contention both policies should
+        see the same arrival times (identical seeds per point)."""
+        sweep = run_sweep(
+            {"a": SequentialScheduler(), "b": SequentialScheduler()},
+            tiny_workload,
+            rps_values=[20.0],
+            cores=8,
+            num_requests=60,
+        )
+        assert sweep["a"].tail_ms == sweep["b"].tail_ms
+
+    def test_improvement(self, tiny_workload):
+        sweep = run_sweep(
+            [SequentialScheduler(), FixedScheduler(4)],
+            tiny_workload,
+            rps_values=[30.0],
+            cores=8,
+            num_requests=150,
+        )
+        gain = sweep.improvement("SEQ", "FIX-4", 30.0)
+        assert gain > 0  # parallelism wins at low load
+
+    def test_keep_results(self, tiny_workload):
+        sweep = run_sweep(
+            [SequentialScheduler()], tiny_workload, rps_values=[30.0],
+            cores=4, num_requests=50, keep_results=True,
+        )
+        assert len(sweep["SEQ"].results[0]) == 1
+
+    def test_duplicate_names_rejected(self, tiny_workload):
+        with pytest.raises(ConfigurationError):
+            run_sweep(
+                [SequentialScheduler(), SequentialScheduler()],
+                tiny_workload, rps_values=[30.0], cores=4, num_requests=50,
+            )
+
+    def test_repeats_average(self, tiny_workload):
+        sweep = run_sweep(
+            [SequentialScheduler()], tiny_workload, rps_values=[30.0],
+            cores=4, num_requests=50, repeats=2,
+        )
+        assert len(sweep["SEQ"].tail_ms) == 1
+
+
+class TestReport:
+    def test_format_cell(self):
+        assert format_cell(1.23456) == "1.235"
+        assert format_cell(12345.6) == "12346"
+        assert format_cell(0.0) == "0"
+        assert format_cell("abc") == "abc"
+        assert format_cell(7) == "7"
+        assert format_cell(float("nan")) == "nan"
+
+    def test_render_table_alignment(self):
+        text = render_table(["a", "metric"], [[1, 2.5], [30, 40.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_figure_result_render(self):
+        result = FigureResult("figX", "A title")
+        result.add_table("panel", ["x", "y"], [[1, 2.0]])
+        result.add_note("hello")
+        text = result.render()
+        assert "figX" in text
+        assert "panel" in text
+        assert "note: hello" in text
+
+    def test_table_data_render(self):
+        table = TableData("cap", ["c"], [[1]])
+        assert table.render().startswith("cap\n")

@@ -1,0 +1,59 @@
+"""Tests for the benchmark-output summary collator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.report import FigureResult
+from repro.experiments.summary import collect, main, parse_output, render_summary
+
+
+def _rendered(figure_id: str = "figX") -> str:
+    result = FigureResult(figure_id, "A demo figure")
+    result.add_table("panel", ["x", "y"], [[1, 2.5], [3, 4.0]])
+    result.add_note("a note")
+    return result.render()
+
+
+class TestParse:
+    def test_roundtrip_from_figure_result(self):
+        output = parse_output(_rendered())
+        assert output.experiment_id == "figX"
+        assert output.title == "A demo figure"
+        assert "panel" in output.body
+        assert output.notes == ("a note",)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            parse_output("hello world")
+
+
+class TestCollect:
+    def test_collects_sorted(self, tmp_path):
+        (tmp_path / "b.txt").write_text(_rendered("figB"))
+        (tmp_path / "a.txt").write_text(_rendered("figA"))
+        outputs = collect(tmp_path)
+        assert [o.experiment_id for o in outputs] == ["figA", "figB"]
+
+    def test_empty_dir_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            collect(tmp_path)
+
+    def test_missing_dir_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            collect(tmp_path / "nope")
+
+
+class TestRender:
+    def test_summary_contains_everything(self, tmp_path):
+        (tmp_path / "a.txt").write_text(_rendered("figA"))
+        text = render_summary(collect(tmp_path))
+        assert "# Benchmark session summary" in text
+        assert "## figA — A demo figure" in text
+        assert "- a note" in text
+
+    def test_main(self, tmp_path, capsys):
+        (tmp_path / "a.txt").write_text(_rendered("figA"))
+        assert main([str(tmp_path)]) == 0
+        assert "figA" in capsys.readouterr().out

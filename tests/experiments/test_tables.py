@@ -1,0 +1,24 @@
+"""Tests for the memoized interval tables."""
+
+from __future__ import annotations
+
+from repro.experiments.config import TINY
+from repro.experiments.tables import bing_table, lucene_table
+
+
+class TestCaching:
+    def test_same_scale_returns_same_object(self):
+        assert lucene_table(TINY) is lucene_table(TINY)
+        assert bing_table(TINY) is bing_table(TINY)
+
+    def test_tables_are_complete(self):
+        table = lucene_table(TINY)
+        assert table.admission_capacity() is not None
+        assert table.metadata is not None
+        assert table.metadata.target_parallelism == 24
+
+    def test_bing_step_is_finer(self):
+        """Bing demand is ~10x shorter, so the search step scales down."""
+        lucene = lucene_table(TINY)
+        bing = bing_table(TINY)
+        assert bing.metadata.step_ms < lucene.metadata.step_ms

@@ -1,0 +1,128 @@
+"""Tests for the live (real-thread) FM runtime.
+
+Timing assertions are deliberately loose — these run on shared CI
+hardware — but the *structural* facts (degrees climbed, admissions
+ordered, everything completed) are asserted exactly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.schedule import Schedule, ScheduleStep
+from repro.core.table import IntervalTable
+from repro.errors import ConfigurationError
+from repro.runtime import LiveFMServer, LiveRequest, SleepSlice, make_slices
+
+
+def _table(step_ms: float = 60.0, capacity_rows: int = 4) -> IntervalTable:
+    """Start sequential, d2 after ``step_ms``, d4 after ``2 * step_ms``;
+    last row is e1."""
+    climbing = Schedule(
+        [
+            ScheduleStep(0.0, 1),
+            ScheduleStep(step_ms, 2),
+            ScheduleStep(2 * step_ms, 4),
+        ]
+    )
+    rows = [climbing] * capacity_rows
+    rows.append(Schedule([ScheduleStep(0.0, 1)], wait_for_exit=True))
+    return IntervalTable(rows)
+
+
+def _request(rid: int, total_ms: float, slice_ms: float = 10.0) -> LiveRequest:
+    return LiveRequest(rid, make_slices(total_ms, slice_ms))
+
+
+class TestWorkUnits:
+    def test_make_slices_conserves_work(self):
+        slices = make_slices(95.0, 10.0)
+        assert sum(s.duration_ms for s in slices) == pytest.approx(95.0)
+        assert len(slices) == 10
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SleepSlice(0.0)
+        with pytest.raises(ConfigurationError):
+            make_slices(0.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            LiveRequest(0, [])
+
+    def test_degree_budget_limits_handout(self):
+        request = _request(0, 50.0, slice_ms=10.0)
+        request.degree = 2
+        assert request.take_slice() is not None
+        assert request.take_slice() is not None
+        assert request.take_slice() is None  # budget reached
+        request.complete_slice()
+        assert request.take_slice() is not None
+
+    def test_completion_latch(self):
+        request = _request(0, 10.0, slice_ms=10.0)
+        request.mark_started()
+        assert request.take_slice() is not None
+        assert request.complete_slice()
+        assert request.done.is_set()
+        assert request.latency_ms >= 0.0
+
+
+class TestLiveServer:
+    def test_single_short_request_runs_sequentially(self):
+        server = LiveFMServer(_table(step_ms=200.0), workers=4, quantum_ms=5.0)
+        request = _request(0, 40.0)
+        server.submit(request)
+        stats = server.drain(timeout_s=10.0)
+        assert stats.completed == 1
+        assert stats.max_degrees[0] == 1  # finished before the first step
+        assert stats.latencies_ms[0] >= 40.0  # cannot beat its own work
+
+    def test_long_request_climbs_and_speeds_up(self):
+        """A 360 ms request under a 60 ms-step table must reach degree
+        >= 2 and finish well before fully-sequential time."""
+        server = LiveFMServer(_table(step_ms=60.0), workers=6, quantum_ms=5.0)
+        request = _request(0, 360.0, slice_ms=10.0)
+        server.submit(request)
+        stats = server.drain(timeout_s=15.0)
+        assert stats.max_degrees[0] >= 2
+        # Sequential would be ~360 ms + overhead; parallel tail phases
+        # must land clearly below (generous bound for slow CI).
+        assert stats.latencies_ms[0] < 330.0
+
+    def test_all_requests_complete_under_load(self):
+        server = LiveFMServer(_table(), workers=4, quantum_ms=5.0)
+        requests = [_request(i, 30.0 + 10.0 * (i % 3)) for i in range(12)]
+        for request in requests:
+            server.submit(request)
+            time.sleep(0.002)
+        stats = server.drain(timeout_s=20.0)
+        assert stats.completed == 12
+        assert stats.tail_latency_ms(1.0) >= stats.mean_latency_ms()
+
+    def test_e1_queueing_bounds_concurrency(self):
+        """With capacity 2, the 3rd simultaneous arrival waits for an
+        exit, so its latency includes queueing."""
+        table = _table(step_ms=500.0, capacity_rows=2)
+        server = LiveFMServer(table, workers=8, quantum_ms=5.0)
+        requests = [_request(i, 80.0) for i in range(3)]
+        for request in requests:
+            server.submit(request)
+        stats = server.drain(timeout_s=10.0)
+        assert stats.completed == 3
+        latencies = sorted(stats.latencies_ms)
+        # The queued request waited for a full 80 ms request to finish.
+        assert latencies[-1] > latencies[0] + 40.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LiveFMServer(_table(), workers=0)
+        with pytest.raises(ConfigurationError):
+            LiveFMServer(_table(), workers=2, quantum_ms=0.0)
+
+    def test_shutdown_is_idempotent(self):
+        server = LiveFMServer(_table(), workers=2)
+        server.submit(_request(0, 20.0))
+        server.drain(timeout_s=5.0)
+        server.shutdown()
+        server.shutdown()

@@ -1,0 +1,174 @@
+"""Behavioural tests for SEQ, FIX-N, Simple-interval, Adaptive, and RC."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.speedup import TabulatedSpeedup
+from repro.errors import ConfigurationError
+from repro.schedulers import (
+    AdaptiveScheduler,
+    ClairvoyantScheduler,
+    FixedScheduler,
+    SequentialScheduler,
+    SimpleIntervalScheduler,
+)
+from repro.schedulers.clairvoyant import tune_threshold
+from repro.sim.engine import ArrivalSpec, simulate
+from repro.workloads.lucene import lucene_workload
+
+_CURVE = TabulatedSpeedup([1.0, 1.5, 2.0, 2.4])
+
+
+def _spec(t: float, seq: float) -> ArrivalSpec:
+    return ArrivalSpec(t, seq, _CURVE)
+
+
+class TestSequential:
+    def test_everything_runs_at_degree_one(self):
+        result = simulate(
+            [_spec(0.0, 50.0), _spec(1.0, 400.0)], SequentialScheduler(), cores=8
+        )
+        assert all(r.final_degree == 1 for r in result.records)
+        assert all(r.average_parallelism == pytest.approx(1.0) for r in result.records)
+
+    def test_no_quantum_events(self):
+        assert SequentialScheduler().uses_quantum is False
+
+
+class TestFixed:
+    def test_constant_degree(self):
+        result = simulate([_spec(0.0, 120.0)], FixedScheduler(3), cores=8)
+        assert result.records[0].final_degree == 3
+        assert result.records[0].average_parallelism == pytest.approx(3.0)
+
+    def test_load_protection_falls_back_to_sequential(self):
+        # 4 simultaneous arrivals with protection threshold 3: the first
+        # two see load < 3 and parallelize; the rest run sequentially.
+        specs = [_spec(0.0, 100.0) for _ in range(4)]
+        result = simulate(
+            specs, FixedScheduler(3, load_protection=3), cores=16
+        )
+        degrees = sorted(r.final_degree for r in result.records)
+        assert degrees == [1, 1, 3, 3]
+
+    def test_boost_after_ms_enables_quantum(self):
+        plain = FixedScheduler(3)
+        boosting = FixedScheduler(3, boost_after_ms=50.0)
+        assert plain.uses_quantum is False
+        assert boosting.uses_quantum is True
+
+    def test_boost_is_granted_to_old_requests(self):
+        scheduler = FixedScheduler(2, boost_after_ms=30.0)
+        result = simulate([_spec(0.0, 200.0)], scheduler, cores=8, quantum_ms=5.0)
+        assert result.records[0].boosted
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedScheduler(0)
+        with pytest.raises(ConfigurationError):
+            FixedScheduler(2, load_protection=0)
+        with pytest.raises(ConfigurationError):
+            FixedScheduler(2, boost_after_ms=-1.0)
+
+    def test_name_encodes_configuration(self):
+        assert FixedScheduler(4).name == "FIX-4"
+        assert "lp30" in FixedScheduler(3, load_protection=30).name
+        assert "boost" in FixedScheduler(3, boost_after_ms=10.0).name
+
+
+class TestSimpleInterval:
+    def test_degree_grows_with_execution_time(self):
+        scheduler = SimpleIntervalScheduler(50.0, max_degree=4)
+        result = simulate([_spec(0.0, 300.0)], scheduler, cores=8, quantum_ms=1.0)
+        record = result.records[0]
+        assert record.final_degree > 1
+
+    def test_short_requests_stay_sequential(self):
+        scheduler = SimpleIntervalScheduler(100.0, max_degree=4)
+        result = simulate([_spec(0.0, 20.0)], scheduler, cores=8, quantum_ms=1.0)
+        assert result.records[0].final_degree == 1
+
+    def test_degree_capped(self):
+        scheduler = SimpleIntervalScheduler(10.0, max_degree=3)
+        result = simulate([_spec(0.0, 500.0)], scheduler, cores=8, quantum_ms=1.0)
+        assert result.records[0].final_degree == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimpleIntervalScheduler(0.0, 4)
+        with pytest.raises(ConfigurationError):
+            SimpleIntervalScheduler(10.0, 0)
+
+
+class TestAdaptive:
+    def test_low_load_parallelizes_aggressively(self):
+        scheduler = AdaptiveScheduler(max_degree=4, target_parallelism=24)
+        result = simulate([_spec(0.0, 100.0)], scheduler, cores=8)
+        assert result.records[0].final_degree == 4
+
+    def test_high_load_degrades_to_sequential(self):
+        scheduler = AdaptiveScheduler(max_degree=4, target_parallelism=8)
+        specs = [_spec(0.0, 200.0) for _ in range(10)]
+        result = simulate(specs, scheduler, cores=16)
+        # the 9th+ arrivals see load >= 9 -> degree 8 // 9 = 0 -> 1
+        degrees = [r.final_degree for r in sorted(result.records, key=lambda r: r.rid)]
+        assert degrees[0] == 4
+        assert degrees[-1] == 1
+
+    def test_degree_is_constant_after_start(self):
+        assert AdaptiveScheduler(4, 24).uses_quantum is False
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveScheduler(0, 24)
+        with pytest.raises(ConfigurationError):
+            AdaptiveScheduler(4, 0.5)
+
+
+class TestClairvoyant:
+    def test_threshold_split(self):
+        scheduler = ClairvoyantScheduler(threshold_ms=100.0, degree=4)
+        result = simulate(
+            [_spec(0.0, 50.0), _spec(1.0, 300.0)], scheduler, cores=8
+        )
+        by_rid = sorted(result.records, key=lambda r: r.rid)
+        assert by_rid[0].final_degree == 1
+        assert by_rid[1].final_degree == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClairvoyantScheduler(-1.0, 4)
+        with pytest.raises(ConfigurationError):
+            ClairvoyantScheduler(100.0, 0)
+
+
+class TestTuneThreshold:
+    def test_threshold_is_interior(self):
+        """The tuned Lucene threshold is neither tiny (parallelize all =
+        FIX-N) nor the max (never parallelize = SEQ); the paper found
+        225 ms."""
+        profile = lucene_workload(profile_size=2000).profile
+        threshold = tune_threshold(profile, degree=4, target_parallelism=24.0)
+        assert profile.percentile(0.05) < threshold < profile.percentile(0.99)
+
+    def test_threshold_meets_the_budget(self):
+        profile = lucene_workload(profile_size=2000).profile
+        target = 24.0
+        load = 12
+        threshold = tune_threshold(
+            profile, degree=4, target_parallelism=target, load=load
+        )
+        is_long = profile.seq >= threshold
+        speed = profile.speedups[:, 3]
+        times = np.where(is_long, profile.seq / speed, profile.seq)
+        busy = np.where(is_long, 4 * profile.seq / speed, profile.seq)
+        ap = load * busy.mean() / times.mean()
+        assert ap <= target + 1e-6
+
+    def test_tighter_budget_raises_threshold(self):
+        profile = lucene_workload(profile_size=2000).profile
+        loose = tune_threshold(profile, degree=4, target_parallelism=40.0, load=12)
+        tight = tune_threshold(profile, degree=4, target_parallelism=16.0, load=12)
+        assert tight >= loose

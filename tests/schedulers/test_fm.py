@@ -1,0 +1,182 @@
+"""Behavioural tests for the FM online scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schedule import Schedule, ScheduleStep
+from repro.core.speedup import TabulatedSpeedup
+from repro.core.table import IntervalTable
+from repro.errors import ConfigurationError
+from repro.schedulers import FMScheduler, SequentialScheduler
+from repro.sim.engine import ArrivalSpec, simulate
+
+_CURVE = TabulatedSpeedup([1.0, 1.5, 2.0, 2.4])
+
+
+def _spec(t: float, seq: float) -> ArrivalSpec:
+    return ArrivalSpec(t, seq, _CURVE)
+
+
+def _table() -> IntervalTable:
+    """Load 1-2: immediate d4.  Load 3-4: d1 then d2@50 / d4@100.
+    Load 5: delayed start.  Load >= 6: e1."""
+    return IntervalTable(
+        [
+            Schedule([ScheduleStep(0.0, 4)]),
+            Schedule([ScheduleStep(0.0, 4)]),
+            Schedule([ScheduleStep(0.0, 1), ScheduleStep(50.0, 2), ScheduleStep(100.0, 4)]),
+            Schedule([ScheduleStep(0.0, 1), ScheduleStep(50.0, 2), ScheduleStep(100.0, 4)]),
+            Schedule([ScheduleStep(30.0, 1), ScheduleStep(80.0, 2)]),
+            Schedule([ScheduleStep(0.0, 1), ScheduleStep(50.0, 2)], wait_for_exit=True),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_rejects_bad_progress_mode(self):
+        with pytest.raises(ConfigurationError):
+            FMScheduler(_table(), progress="sideways")
+
+    def test_names(self):
+        assert FMScheduler(_table()).name == "FM"
+        assert FMScheduler(_table(), boosting=False).name == "FM-noboost"
+        assert "wall" in FMScheduler(_table(), progress="wall").name
+
+
+class TestLowLoad:
+    def test_single_request_starts_at_row_degree(self):
+        result = simulate([_spec(0.0, 100.0)], FMScheduler(_table()), cores=8)
+        record = result.records[0]
+        assert record.final_degree == 4
+        assert record.latency_ms == pytest.approx(100.0 / 2.4)
+
+
+class TestIncrementalClimb:
+    def test_long_request_climbs_short_stays_sequential(self):
+        # Two long companions occupy the system (they arrive at loads 1
+        # and 2, so they start at degree 4); the later short and long
+        # arrivals both index row 3+ and start sequentially.  The short
+        # finishes before the 50 ms step; the long climbs to degree 4.
+        specs = [
+            _spec(0.0, 600.0),
+            _spec(0.0, 600.0),
+            _spec(1.0, 30.0),
+            _spec(1.0, 600.0),
+        ]
+        result = simulate(specs, FMScheduler(_table()), cores=32, quantum_ms=5.0)
+        short = [r for r in result.records if r.rid == 2][0]
+        late_long = [r for r in result.records if r.rid == 3][0]
+        assert short.final_degree == 1
+        assert late_long.final_degree == 4
+        assert late_long.average_parallelism < 4.0  # climbed incrementally
+
+    def test_degrees_never_decrease(self):
+        # The late long request climbs under load; when the early
+        # requests exit and load drops to 1 (row: d4 immediately), the
+        # climbed degree holds and keeps climbing — never down.
+        specs = [_spec(0.0, 100.0), _spec(0.0, 100.0), _spec(1.0, 400.0)]
+        result = simulate(specs, FMScheduler(_table()), cores=32, quantum_ms=5.0)
+        long_record = max(result.records, key=lambda r: r.seq_ms)
+        assert long_record.final_degree == 4
+
+    def test_load_spike_slows_the_climb(self):
+        # Alone, a 300 ms request under row 1 runs at d4 immediately.
+        # Arriving behind three others (load 4), it starts sequential.
+        alone = simulate([_spec(0.0, 300.0)], FMScheduler(_table()), cores=16)
+        crowded = simulate(
+            [_spec(0.0, 300.0)] * 3 + [_spec(1.0, 300.0)],
+            FMScheduler(_table()),
+            cores=32,
+            quantum_ms=5.0,
+        )
+        target = [r for r in crowded.records if r.rid == 3][0]
+        assert alone.records[0].average_parallelism == pytest.approx(4.0)
+        assert target.average_parallelism < 4.0
+
+
+class TestAdmission:
+    def test_delay_row_defers_start(self):
+        # Fifth simultaneous arrival sees load 5 -> wait 30 ms.
+        specs = [_spec(0.0, 500.0)] * 5
+        result = simulate(specs, FMScheduler(_table()), cores=32, quantum_ms=5.0)
+        starts = sorted(r.start_ms for r in result.records)
+        assert starts[3] == pytest.approx(0.0)
+        assert starts[4] > 0.0
+
+    def test_e1_row_queues_until_exit(self):
+        specs = [_spec(0.0, 100.0)] * 6 + [_spec(1.0, 10.0)]
+        result = simulate(specs, FMScheduler(_table()), cores=32, quantum_ms=5.0)
+        last = [r for r in result.records if r.rid == 6][0]
+        assert last.queueing_ms > 0.0
+
+
+class TestBoosting:
+    def test_boost_granted_on_step_to_max_degree(self):
+        # The late long request climbs the load-3 row; stepping to d4
+        # grants the boost.
+        specs = [_spec(0.0, 600.0), _spec(0.0, 600.0), _spec(1.0, 600.0)]
+        result = simulate(specs, FMScheduler(_table()), cores=16, quantum_ms=5.0)
+        climber = [r for r in result.records if r.rid == 2][0]
+        assert climber.final_degree == 4
+        assert climber.boosted
+
+    def test_requests_starting_at_max_degree_are_not_boosted(self):
+        """Boost fires on *increasing* to the max degree, not when a
+        low-load row starts a request there (Section 4.2)."""
+        result = simulate([_spec(0.0, 600.0)], FMScheduler(_table()), cores=16)
+        assert result.records[0].final_degree == 4
+        assert not result.records[0].boosted
+
+    def test_no_boost_when_disabled(self):
+        specs = [_spec(0.0, 600.0), _spec(0.0, 600.0), _spec(1.0, 600.0)]
+        result = simulate(
+            specs, FMScheduler(_table(), boosting=False), cores=16, quantum_ms=5.0
+        )
+        assert not any(r.boosted for r in result.records)
+
+
+class TestProgressModes:
+    def test_wall_climbs_at_least_as_fast(self):
+        """Under contention, wall-clock progress reaches thresholds
+        earlier than effective progress, so wall-mode parallelism is
+        weakly higher."""
+        specs = [_spec(0.0, 400.0)] * 4
+        wall = simulate(
+            specs, FMScheduler(_table(), progress="wall"), cores=3,
+            quantum_ms=5.0, spin_fraction=1.0,
+        )
+        effective = simulate(
+            specs, FMScheduler(_table(), progress="effective"), cores=3,
+            quantum_ms=5.0, spin_fraction=1.0,
+        )
+        assert wall.average_threads() >= effective.average_threads() - 1e-9
+
+    def test_modes_agree_without_contention(self):
+        specs = [_spec(0.0, 400.0)]
+        wall = simulate(specs, FMScheduler(_table(), progress="wall"), cores=8)
+        eff = simulate(specs, FMScheduler(_table(), progress="effective"), cores=8)
+        assert wall.records[0].latency_ms == pytest.approx(eff.records[0].latency_ms)
+
+
+class TestAgainstSequential:
+    def test_fm_tail_beats_sequential_under_load(self, tiny_workload):
+        import numpy as np
+
+        from repro.core.search import SearchConfig, build_interval_table
+        from repro.experiments.runner import run_policy
+
+        profile = tiny_workload.profile
+        table = build_interval_table(
+            profile,
+            SearchConfig(max_degree=4, target_parallelism=6.0, step_ms=25.0),
+        )
+        fm = run_policy(
+            FMScheduler(table), tiny_workload, rps=60.0, cores=4,
+            num_requests=300, seed=5, spin_fraction=0.25,
+        )
+        seq = run_policy(
+            SequentialScheduler(), tiny_workload, rps=60.0, cores=4,
+            num_requests=300, seed=5, spin_fraction=0.25,
+        )
+        assert fm.tail_latency_ms() < seq.tail_latency_ms()

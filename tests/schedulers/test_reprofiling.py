@@ -1,0 +1,99 @@
+"""Tests for the online re-profiling FM extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.search import SearchConfig, build_interval_table
+from repro.core.speedup import TabulatedSpeedup, UniformSpeedupModel
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_policy
+from repro.schedulers import ReprofilingFMScheduler
+from repro.workloads.workload import Workload
+
+_CURVE = TabulatedSpeedup([1.0, 1.7, 2.2, 2.5])
+_MODEL = UniformSpeedupModel(_CURVE)
+_SEARCH = SearchConfig(max_degree=4, target_parallelism=6.0, step_ms=50.0, num_bins=16)
+
+
+def _workload(scale: float = 1.0) -> Workload:
+    def sampler(rng: np.random.Generator, n: int) -> np.ndarray:
+        return scale * rng.lognormal(np.log(60.0), 0.8, size=n)
+
+    return Workload(
+        name="repro-test", sampler=sampler, speedup_model=_MODEL,
+        max_degree=4, profile_size=200,
+    )
+
+
+def _initial_table():
+    profile = _workload().profile
+    return build_interval_table(profile, _SEARCH)
+
+
+class TestConstruction:
+    def test_validation(self):
+        table = _initial_table()
+        with pytest.raises(ConfigurationError):
+            ReprofilingFMScheduler(table, _MODEL, _SEARCH, window=1)
+        with pytest.raises(ConfigurationError):
+            ReprofilingFMScheduler(table, _MODEL, _SEARCH, rebuild_every_ms=0)
+        with pytest.raises(ConfigurationError):
+            ReprofilingFMScheduler(table, _MODEL, _SEARCH, min_samples=1)
+
+    def test_name(self):
+        scheduler = ReprofilingFMScheduler(_initial_table(), _MODEL, _SEARCH)
+        assert scheduler.name == "FM-reprofile"
+
+
+class TestRebuilding:
+    def test_rebuilds_happen_on_schedule(self):
+        scheduler = ReprofilingFMScheduler(
+            _initial_table(), _MODEL, _SEARCH,
+            window=100, rebuild_every_ms=1_000.0, min_samples=20,
+        )
+        run_policy(scheduler, _workload(), rps=50.0, cores=4,
+                   num_requests=300, seed=1)
+        assert len(scheduler.rebuilds) >= 2
+        assert all(b > a for a, b in zip(scheduler.rebuilds, scheduler.rebuilds[1:]))
+
+    def test_no_rebuild_below_min_samples(self):
+        scheduler = ReprofilingFMScheduler(
+            _initial_table(), _MODEL, _SEARCH,
+            window=100, rebuild_every_ms=1.0, min_samples=1_000,
+        )
+        run_policy(scheduler, _workload(), rps=50.0, cores=4,
+                   num_requests=100, seed=2)
+        assert scheduler.rebuilds == []
+
+    def test_reset_restores_initial_table(self):
+        initial = _initial_table()
+        scheduler = ReprofilingFMScheduler(
+            initial, _MODEL, _SEARCH,
+            window=50, rebuild_every_ms=500.0, min_samples=20,
+        )
+        run_policy(scheduler, _workload(), rps=50.0, cores=4,
+                   num_requests=200, seed=3)
+        assert scheduler.table is not initial
+        scheduler.reset()
+        assert scheduler.table is initial
+        assert scheduler.rebuilds == []
+
+    def test_rebuilt_table_reflects_observed_demand(self):
+        """After observing a 3x heavier workload, the rebuilt table's
+        degree-step times stretch accordingly."""
+        initial = _initial_table()
+        scheduler = ReprofilingFMScheduler(
+            initial, _MODEL, _SEARCH,
+            window=150, rebuild_every_ms=500.0, min_samples=50,
+        )
+        run_policy(scheduler, _workload(scale=3.0), rps=20.0, cores=8,
+                   num_requests=300, seed=4)
+        assert scheduler.rebuilds
+        # A mid-load row's final degree step should come later than in
+        # the stale table (demand tripled).
+        load = min(4, len(initial))
+        old_steps = initial.lookup(load).steps
+        new_steps = scheduler.table.lookup(load).steps
+        assert new_steps[-1].time_ms >= old_steps[-1].time_ms

@@ -1,0 +1,176 @@
+"""Tests for the miniature search engine: tokenizer, corpus, index,
+query parsing, and scoring."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.search.corpus import Document, generate_corpus, generate_query_log, zipf_weights
+from repro.search.index import InvertedIndex, Segment
+from repro.search.query import Query, parse_query
+from repro.search.scoring import bm25_score, idf
+from repro.search.tokenizer import STOPWORDS, tokenize
+
+
+class TestTokenizer:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Hello World") == ["hello", "world"]
+
+    def test_drops_stopwords(self):
+        assert tokenize("the cat and the hat") == ["cat", "hat"]
+
+    def test_alphanumeric_only(self):
+        assert tokenize("c++ is great; t42!") == ["c", "great", "t42"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("the and of") == []
+
+    def test_stopwords_are_lowercase(self):
+        assert all(w == w.lower() for w in STOPWORDS)
+
+
+class TestCorpus:
+    def test_zipf_weights_normalized_and_decreasing(self):
+        w = zipf_weights(100, 1.1)
+        assert w.sum() == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(w, w[1:]))
+
+    def test_generate_corpus_shapes(self):
+        docs = generate_corpus(50, vocab_size=200, mean_doc_len=30, seed=1)
+        assert len(docs) == 50
+        assert all(isinstance(d, Document) and len(d) >= 1 for d in docs)
+
+    def test_corpus_deterministic(self):
+        a = generate_corpus(10, seed=3)
+        b = generate_corpus(10, seed=3)
+        assert a == b
+
+    def test_popular_terms_dominate(self):
+        docs = generate_corpus(200, vocab_size=500, seed=2)
+        counts: dict[str, int] = {}
+        for doc in docs:
+            for token in doc.tokens:
+                counts[token] = counts.get(token, 0) + 1
+        assert counts.get("t1", 0) > counts.get("t400", 0)
+
+    def test_query_log(self):
+        queries = generate_query_log(100, vocab_size=500, max_terms=3, seed=4)
+        assert len(queries) == 100
+        assert all(1 <= len(q.split()) <= 3 for q in queries)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_corpus(0)
+        with pytest.raises(ConfigurationError):
+            generate_query_log(0)
+        with pytest.raises(ConfigurationError):
+            zipf_weights(0)
+
+
+class TestIndex:
+    def _index(self) -> InvertedIndex:
+        docs = [
+            Document(0, ("apple", "banana", "apple")),
+            Document(1, ("banana", "cherry")),
+            Document(2, ("apple",)),
+            Document(3, ("durian", "durian")),
+        ]
+        return InvertedIndex.build(docs, num_segments=2)
+
+    def test_round_robin_distribution(self):
+        index = self._index()
+        assert index.num_segments == 2
+        assert index.segments[0].num_docs == 2  # docs 0, 2
+        assert index.segments[1].num_docs == 2  # docs 1, 3
+
+    def test_postings_term_frequency(self):
+        index = self._index()
+        postings = index.segments[0].postings("apple")
+        by_doc = {p.doc_id: p.term_freq for p in postings}
+        assert by_doc == {0: 2, 2: 1}
+
+    def test_absent_term(self):
+        index = self._index()
+        assert index.segments[0].postings("zebra") == ()
+        assert index.document_frequency("zebra") == 0
+
+    def test_corpus_stats(self):
+        index = self._index()
+        assert index.num_docs == 4
+        assert index.average_doc_length == pytest.approx(8 / 4)
+        assert index.document_frequency("apple") == 2
+        assert index.document_frequency("banana") == 2
+
+    def test_duplicate_doc_rejected(self):
+        segment = Segment(0)
+        segment.add_document(Document(1, ("a",)))
+        with pytest.raises(ConfigurationError):
+            segment.add_document(Document(1, ("b",)))
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InvertedIndex.build([], num_segments=2)
+
+    def test_bad_segment_count(self):
+        with pytest.raises(ConfigurationError):
+            InvertedIndex(0)
+
+
+class TestQuery:
+    def test_parse(self):
+        q = parse_query("The Quick Fox", top_k=5)
+        assert q.terms == ("quick", "fox")
+        assert q.top_k == 5
+
+    def test_parse_rejects_stopword_only(self):
+        with pytest.raises(ConfigurationError):
+            parse_query("the and")
+
+    def test_query_validation(self):
+        with pytest.raises(ConfigurationError):
+            Query(())
+        with pytest.raises(ConfigurationError):
+            Query(("a",), top_k=0)
+
+
+class TestScoring:
+    def test_idf_decreases_with_frequency(self):
+        assert idf(1, 1000) > idf(100, 1000) > idf(900, 1000)
+
+    def test_idf_positive_even_for_ubiquitous_terms(self):
+        assert idf(1000, 1000) > 0
+
+    def test_bm25_increases_with_tf(self):
+        a = bm25_score(1, 10, 1000, 100, 100.0)
+        b = bm25_score(5, 10, 1000, 100, 100.0)
+        assert b > a
+
+    def test_bm25_tf_saturates(self):
+        gains = [
+            bm25_score(tf + 1, 10, 1000, 100, 100.0)
+            - bm25_score(tf, 10, 1000, 100, 100.0)
+            for tf in range(1, 6)
+        ]
+        assert all(b < a for a, b in zip(gains, gains[1:]))
+
+    def test_bm25_length_normalization(self):
+        short_doc = bm25_score(2, 10, 1000, 50, 100.0)
+        long_doc = bm25_score(2, 10, 1000, 500, 100.0)
+        assert short_doc > long_doc
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            idf(5, 0)
+        with pytest.raises(ValueError):
+            idf(-1, 10)
+        with pytest.raises(ValueError):
+            bm25_score(-1, 1, 10, 10, 10.0)
+        with pytest.raises(ValueError):
+            bm25_score(1, 1, 10, 10, 0.0)
+
+    def test_idf_known_value(self):
+        assert idf(9, 19) == pytest.approx(math.log(1.0 + 10.5 / 9.5))

@@ -1,0 +1,128 @@
+"""Tests for query execution, cost accounting, and profile derivation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.search.corpus import generate_corpus, generate_query_log
+from repro.search.executor import SearchEngine
+from repro.search.index import InvertedIndex
+from repro.search.profiler import lpt_makespan, parallel_time_units, profile_queries
+from repro.search.query import parse_query
+
+
+@pytest.fixture(scope="module")
+def engine() -> SearchEngine:
+    docs = generate_corpus(400, vocab_size=800, mean_doc_len=60, seed=9)
+    return SearchEngine(InvertedIndex.build(docs, num_segments=8))
+
+
+class TestExecutor:
+    def test_results_are_ranked(self, engine):
+        execution = engine.execute(parse_query("t1 t2", top_k=10))
+        scores = [hit.score for hit in execution.hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_k_respected(self, engine):
+        execution = engine.execute(parse_query("t1", top_k=3))
+        assert len(execution.hits) <= 3
+
+    def test_one_task_per_segment(self, engine):
+        execution = engine.execute(parse_query("t1"))
+        assert len(execution.tasks) == engine.index.num_segments
+
+    def test_merged_results_match_global_best(self, engine):
+        """The segment-parallel merge returns the same top hit as a
+        hypothetical single-segment engine."""
+        docs = generate_corpus(200, vocab_size=300, mean_doc_len=40, seed=10)
+        sharded = SearchEngine(InvertedIndex.build(docs, num_segments=6))
+        single = SearchEngine(InvertedIndex.build(docs, num_segments=1))
+        query = parse_query("t1 t3 t9")
+        a = sharded.execute(query)
+        b = single.execute(query)
+        assert a.hits[0].doc_id == b.hits[0].doc_id
+        assert a.hits[0].score == pytest.approx(b.hits[0].score)
+
+    def test_cost_scales_with_postings(self, engine):
+        popular = engine.execute(parse_query("t1"))
+        rare = engine.execute(parse_query("t700"))
+        assert popular.total_cost_units > rare.total_cost_units
+
+    def test_execution_deterministic(self, engine):
+        q = parse_query("t2 t5")
+        a = engine.execute(q)
+        b = engine.execute(q)
+        assert a.total_cost_units == b.total_cost_units
+        assert [h.doc_id for h in a.hits] == [h.doc_id for h in b.hits]
+
+
+class TestLptMakespan:
+    def test_single_worker_is_sum(self):
+        assert lpt_makespan([3.0, 1.0, 2.0], 1) == pytest.approx(6.0)
+
+    def test_many_workers_is_max(self):
+        assert lpt_makespan([3.0, 1.0, 2.0], 10) == pytest.approx(3.0)
+
+    def test_balanced_split(self):
+        assert lpt_makespan([2.0, 2.0, 2.0, 2.0], 2) == pytest.approx(4.0)
+
+    def test_never_below_lower_bounds(self):
+        costs = [5.0, 4.0, 3.0, 2.0, 1.0]
+        for workers in range(1, 6):
+            makespan = lpt_makespan(costs, workers)
+            assert makespan >= max(costs) - 1e-9
+            assert makespan >= sum(costs) / workers - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            lpt_makespan([1.0], 0)
+
+
+class TestParallelTime:
+    def test_overhead_grows_with_workers(self):
+        costs = [10.0] * 8
+        t2 = parallel_time_units(costs, 2, 0.0, overhead_units_per_worker=5.0)
+        t2_free = parallel_time_units(costs, 2, 0.0, overhead_units_per_worker=0.0)
+        assert t2 == pytest.approx(t2_free + 5.0)
+
+
+class TestProfiler:
+    def test_profile_shape_and_validity(self, engine):
+        queries = generate_query_log(60, vocab_size=800, seed=11)
+        profile = profile_queries(engine, queries, max_degree=4)
+        assert len(profile) == 60
+        assert profile.max_degree == 4
+        assert np.all(profile.speedups[:, 0] == 1.0)
+        assert np.all(np.diff(profile.speedups, axis=1) >= -1e-9)
+
+    def test_speedups_are_sublinear(self, engine):
+        queries = generate_query_log(40, vocab_size=800, seed=12)
+        profile = profile_queries(engine, queries, max_degree=4)
+        degrees = np.arange(1, 5)
+        assert np.all(profile.speedups <= degrees[None, :] + 1e-9)
+
+    def test_demand_is_heavy_tailed(self, engine):
+        """Zipfian terms and skewed query lengths make a few queries
+        much longer than the median."""
+        queries = generate_query_log(300, vocab_size=800, seed=13)
+        profile = profile_queries(engine, queries, max_degree=3)
+        assert profile.percentile(0.99) > 2.5 * profile.median()
+
+    def test_long_queries_scale_better(self, engine):
+        queries = generate_query_log(200, vocab_size=800, seed=14)
+        profile = profile_queries(engine, queries, max_degree=4)
+        assert profile.class_speedup(4, 0.9, 1.0) > profile.class_speedup(4, 0.0, 0.1)
+
+    def test_unit_ms_scales_demand_linearly(self, engine):
+        queries = generate_query_log(20, vocab_size=800, seed=15)
+        a = profile_queries(engine, queries, unit_ms=0.01)
+        b = profile_queries(engine, queries, unit_ms=0.02)
+        assert np.allclose(b.seq, 2.0 * a.seq)
+
+    def test_validation(self, engine):
+        with pytest.raises(ConfigurationError):
+            profile_queries(engine, [], max_degree=3)
+        with pytest.raises(ConfigurationError):
+            profile_queries(engine, ["t1"], unit_ms=0.0)

@@ -1,0 +1,118 @@
+"""Property-based engine invariants over random workloads and policies.
+
+These are the simulator's contract: whatever the trace and policy,
+physics holds — no request finishes faster than its best-case parallel
+time or slower than implied by capacity, core usage balances, and
+metrics stay in range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.speedup import TabulatedSpeedup
+from repro.schedulers import (
+    AdaptiveScheduler,
+    FixedScheduler,
+    SequentialScheduler,
+    SimpleIntervalScheduler,
+)
+from repro.sim.engine import ArrivalSpec, simulate
+
+_CURVE = TabulatedSpeedup([1.0, 1.6, 2.1, 2.5])
+_MAX_SPEEDUP = 2.5
+
+_policies = st.sampled_from(
+    [
+        SequentialScheduler(),
+        FixedScheduler(2),
+        FixedScheduler(4),
+        FixedScheduler(3, load_protection=4),
+        AdaptiveScheduler(4, 8.0),
+        SimpleIntervalScheduler(30.0, 4),
+    ]
+)
+
+_traces = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=500.0),  # arrival
+        st.floats(min_value=1.0, max_value=400.0),  # demand
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@given(trace=_traces, policy=_policies, cores=st.integers(min_value=1, max_value=8),
+       spin=st.sampled_from([0.0, 0.25, 1.0]))
+@settings(max_examples=80, deadline=None)
+def test_engine_physics(trace, policy, cores, spin):
+    specs = [ArrivalSpec(t, s, _CURVE) for t, s in trace]
+    result = simulate(specs, policy, cores=cores, quantum_ms=5.0, spin_fraction=spin)
+
+    assert len(result) == len(specs)
+    total_work = sum(s.seq_ms for s in specs)
+    total_core_time = 0.0
+    for record in result.records:
+        # Lower bound: perfect parallel speedup, no contention or wait.
+        assert record.execution_ms >= record.seq_ms / _MAX_SPEEDUP - 1e-6
+        # Latency includes any admission wait.
+        assert record.latency_ms >= record.execution_ms - 1e-9
+        # Thread-time at least the wall time (degree >= 1 throughout).
+        assert record.thread_time_ms >= record.execution_ms - 1e-6
+        # A request's core usage is at least its useful work:
+        # occupancy o(d) >= s(d), so core-time >= work retired.
+        assert record.core_time_ms >= record.seq_ms - 1e-6
+        total_core_time += record.core_time_ms
+
+    # System-level accounting balances per-request accounting.
+    system_busy = result.cpu_utilization() * result.cores * result.duration_ms
+    assert system_busy == pytest.approx(total_core_time, rel=1e-6)
+    # Cores were never over-allocated.
+    assert result.cpu_utilization() <= 1.0 + 1e-9
+    # All work retired: every record exists and utilization implies at
+    # least the total useful work passed through the cores.
+    assert system_busy >= total_work - 1e-3
+
+
+@given(trace=_traces, cores=st.integers(min_value=1, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_sequential_conservation_exact(trace, cores):
+    """Under SEQ with full spin, core-time equals sequential work
+    exactly: one thread, occupancy 1, no waste."""
+    specs = [ArrivalSpec(t, s, _CURVE) for t, s in trace]
+    result = simulate(specs, SequentialScheduler(), cores=cores, spin_fraction=1.0)
+    for record in result.records:
+        assert record.core_time_ms == pytest.approx(record.seq_ms, rel=1e-9)
+
+
+@given(trace=_traces)
+@settings(max_examples=30, deadline=None)
+def test_more_cores_never_hurt(trace):
+    """Tail latency is monotone non-increasing in core count for a
+    work-conserving policy (same trace, same degrees)."""
+    specs = [ArrivalSpec(t, s, _CURVE) for t, s in trace]
+    tails = []
+    for cores in (1, 2, 8):
+        result = simulate(specs, FixedScheduler(2), cores=cores, spin_fraction=1.0)
+        tails.append(result.tail_latency_ms(1.0))
+    assert tails[0] >= tails[1] - 1e-6
+    assert tails[1] >= tails[2] - 1e-6
+
+
+@given(
+    trace=_traces,
+    degree_low=st.integers(min_value=1, max_value=2),
+    degree_high=st.integers(min_value=3, max_value=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_uncontended_parallelism_helps(trace, degree_low, degree_high):
+    """With abundant cores, higher fixed degrees never worsen any
+    individual completion (speedups are non-decreasing)."""
+    specs = [ArrivalSpec(t, s, _CURVE) for t, s in trace]
+    low = simulate(specs, FixedScheduler(degree_low), cores=256, spin_fraction=0.0)
+    high = simulate(specs, FixedScheduler(degree_high), cores=256, spin_fraction=0.0)
+    for a, b in zip(low.records, high.records):
+        assert b.latency_ms <= a.latency_ms + 1e-6

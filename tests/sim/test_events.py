@@ -1,0 +1,52 @@
+"""Tests for the event queue."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.events import Event, EventKind, EventQueue
+
+
+def _event(rid: int = 0) -> Event:
+    return Event(EventKind.ARRIVAL, request_id=rid)
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(5.0, _event(1))
+        q.push(1.0, _event(2))
+        q.push(3.0, _event(3))
+        order = [q.pop()[1].request_id for _ in range(3)]
+        assert order == [2, 3, 1]
+
+    def test_ties_break_fifo(self):
+        q = EventQueue()
+        for rid in range(5):
+            q.push(7.0, _event(rid))
+        order = [q.pop()[1].request_id for _ in range(5)]
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_rejects_negative_time(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(-1.0, _event())
+
+    def test_peek_and_len(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        assert not q
+        q.push(2.0, _event())
+        assert q.peek_time() == 2.0
+        assert len(q) == 1
+        assert q
+
+    @given(times=st.lists(st.floats(min_value=0, max_value=1e6), max_size=60))
+    @settings(max_examples=60)
+    def test_pop_order_is_sorted(self, times):
+        q = EventQueue()
+        for i, t in enumerate(times):
+            q.push(t, _event(i))
+        popped = [q.pop()[0] for _ in range(len(times))]
+        assert popped == sorted(popped)

@@ -1,0 +1,28 @@
+"""The exception hierarchy contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    subclasses = [
+        errors.InvalidScheduleError,
+        errors.InvalidProfileError,
+        errors.InvalidSpeedupError,
+        errors.SearchInfeasibleError,
+        errors.SimulationError,
+        errors.ConfigurationError,
+    ]
+    for cls in subclasses:
+        assert issubclass(cls, errors.ReproError)
+        assert issubclass(cls, Exception)
+
+
+def test_one_except_clause_catches_library_failures():
+    from repro.core.schedule import IntervalSchedule
+
+    with pytest.raises(errors.ReproError):
+        IntervalSchedule([])

@@ -1,0 +1,54 @@
+"""Smoke tests for the example scripts.
+
+Importing each example compiles it and resolves every API reference —
+catching drift between the examples and the library without paying
+their full runtime.  One fast example runs end-to-end under the slow
+marker.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+class TestExamplesImport:
+    def test_examples_exist(self):
+        names = {p.stem for p in ALL_EXAMPLES}
+        assert "quickstart" in names
+        assert len(names) >= 5
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.stem)
+    def test_imports_and_has_main(self, path: Path):
+        module = _load(path)
+        assert callable(getattr(module, "main", None)), f"{path.stem} needs main()"
+        assert module.__doc__, f"{path.stem} needs a docstring"
+
+
+@pytest.mark.slow
+class TestExampleExecution:
+    def test_live_runtime_example_runs(self, capsys):
+        """The live-runtime demo is the fastest end-to-end example
+        (~5 s of mostly sleeping) and exercises a whole subsystem."""
+        module = _load(EXAMPLES_DIR / "live_runtime.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "few-to-many" in out
+        assert "p99" in out

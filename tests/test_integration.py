@@ -1,0 +1,133 @@
+"""End-to-end integration tests across the whole pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.search import SearchConfig, build_interval_table
+from repro.experiments.runner import run_policy
+from repro.schedulers import FixedScheduler, FMScheduler, SequentialScheduler
+from repro.search.corpus import generate_corpus, generate_query_log
+from repro.search.executor import SearchEngine
+from repro.search.index import InvertedIndex
+from repro.search.profiler import profile_queries
+from repro.workloads.arrivals import PoissonProcess
+from repro.workloads.workload import Workload
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_public_exports(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackages_importable(self):
+        import repro.cluster
+        import repro.core
+        import repro.experiments
+        import repro.schedulers
+        import repro.search
+        import repro.sim
+        import repro.workloads
+
+
+class TestOfflineOnlinePipeline:
+    """Profile -> interval table -> simulation, the paper's full loop."""
+
+    def test_fm_beats_seq_tail_under_load(self, tiny_workload):
+        table = build_interval_table(
+            tiny_workload.profile,
+            SearchConfig(max_degree=4, target_parallelism=6.0, step_ms=25.0),
+        )
+        kwargs = dict(workload=tiny_workload, rps=55.0, cores=4,
+                      num_requests=400, seed=9, spin_fraction=0.25)
+        fm = run_policy(FMScheduler(table), **kwargs)
+        seq = run_policy(SequentialScheduler(), **kwargs)
+        fix = run_policy(FixedScheduler(4), **kwargs)
+        assert fm.tail_latency_ms() < seq.tail_latency_ms()
+        # FM is competitive with (here: not much worse than) FIX-4 while
+        # using fewer threads.
+        assert fm.average_threads() < fix.average_threads()
+
+    def test_table_roundtrips_through_disk(self, tiny_workload, tmp_path):
+        from repro.core.table import IntervalTable
+
+        table = build_interval_table(
+            tiny_workload.profile,
+            SearchConfig(max_degree=3, target_parallelism=5.0, step_ms=50.0),
+        )
+        path = tmp_path / "table.json"
+        table.save(path)
+        loaded = IntervalTable.load(path)
+        result = run_policy(
+            FMScheduler(loaded), tiny_workload, rps=40.0, cores=4,
+            num_requests=100, seed=3,
+        )
+        assert len(result) == 100
+
+
+class TestSearchEngineToSimulation:
+    """The Lucene-substrate loop: corpus -> index -> query profile ->
+    FM table -> simulated serving."""
+
+    def test_full_stack(self):
+        docs = generate_corpus(300, vocab_size=600, mean_doc_len=50, seed=21)
+        engine = SearchEngine(InvertedIndex.build(docs, num_segments=6))
+        queries = generate_query_log(150, vocab_size=600, seed=22)
+        profile = profile_queries(engine, queries, max_degree=4, unit_ms=0.05)
+
+        table = build_interval_table(
+            profile,
+            SearchConfig(max_degree=4, target_parallelism=6.0, step_ms=10.0,
+                         num_bins=20),
+        )
+
+        def sampler(rng: np.random.Generator, n: int) -> np.ndarray:
+            return rng.choice(profile.seq, size=n, replace=True)
+
+        from repro.core.speedup import TabulatedSpeedup, UniformSpeedupModel
+
+        avg_curve = TabulatedSpeedup(
+            [profile.average_speedup(d) for d in range(1, 5)]
+        )
+        workload = Workload(
+            name="mini-search",
+            sampler=sampler,
+            speedup_model=UniformSpeedupModel(avg_curve),
+            max_degree=4,
+            profile_size=100,
+        )
+        result = run_policy(
+            FMScheduler(table), workload, rps=100.0, cores=4,
+            num_requests=200, seed=23,
+        )
+        assert len(result) == 200
+        assert result.tail_latency_ms() > 0
+
+
+class TestCrossValidation:
+    """The simulator and the Figure 6 analytics agree on an
+    uncontended FM run."""
+
+    def test_isolated_fm_requests_match_formulas(self, small_table, small_profile):
+        from repro.core.formulas import completion_time
+        from repro.sim.engine import ArrivalSpec, simulate
+
+        # One request at a time, far apart: row 1 always applies.
+        row = small_table.lookup(1)
+        intervals = row.to_intervals(3)
+        specs = [
+            ArrivalSpec(i * 10_000.0, float(small_profile.seq[i]),
+                        small_profile.request(i).speedup)
+            for i in range(0, len(small_profile), 7)
+        ]
+        result = simulate(specs, FMScheduler(small_table), cores=16, quantum_ms=1.0)
+        for record in result.records:
+            idx = int(np.where(small_profile.seq == record.seq_ms)[0][0])
+            predicted = completion_time(small_profile.request(idx), intervals)
+            # quantum granularity: at most one quantum late per step
+            assert record.latency_ms == pytest.approx(predicted, abs=3.0)

@@ -1,0 +1,83 @@
+"""Tests for arrival processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.arrivals import (
+    PiecewiseRateProcess,
+    PoissonProcess,
+    RateQuantum,
+    UniformProcess,
+)
+
+
+class TestPoisson:
+    def test_mean_rate(self):
+        rng = np.random.default_rng(1)
+        times = PoissonProcess(100.0).times_ms(20_000, rng)
+        mean_gap = np.diff(np.concatenate([[0.0], times])).mean()
+        assert mean_gap == pytest.approx(10.0, rel=0.05)
+
+    def test_times_are_increasing(self):
+        rng = np.random.default_rng(2)
+        times = PoissonProcess(50.0).times_ms(500, rng)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_seed_determinism(self):
+        a = PoissonProcess(50.0).times_ms(100, np.random.default_rng(3))
+        b = PoissonProcess(50.0).times_ms(100, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PoissonProcess(0.0)
+        with pytest.raises(ConfigurationError):
+            PoissonProcess(10.0).times_ms(0, np.random.default_rng(0))
+
+
+class TestUniform:
+    def test_exact_spacing(self):
+        times = UniformProcess(100.0).times_ms(5, np.random.default_rng(0))
+        assert np.allclose(times, [10.0, 20.0, 30.0, 40.0, 50.0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UniformProcess(-1.0)
+
+
+class TestPiecewiseRate:
+    def test_rates_differ_between_quanta(self):
+        rng = np.random.default_rng(4)
+        process = PiecewiseRateProcess([(200.0, 2000), (20.0, 2000)])
+        times = process.times_ms(4000, rng)
+        gaps = np.diff(np.concatenate([[0.0], times]))
+        fast = gaps[:2000].mean()
+        slow = gaps[2000:].mean()
+        assert fast == pytest.approx(5.0, rel=0.1)
+        assert slow == pytest.approx(50.0, rel=0.1)
+
+    def test_cycles_when_exhausted(self):
+        rng = np.random.default_rng(5)
+        process = PiecewiseRateProcess([(100.0, 10)])
+        times = process.times_ms(35, rng)
+        assert len(times) == 35
+
+    def test_quantum_boundaries(self):
+        process = PiecewiseRateProcess([(45.0, 500), (30.0, 500)])
+        bounds = process.quantum_boundaries(1200)
+        assert bounds == [(0, 500), (500, 1000), (1000, 1200)]
+
+    def test_accepts_rate_quantum_objects(self):
+        process = PiecewiseRateProcess([RateQuantum(10.0, 5)])
+        assert process.quanta[0].count == 5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseRateProcess([])
+        with pytest.raises(ConfigurationError):
+            PiecewiseRateProcess([(0.0, 10)])
+        with pytest.raises(ConfigurationError):
+            PiecewiseRateProcess([(10.0, 0)])

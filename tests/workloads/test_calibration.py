@@ -1,0 +1,104 @@
+"""Calibration tests: the Lucene/Bing workloads match the published
+characteristics of Figures 1 and 2 (within tolerance)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scalability import speedup_report
+from repro.workloads.bing import TERMINATION_MS, bing_workload
+from repro.workloads.lucene import lucene_workload
+
+
+@pytest.fixture(scope="module")
+def lucene_profile():
+    return lucene_workload(profile_size=8000).profile
+
+
+@pytest.fixture(scope="module")
+def bing_profile():
+    return bing_workload(profile_size=20_000).profile
+
+
+class TestLuceneCalibration:
+    """Figure 2: median 186 ms, mode near 90 ms, tail to ~1000 ms."""
+
+    def test_median_near_published(self, lucene_profile):
+        assert lucene_profile.median() == pytest.approx(186.0, rel=0.10)
+
+    def test_heavy_tail(self, lucene_profile):
+        assert lucene_profile.percentile(0.99) > 4 * lucene_profile.median()
+
+    def test_mode_bin_in_published_range(self, lucene_profile):
+        edges, counts = lucene_profile.histogram(20.0)
+        mode_bin = edges[int(np.argmax(counts))]
+        assert 40.0 <= mode_bin <= 160.0
+
+    def test_near_linear_speedup_at_degree_two(self, lucene_profile):
+        """Figure 2(b): 'almost linear speedup for parallelism degree 2'."""
+        assert lucene_profile.average_speedup(2) > 1.55
+
+    def test_speedup_flat_at_five_plus(self, lucene_profile):
+        """'not effective for 5 or more degrees'."""
+        s5 = lucene_profile.average_speedup(5)
+        s6 = lucene_profile.average_speedup(6)
+        assert s6 / s5 - 1.0 < 0.05
+
+    def test_long_requests_scale_better(self, lucene_profile):
+        rows = {r.degree: r for r in speedup_report(lucene_profile)}
+        assert rows[4].longest > 2 * rows[4].shortest / 1.3
+
+
+class TestBingCalibration:
+    """Figure 1: > 80 % below 15 ms, 200 ms termination cap, long
+    requests > 2x at degree 3, shorts ~1.2x."""
+
+    def test_mostly_short(self, bing_profile):
+        below = float(np.dot(bing_profile.seq < 15.0, bing_profile.weights))
+        assert below / bing_profile.total_weight > 0.75
+
+    def test_termination_cap(self, bing_profile):
+        assert bing_profile.max() == pytest.approx(TERMINATION_MS)
+        # the truncation spike the paper notes at 200 ms
+        at_cap = float(np.dot(bing_profile.seq >= TERMINATION_MS - 1e-9,
+                              bing_profile.weights))
+        assert at_cap > 0
+
+    def test_median_to_p99_gap(self, bing_profile):
+        """The paper reports a 27x gap; accept 15-45x."""
+        ratio = bing_profile.percentile(0.99) / bing_profile.median()
+        assert 15.0 <= ratio <= 45.0
+
+    def test_long_speedup_over_two_at_degree_three(self, bing_profile):
+        assert bing_profile.class_speedup(3, 0.95, 1.0) > 2.0
+
+    def test_short_speedup_limited(self, bing_profile):
+        assert bing_profile.class_speedup(3, 0.0, 0.05) == pytest.approx(1.2, abs=0.15)
+
+    def test_no_gain_past_degree_four(self, bing_profile):
+        s4 = bing_profile.average_speedup(4)
+        s5 = bing_profile.average_speedup(5)
+        assert s5 / s4 - 1.0 < 0.05
+
+
+class TestWorkloadInterface:
+    def test_profile_is_deterministic(self):
+        a = lucene_workload(profile_size=500).profile
+        b = lucene_workload(profile_size=500).profile
+        assert np.array_equal(a.seq, b.seq)
+
+    def test_arrivals_have_matching_speedups(self):
+        from repro.workloads.arrivals import UniformProcess
+
+        wl = bing_workload(profile_size=100)
+        arrivals = wl.arrivals(50, UniformProcess(100.0), np.random.default_rng(1))
+        assert len(arrivals) == 50
+        for spec in arrivals:
+            spec.speedup.validate(max_degree=wl.max_degree)
+            assert spec.seq_ms > 0
+
+    def test_sample_profile_size(self):
+        wl = lucene_workload(profile_size=100)
+        p = wl.sample_profile(77, np.random.default_rng(2))
+        assert len(p) == 77

@@ -1,0 +1,79 @@
+"""Tests for parametric demand distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.synthetic import (
+    DemandDistribution,
+    LognormalComponent,
+    bimodal_distribution,
+)
+
+
+class TestLognormalComponent:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LognormalComponent(0.0, 10.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            LognormalComponent(1.0, -1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            LognormalComponent(1.0, 10.0, -0.1)
+
+
+class TestDemandDistribution:
+    def test_median_of_single_component(self):
+        dist = DemandDistribution([LognormalComponent(1.0, 50.0, 0.6)])
+        samples = dist.sample(np.random.default_rng(1), 40_000)
+        assert np.median(samples) == pytest.approx(50.0, rel=0.05)
+
+    def test_cap_truncates(self):
+        dist = DemandDistribution([(1.0, 100.0, 1.0)], cap_ms=150.0)
+        samples = dist.sample(np.random.default_rng(2), 5000)
+        assert samples.max() <= 150.0
+        # The truncation spike exists (Figure 1(a)'s rise at 200 ms).
+        assert (samples == 150.0).mean() > 0.05
+
+    def test_floor_applies(self):
+        dist = DemandDistribution([(1.0, 1.0, 2.0)], floor_ms=0.5)
+        samples = dist.sample(np.random.default_rng(3), 5000)
+        assert samples.min() >= 0.5
+
+    def test_mixture_weights(self):
+        dist = DemandDistribution(
+            [(0.9, 5.0, 0.0), (0.1, 500.0, 0.0)]  # sigma 0: point masses
+        )
+        samples = dist.sample(np.random.default_rng(4), 20_000)
+        assert (samples == 500.0).mean() == pytest.approx(0.1, abs=0.01)
+
+    def test_callable_interface(self):
+        dist = DemandDistribution([(1.0, 10.0, 0.5)])
+        samples = dist(np.random.default_rng(5), 10)
+        assert len(samples) == 10
+
+    def test_determinism(self):
+        dist = DemandDistribution([(1.0, 10.0, 0.5)])
+        a = dist.sample(np.random.default_rng(6), 100)
+        b = dist.sample(np.random.default_rng(6), 100)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DemandDistribution([])
+        with pytest.raises(ConfigurationError):
+            DemandDistribution([(1.0, 10.0, 0.5)], cap_ms=0.01, floor_ms=0.1)
+        with pytest.raises(ConfigurationError):
+            DemandDistribution([(1.0, 10.0, 0.5)]).sample(np.random.default_rng(0), 0)
+
+
+class TestBimodal:
+    def test_two_point_masses(self):
+        dist = bimodal_distribution(50.0, 150.0, long_fraction=0.5)
+        samples = dist.sample(np.random.default_rng(7), 1000)
+        assert set(np.unique(samples)) == {50.0, 150.0}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bimodal_distribution(50.0, 150.0, long_fraction=1.0)

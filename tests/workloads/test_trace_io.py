@@ -1,0 +1,80 @@
+"""Tests for trace persistence and replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.speedup import TabulatedSpeedup
+from repro.errors import ConfigurationError
+from repro.schedulers import SequentialScheduler
+from repro.sim.engine import ArrivalSpec, simulate
+from repro.workloads.trace_io import load_trace, save_trace, trace_to_profile
+
+_CURVE = TabulatedSpeedup([1.0, 1.5, 2.0])
+
+
+def _trace(n: int = 5) -> list[ArrivalSpec]:
+    return [ArrivalSpec(10.0 * i, 20.0 + i, _CURVE) for i in range(n)]
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert save_trace(_trace(), path, max_degree=3) == 5
+        loaded = load_trace(path)
+        assert len(loaded) == 5
+        for original, back in zip(_trace(), loaded):
+            assert back.time_ms == original.time_ms
+            assert back.seq_ms == original.seq_ms
+            assert back.speedup.table(3) == pytest.approx(original.speedup.table(3))
+
+    def test_replay_is_identical(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(_trace(20), path)
+        a = simulate(_trace(20), SequentialScheduler(), cores=2)
+        b = simulate(load_trace(path), SequentialScheduler(), cores=2)
+        assert a.latencies_ms() == pytest.approx(b.latencies_ms())
+
+    def test_load_sorts_by_arrival(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        specs = [ArrivalSpec(50.0, 10.0, _CURVE), ArrivalSpec(5.0, 10.0, _CURVE)]
+        save_trace(specs, path)
+        loaded = load_trace(path)
+        assert loaded[0].time_ms == 5.0
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(_trace(2), path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_trace(path)) == 2
+
+
+class TestValidation:
+    def test_empty_save_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_trace([], tmp_path / "x.jsonl")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_malformed_record_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"time_ms": 1.0}\n')
+        with pytest.raises(ConfigurationError, match="bad.jsonl:1"):
+            load_trace(path)
+
+
+class TestTraceToProfile:
+    def test_profile_fields(self):
+        profile = trace_to_profile(_trace(4), max_degree=3)
+        assert len(profile) == 4
+        assert profile.max_degree == 3
+        assert np.all(profile.speedups[:, 2] == 2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            trace_to_profile([], max_degree=2)
