@@ -1,0 +1,19 @@
+"""Robustness: straggler rate x hedging delay x shedding bound.
+
+Demonstrates both sides of the redundancy trade-off: hedging cuts the
+cluster p99 when stragglers dominate at moderate load (Vulimiri et
+al.), while past saturation only load shedding keeps the admitted p99
+bounded (Poloczek & Ciucu) — the no-shed tail diverges with run length.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.robustness import experiment_robustness
+
+from conftest import run_figure
+
+
+def test_robustness(benchmark, scale, save_figure):
+    """Fault injection, hedging, deadlines, and shedding end to end."""
+    result = run_figure(benchmark, experiment_robustness, scale, save_figure)
+    assert len(result.tables) == 3

@@ -17,10 +17,11 @@ from repro.experiments.ablations import ABLATIONS
 from repro.experiments.config import FULL, QUICK, TINY, Scale, default_scale
 from repro.experiments.extensions import EXTENSIONS
 from repro.experiments.figures import ALL_EXPERIMENTS
+from repro.experiments.robustness import ROBUSTNESS
 
 #: Every runnable experiment: the paper's figures/tables, the ablation
-#: studies, and the extension experiments.
-EXPERIMENTS = {**ALL_EXPERIMENTS, **ABLATIONS, **EXTENSIONS}
+#: studies, the extension experiments, and the robustness study.
+EXPERIMENTS = {**ALL_EXPERIMENTS, **ABLATIONS, **EXTENSIONS, **ROBUSTNESS}
 
 __all__ = ["main", "build_parser"]
 

@@ -6,13 +6,30 @@ from repro.cluster.aggregator import (
     cluster_tail,
     required_per_server_percentile,
 )
-from repro.cluster.simulation import ClusterResult, simulate_cluster
+from repro.cluster.hedging import (
+    HedgePolicy,
+    RetryPolicy,
+    hedged_latency,
+    latency_with_retries,
+)
+from repro.cluster.simulation import (
+    ClusterResult,
+    RobustClusterResult,
+    simulate_cluster,
+    simulate_cluster_robust,
+)
 
 __all__ = [
     "ClusterResult",
+    "HedgePolicy",
+    "RetryPolicy",
+    "RobustClusterResult",
     "achieved_cluster_percentile",
     "aggregate_latencies",
     "cluster_tail",
+    "hedged_latency",
+    "latency_with_retries",
     "required_per_server_percentile",
     "simulate_cluster",
+    "simulate_cluster_robust",
 ]

@@ -1,0 +1,142 @@
+"""Hedged requests, per-shard timeouts with retry, and deadline quality.
+
+The tail-at-scale toolkit for the fan-out cluster, navigating the
+trade-off PAPERS.md documents from both sides: Vulimiri et al. ("Low
+Latency via Redundancy") show a duplicate request to a replica cuts the
+tail when stragglers dominate, while Poloczek & Ciucu ("Contrasting
+Effects of Replication in Parallel Systems") show the same duplicate
+*hurts* once the added load pushes servers past saturation.  The
+policies here make that trade-off measurable:
+
+* :class:`HedgePolicy` — send a duplicate shard request to a replica
+  after a delay (fixed, or a percentile of the primary latency
+  marginal — the classic "hedge after p95"), take the first response.
+* :class:`RetryPolicy` — per-shard timeout with up to ``max_retries``
+  re-sends under exponential backoff; an attempt is only issued while
+  the shard is still unanswered at its issue time.
+* deadline accounting — a cluster query stops waiting at its deadline
+  and answers from the shards that made it; *answer quality* is the
+  fraction of shards that did.
+
+The latency arithmetic lives here as pure functions so it is unit
+testable independent of the simulator;
+:func:`repro.cluster.simulation.simulate_cluster_robust` supplies the
+per-attempt latencies from real (simulated) server queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "HedgePolicy",
+    "RetryPolicy",
+    "hedged_latency",
+    "latency_with_retries",
+]
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Duplicate a shard request to a replica after a delay.
+
+    Exactly one of ``delay_ms`` (fixed) or ``delay_percentile``
+    (resolved against the primary latency marginal, e.g. 0.95 for
+    "hedge after p95") must be given.
+    """
+
+    delay_ms: float | None = None
+    delay_percentile: float | None = None
+
+    def __post_init__(self) -> None:
+        if (self.delay_ms is None) == (self.delay_percentile is None):
+            raise ConfigurationError(
+                "set exactly one of delay_ms or delay_percentile"
+            )
+        if self.delay_ms is not None and self.delay_ms < 0:
+            raise ConfigurationError(f"delay_ms must be >= 0: {self.delay_ms}")
+        if self.delay_percentile is not None and not 0.0 < self.delay_percentile < 1.0:
+            raise ConfigurationError(
+                f"delay_percentile must be in (0, 1): {self.delay_percentile}"
+            )
+
+    def resolve_delay_ms(self, primary_latencies_ms: Sequence[float]) -> float:
+        """The concrete hedge delay for a run: fixed, or the configured
+        percentile of the observed primary latencies."""
+        if self.delay_ms is not None:
+            return self.delay_ms
+        if len(primary_latencies_ms) == 0:
+            raise ConfigurationError("cannot resolve a percentile from no latencies")
+        return float(
+            np.quantile(np.asarray(primary_latencies_ms, dtype=float), self.delay_percentile)
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Re-send a shard request when it has not answered by a timeout.
+
+    Attempt ``k`` (0-based; attempt 0 is the original) gets timeout
+    ``timeout_ms * backoff**k``; a retry is issued only if the shard is
+    still unanswered when its predecessor's timeout expires.  In-flight
+    attempts are never cancelled — the shard answers at the earliest
+    completion among issued attempts.
+    """
+
+    timeout_ms: float
+    max_retries: int = 1
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_ms <= 0:
+            raise ConfigurationError(f"timeout_ms must be positive: {self.timeout_ms}")
+        if self.max_retries < 1:
+            raise ConfigurationError(f"max_retries must be >= 1: {self.max_retries}")
+        if self.backoff < 1.0:
+            raise ConfigurationError(f"backoff must be >= 1: {self.backoff}")
+
+
+def hedged_latency(
+    primary_ms: float, replica_ms: float, delay_ms: float
+) -> tuple[float, bool]:
+    """Effective shard latency under hedging.
+
+    Returns ``(latency, hedge_sent)``: if the primary answers within
+    the hedge delay no duplicate is sent; otherwise the duplicate goes
+    to the replica at ``delay_ms`` and the first response wins.
+    """
+    if primary_ms <= delay_ms:
+        return primary_ms, False
+    return min(primary_ms, delay_ms + replica_ms), True
+
+
+def latency_with_retries(
+    attempt_latencies_ms: Sequence[float], policy: RetryPolicy
+) -> tuple[float, int]:
+    """Effective shard latency under timeout + exponential backoff.
+
+    ``attempt_latencies_ms[0]`` is the original attempt's latency
+    (possibly already hedged); subsequent entries are what each retry
+    *would* take if issued.  Returns ``(latency, retries_issued)``.
+    """
+    if len(attempt_latencies_ms) == 0:
+        raise ConfigurationError("need at least the original attempt's latency")
+    issue = 0.0
+    timeout = policy.timeout_ms
+    best = issue + float(attempt_latencies_ms[0])
+    retries = 0
+    budget = min(policy.max_retries, len(attempt_latencies_ms) - 1)
+    for k in range(1, budget + 1):
+        next_issue = issue + timeout
+        if best <= next_issue:
+            break  # answered before this retry would fire
+        issue = next_issue
+        timeout *= policy.backoff
+        retries += 1
+        best = min(best, issue + float(attempt_latencies_ms[k]))
+    return best, retries

@@ -17,17 +17,25 @@ tail — an effect the paper's per-server analysis abstracts away.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
+from repro.cluster.hedging import HedgePolicy, RetryPolicy, latency_with_retries
 from repro.core.formulas import weighted_order_statistic
 from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
 from repro.sim.engine import ArrivalSpec, simulate
 from repro.workloads.arrivals import ArrivalProcess
 from repro.workloads.workload import Workload
 
-__all__ = ["ClusterResult", "simulate_cluster"]
+__all__ = [
+    "ClusterResult",
+    "RobustClusterResult",
+    "simulate_cluster",
+    "simulate_cluster_robust",
+]
 
 
 @dataclass
@@ -114,4 +122,192 @@ def simulate_cluster(
     return ClusterResult(
         query_latencies_ms=stacked.max(axis=0),
         server_latencies_ms=per_server,
+    )
+
+
+@dataclass
+class RobustClusterResult:
+    """Outcome of one robust (hedged / retried / deadlined) cluster run."""
+
+    #: Effective per-query cluster latency: max over shard effective
+    #: latencies, capped at the deadline when one is set (a deadlined
+    #: query answers *at* the deadline from the shards that made it).
+    query_latencies_ms: np.ndarray
+    #: Uncapped max-over-shards effective latency (what the client
+    #: would wait without a deadline).
+    raw_query_latencies_ms: np.ndarray
+    #: Per-query answer quality: fraction of shards answered within the
+    #: deadline (1.0 everywhere when no deadline is set).
+    quality: np.ndarray
+    #: Primary per-ISN latency arrays (arrival order), pre-hedging.
+    server_latencies_ms: list[np.ndarray]
+    #: Resolved hedge delay (None when hedging is off).
+    hedge_delay_ms: float | None = None
+    #: Duplicate shard requests actually issued.
+    hedges_sent: int = 0
+    #: Retry attempts actually issued.
+    retries_sent: int = 0
+    #: Per-primary-server fault counters (dicts from FaultStats.as_dict).
+    server_fault_stats: list[dict] = field(default_factory=list)
+
+    def cluster_tail_ms(self, phi: float) -> float:
+        """φ-percentile of the effective cluster latency."""
+        lats = self.query_latencies_ms
+        return weighted_order_statistic(lats, np.ones_like(lats), phi)
+
+    def mean_quality(self) -> float:
+        """Average answer quality over all queries."""
+        return float(self.quality.mean())
+
+    def full_answer_fraction(self) -> float:
+        """Fraction of queries answered by *every* shard in time."""
+        return float(np.mean(self.quality >= 1.0))
+
+
+def simulate_cluster_robust(
+    scheduler_factory,
+    workload: Workload,
+    num_servers: int,
+    num_queries: int,
+    process: ArrivalProcess,
+    cores: int,
+    quantum_ms: float = 5.0,
+    spin_fraction: float = 0.25,
+    seed: int = 0,
+    fault_plan_factory: Callable[[int], FaultPlan | None] | None = None,
+    hedge: HedgePolicy | None = None,
+    retry: RetryPolicy | None = None,
+    deadline_ms: float | None = None,
+) -> RobustClusterResult:
+    """A fan-out experiment with faults and tail-taming mitigations.
+
+    Extends :func:`simulate_cluster` with the robustness stack:
+
+    1. **Faults** — ``fault_plan_factory(i)`` supplies a deterministic
+       :class:`~repro.faults.plan.FaultPlan` per server (primaries get
+       indices ``0..num_servers-1``, replicas ``num_servers..2N-1``),
+       so stragglers and stalls differ across shards but reproduce
+       bit-for-bit under the same seed.
+    2. **Hedging** — after the resolved delay, every still-unanswered
+       shard request is duplicated to a *replica server*, simulated
+       with the real correlated arrival process of the hedges it
+       receives; the first response wins (Vulimiri et al.).  Replica
+       load is therefore honest: a delay low enough to duplicate most
+       traffic congests the replicas, which is exactly the
+       Poloczek/Ciucu overload regime.
+    3. **Timeout + retry** — shards still unanswered at the timeout
+       re-send under exponential backoff.  Retry attempt latencies are
+       resampled deterministically from that server's observed latency
+       marginal (the retried request re-rolls its replica/queue luck);
+       retry load is *not* fed back into queues, an approximation valid
+       at the low retry rates the timeout should produce.
+    4. **Deadline** — a query stops waiting at ``deadline_ms`` and
+       answers from the shards that made it; quality is the fraction
+       that did.
+    """
+    if num_servers < 1:
+        raise ConfigurationError(f"num_servers must be >= 1: {num_servers}")
+    if num_queries < 1:
+        raise ConfigurationError(f"num_queries must be >= 1: {num_queries}")
+    if deadline_ms is not None and deadline_ms <= 0:
+        raise ConfigurationError(f"deadline_ms must be positive: {deadline_ms}")
+    rng = np.random.default_rng(seed)
+    times = process.times_ms(num_queries, rng)
+
+    def run_server(arrivals: list[ArrivalSpec], plan_index: int):
+        plan = fault_plan_factory(plan_index) if fault_plan_factory else None
+        return simulate(
+            arrivals,
+            scheduler_factory(),
+            cores=cores,
+            quantum_ms=quantum_ms,
+            spin_fraction=spin_fraction,
+            fault_plan=plan,
+        )
+
+    # --- primaries: every server sees every query at its arrival time.
+    per_server: list[np.ndarray] = []
+    fault_stats: list[dict] = []
+    for server in range(num_servers):
+        demands = workload.sampler(rng, num_queries)
+        arrivals = [
+            ArrivalSpec(
+                time_ms=float(t),
+                seq_ms=float(d),
+                speedup=workload.speedup_model.curve_for(float(d)),
+                tag=query_index,
+            )
+            for query_index, (t, d) in enumerate(zip(times, demands))
+        ]
+        result = run_server(arrivals, server)
+        latencies = np.empty(num_queries)
+        for record in result.records:
+            latencies[record.tag] = record.latency_ms
+        per_server.append(latencies)
+        fault_stats.append(result.fault_stats.as_dict())
+
+    effective = np.stack(per_server).copy()  # (servers, queries)
+
+    # --- hedging: late shards duplicate to a per-shard replica server.
+    hedge_delay: float | None = None
+    hedges_sent = 0
+    if hedge is not None:
+        hedge_delay = hedge.resolve_delay_ms(np.concatenate(per_server))
+        for server in range(num_servers):
+            hedged = [
+                q for q in range(num_queries) if per_server[server][q] > hedge_delay
+            ]
+            if not hedged:
+                continue
+            replica_demands = workload.sampler(rng, len(hedged))
+            replica_arrivals = [
+                ArrivalSpec(
+                    time_ms=float(times[q]) + hedge_delay,
+                    seq_ms=float(d),
+                    speedup=workload.speedup_model.curve_for(float(d)),
+                    tag=q,
+                )
+                for q, d in zip(hedged, replica_demands)
+            ]
+            replica = run_server(replica_arrivals, num_servers + server)
+            hedges_sent += len(hedged)
+            for record in replica.records:
+                q = record.tag
+                effective[server][q] = min(
+                    effective[server][q], hedge_delay + record.latency_ms
+                )
+
+    # --- timeout + retry with exponential backoff.
+    retries_sent = 0
+    if retry is not None:
+        retry_rng = np.random.default_rng([seed, 0x5E771E5])
+        for server in range(num_servers):
+            marginal = per_server[server]
+            for q in range(num_queries):
+                first = float(effective[server][q])
+                if first <= retry.timeout_ms:
+                    continue
+                redraws = retry_rng.choice(marginal, size=retry.max_retries)
+                latency, used = latency_with_retries([first, *redraws], retry)
+                effective[server][q] = latency
+                retries_sent += used
+
+    # --- deadline: partial aggregation + answer quality.
+    raw = effective.max(axis=0)
+    if deadline_ms is not None:
+        quality = (effective <= deadline_ms).mean(axis=0)
+        query_latencies = np.minimum(raw, deadline_ms)
+    else:
+        quality = np.ones(num_queries)
+        query_latencies = raw
+
+    return RobustClusterResult(
+        query_latencies_ms=query_latencies,
+        raw_query_latencies_ms=raw,
+        quality=quality,
+        server_latencies_ms=per_server,
+        hedge_delay_ms=hedge_delay,
+        hedges_sent=hedges_sent,
+        retries_sent=retries_sent,
+        server_fault_stats=fault_stats,
     )

@@ -39,3 +39,20 @@ class SimulationError(ReproError):
 
 class ConfigurationError(ReproError):
     """An experiment or component was configured with invalid parameters."""
+
+
+class DeadlineExceededError(ReproError):
+    """A request or query ran past its deadline budget.
+
+    Raised only where no graceful degradation is possible; components
+    that can degrade (e.g. the search executor's partial results)
+    return a degraded answer instead of raising.
+    """
+
+
+class RequestShedError(ReproError):
+    """A request was rejected by overload load shedding (fail fast)."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan is malformed or inconsistent with the simulation."""

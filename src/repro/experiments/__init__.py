@@ -6,6 +6,7 @@ from repro.experiments.config import FULL, QUICK, TINY, Scale, default_scale
 from repro.experiments.extensions import EXTENSIONS
 from repro.experiments.figures import ALL_EXPERIMENTS
 from repro.experiments.report import FigureResult, TableData, render_table
+from repro.experiments.robustness import ROBUSTNESS
 from repro.experiments.runner import PolicySeries, SweepResult, run_policy, run_sweep
 from repro.experiments.tables import bing_table, lucene_table
 
@@ -17,6 +18,7 @@ __all__ = [
     "FigureResult",
     "PolicySeries",
     "QUICK",
+    "ROBUSTNESS",
     "Scale",
     "SweepResult",
     "TINY",

@@ -1,0 +1,210 @@
+"""Robustness experiment: faults, hedging, and load shedding (beyond the paper).
+
+The paper's evaluation assumes a fault-free server.  This experiment
+injects the failure modes interactive services actually see and
+measures the two classic mitigations against each other:
+
+* **Stragglers + hedging** (Vulimiri et al., "Low Latency via
+  Redundancy"): at moderate load, duplicating late shard requests to a
+  replica cuts the cluster p99 — the more stragglers, the bigger the
+  win.
+* **Overload + shedding** (Poloczek & Ciucu, "Contrasting Effects of
+  Replication"): past saturation no amount of redundancy helps — the
+  open-loop backlog grows without bound and the only way to keep the
+  p99 of *answered* requests finite is to reject the excess (fail
+  fast).
+
+Three panels: cluster hedging under a straggler sweep, aggressive
+hedging at saturation (where redundancy stops paying), and single-node
+overload with and without shedding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.hedging import HedgePolicy
+from repro.cluster.simulation import simulate_cluster_robust
+from repro.experiments.config import Scale, default_scale
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import run_policy
+from repro.experiments.tables import bing_table, lucene_table
+from repro.faults import FaultPlan
+from repro.schedulers import FMScheduler
+from repro.workloads import bing as bing_mod
+from repro.workloads import lucene as lucene_mod
+from repro.workloads.arrivals import PoissonProcess
+
+__all__ = ["experiment_robustness", "ROBUSTNESS"]
+
+#: Fan-out width for the cluster panels (kept small: each point runs
+#: num_servers primaries + up to num_servers replica engines).
+NUM_SERVERS = 4
+#: Straggler inflation: ~3.7x mean work for an afflicted request.
+STRAGGLER_MU = 1.0
+STRAGGLER_SIGMA = 0.4
+#: The ISN's answer deadline (Section 2: "the server terminates any
+#: request at 200 ms and returns the partial results computed so far").
+DEADLINE_MS = bing_mod.TERMINATION_MS
+
+
+def _straggler_plans(rate: float, seed: int):
+    """Per-server fault-plan factory: independent straggler draws."""
+    if rate <= 0.0:
+        return None
+
+    def factory(server_index: int) -> FaultPlan:
+        return FaultPlan(
+            straggler_rate=rate,
+            straggler_mu=STRAGGLER_MU,
+            straggler_sigma=STRAGGLER_SIGMA,
+            seed=seed + 1009 * server_index,
+        )
+
+    return factory
+
+
+def _cluster_point(
+    scale: Scale,
+    rps: float,
+    straggler_rate: float,
+    hedge: HedgePolicy | None,
+    seed: int = 71,
+):
+    """One robust cluster run on the Bing workload."""
+    workload = bing_mod.bing_workload(profile_size=scale.profile_size)
+    table = bing_table(scale)
+    return simulate_cluster_robust(
+        scheduler_factory=lambda: FMScheduler(table, boosting=False),
+        workload=workload,
+        num_servers=NUM_SERVERS,
+        num_queries=scale.num_requests * 2,
+        process=PoissonProcess(rps),
+        cores=bing_mod.CORES,
+        quantum_ms=bing_mod.QUANTUM_MS,
+        spin_fraction=bing_mod.SPIN_FRACTION,
+        seed=seed,
+        fault_plan_factory=_straggler_plans(straggler_rate, seed),
+        hedge=hedge,
+        deadline_ms=DEADLINE_MS,
+    )
+
+
+def experiment_robustness(scale: Scale | None = None) -> FigureResult:
+    """Straggler rate x hedging delay x shedding bound."""
+    scale = scale or default_scale()
+    result = FigureResult(
+        "robustness", "Robustness: stragglers, hedging, deadlines, shedding"
+    )
+
+    # --- Panel 1: hedging vs stragglers at moderate load -------------
+    moderate_rps = 180.0
+    hedge_policies: list[tuple[str, HedgePolicy | None]] = [
+        ("no hedge", None),
+        ("hedge p95", HedgePolicy(delay_percentile=0.95)),
+        ("hedge p85", HedgePolicy(delay_percentile=0.85)),
+    ]
+    rows = []
+    for straggler_rate in (0.0, 0.05, 0.10):
+        for label, hedge in hedge_policies:
+            run = _cluster_point(scale, moderate_rps, straggler_rate, hedge)
+            rows.append(
+                [
+                    straggler_rate,
+                    label,
+                    run.cluster_tail_ms(0.99),
+                    run.mean_quality(),
+                    run.hedges_sent,
+                ]
+            )
+    result.add_table(
+        f"cluster p99 + answer quality at {moderate_rps:.0f} RPS "
+        f"({NUM_SERVERS}-way fan-out, {DEADLINE_MS:.0f} ms deadline)",
+        ["straggler rate", "policy", "p99 (ms)", "quality", "hedges"],
+        rows,
+    )
+
+    # --- Panel 2: the cost of redundancy as load rises ---------------
+    # A fixed hedge delay exposes the Poloczek/Ciucu side of the
+    # trade-off: as the fleet approaches saturation, the hedge fires on
+    # most shard requests — redundancy converges to full 2x
+    # replication, and the gain *per duplicate* collapses.  Latency
+    # still improves (replicas here are dedicated spare capacity) but
+    # the overload remedy is shedding (panel 3), not more duplicates.
+    hedge_fixed = HedgePolicy(delay_ms=30.0)
+    rows = []
+    for rps in (180.0, 300.0, 420.0):
+        for label, hedge in (("no hedge", None), ("hedge 30ms", hedge_fixed)):
+            run = _cluster_point(scale, rps, 0.05, hedge)
+            shard_requests = NUM_SERVERS * len(run.query_latencies_ms)
+            rows.append(
+                [
+                    rps,
+                    label,
+                    float(np.quantile(run.raw_query_latencies_ms, 0.99)),
+                    run.mean_quality(),
+                    run.hedges_sent,
+                    run.hedges_sent / shard_requests,
+                ]
+            )
+    result.add_table(
+        "fixed 30 ms hedge vs load (raw p99, pre-deadline): the duplicate "
+        "fraction climbs toward full replication as load rises",
+        ["RPS", "policy", "raw p99 (ms)", "quality", "hedges", "dup frac"],
+        rows,
+    )
+
+    # --- Panel 3: overload shedding on a single Lucene server --------
+    table = lucene_table(scale)
+    overload_rows = []
+    for rps in (40.0, 70.0, 90.0):
+        for label, scheduler in (
+            ("FM", FMScheduler(table)),
+            ("FM+shed", FMScheduler(table, max_backlog=8, deadline_ms=1000.0)),
+        ):
+            run = run_policy(
+                scheduler,
+                lucene_mod.lucene_workload(profile_size=scale.profile_size),
+                rps=rps,
+                cores=lucene_mod.CORES,
+                num_requests=scale.num_requests * 2,
+                quantum_ms=lucene_mod.QUANTUM_MS,
+                seed=42,
+                spin_fraction=lucene_mod.SPIN_FRACTION,
+            )
+            overload_rows.append(
+                [
+                    rps,
+                    label,
+                    run.tail_latency_ms(0.99),
+                    run.mean_latency_ms(),
+                    run.admitted_fraction,
+                    run.shed_count,
+                ]
+            )
+    result.add_table(
+        "single Lucene server across the saturation knee "
+        "(p99/mean over *admitted* requests)",
+        ["RPS", "policy", "p99 (ms)", "mean (ms)", "admitted", "shed"],
+        overload_rows,
+    )
+
+    result.add_note(
+        "moderate load + stragglers: hedging cuts the cluster p99 "
+        "(Vulimiri et al.) and restores answer quality lost to the deadline"
+    )
+    result.add_note(
+        "past saturation the backlog, not the stragglers, owns the tail: "
+        "shedding keeps the admitted p99 bounded while the no-shed tail "
+        "diverges with run length (Poloczek & Ciucu: redundancy cannot "
+        "help an overloaded system)"
+    )
+    result.add_note(
+        "deterministic: every fault, hedge, and shed decision replays "
+        "bit-for-bit under the same seed (FaultPlan is fully materialized)"
+    )
+    return result
+
+
+#: Registry (merged into the CLI's experiment list).
+ROBUSTNESS = {"robustness": experiment_robustness}

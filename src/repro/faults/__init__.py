@@ -1,0 +1,10 @@
+"""Fault injection and graceful-degradation primitives.
+
+Everything here is deterministic: a :class:`FaultPlan` materializes
+every fault a run will see, so injecting faults never costs the
+simulator its bit-for-bit reproducibility (see DESIGN.md §7).
+"""
+
+from repro.faults.plan import CoreFault, FaultPlan, FaultStats, StallFault
+
+__all__ = ["CoreFault", "FaultPlan", "FaultStats", "StallFault"]

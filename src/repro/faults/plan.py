@@ -1,0 +1,228 @@
+"""Deterministic fault plans for the simulator.
+
+The paper models a *fault-free* server; real interactive services blow
+their 99th percentile exactly when the environment misbehaves — a core
+is reclaimed by a co-located job, a worker thread stalls on a page
+fault or GC pause, a request hits a slow replica (a *straggler*).  A
+:class:`FaultPlan` is a fully materialized, seeded description of such
+events, so fault injection never breaks the engine's bit-for-bit
+reproducibility: the same plan plus the same arrivals yields the same
+trace, metrics included.
+
+Three fault classes (PAPERS.md: Vulimiri et al. study stragglers;
+Poloczek & Ciucu study overload — both need an injectable failure
+model to be measurable):
+
+* :class:`CoreFault` — ``cores`` hardware threads go offline at
+  ``time_ms`` and come back ``duration_ms`` later (co-location,
+  thermal throttling, reclamation).
+* :class:`StallFault` — at ``time_ms`` the running request with the
+  most remaining work freezes for ``duration_ms`` (GC pause, page
+  fault storm); its threads keep their cores but retire no work.
+* stragglers — a seeded per-request coin: with probability
+  ``straggler_rate`` a request's sequential work is inflated by a
+  deterministic lognormal factor (slow replica / cold cache).
+
+:meth:`FaultPlan.generate` draws a concrete plan from rates; building
+the event lists by hand is equally supported (and what most unit tests
+do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+
+__all__ = ["CoreFault", "StallFault", "FaultPlan", "FaultStats"]
+
+
+@dataclass(frozen=True)
+class CoreFault:
+    """``cores`` cores go offline during ``[time_ms, time_ms + duration_ms)``."""
+
+    time_ms: float
+    duration_ms: float
+    cores: int = 1
+
+    def __post_init__(self) -> None:
+        if self.time_ms < 0:
+            raise FaultInjectionError(f"core fault time must be >= 0: {self.time_ms}")
+        if self.duration_ms <= 0:
+            raise FaultInjectionError(
+                f"core fault duration must be positive: {self.duration_ms}"
+            )
+        if self.cores < 1:
+            raise FaultInjectionError(f"core fault must remove >= 1 core: {self.cores}")
+
+
+@dataclass(frozen=True)
+class StallFault:
+    """One running request freezes during ``[time_ms, time_ms + duration_ms)``.
+
+    The victim is chosen deterministically by the engine: the running
+    request with the most remaining work (ties broken by lowest rid).
+    A stall with no running request at ``time_ms`` is a no-op.
+    """
+
+    time_ms: float
+    duration_ms: float
+
+    def __post_init__(self) -> None:
+        if self.time_ms < 0:
+            raise FaultInjectionError(f"stall time must be >= 0: {self.time_ms}")
+        if self.duration_ms <= 0:
+            raise FaultInjectionError(
+                f"stall duration must be positive: {self.duration_ms}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, deterministic fault schedule for one simulation run.
+
+    Parameters
+    ----------
+    core_faults / stalls:
+        Explicit timed events, applied by the engine's event loop.
+    straggler_rate:
+        Per-request probability of service-time inflation.
+    straggler_sigma:
+        Lognormal sigma of the inflation factor; the factor is
+        ``1 + lognormal(straggler_mu, straggler_sigma)`` so it is
+        always > 1.
+    seed:
+        Root seed for the per-request straggler draws.  The draw for
+        request ``rid`` depends only on ``(seed, rid)`` — independent
+        of arrival order and of every other fault — so plans compose
+        deterministically.
+    """
+
+    core_faults: tuple[CoreFault, ...] = ()
+    stalls: tuple[StallFault, ...] = ()
+    straggler_rate: float = 0.0
+    straggler_mu: float = 0.0
+    straggler_sigma: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.straggler_rate <= 1.0:
+            raise FaultInjectionError(
+                f"straggler_rate must be in [0, 1]: {self.straggler_rate}"
+            )
+        if self.straggler_sigma < 0:
+            raise FaultInjectionError(
+                f"straggler_sigma must be >= 0: {self.straggler_sigma}"
+            )
+        object.__setattr__(self, "core_faults", tuple(self.core_faults))
+        object.__setattr__(self, "stalls", tuple(self.stalls))
+
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        """Whether the plan injects nothing at all."""
+        return (
+            not self.core_faults and not self.stalls and self.straggler_rate == 0.0
+        )
+
+    def straggler_inflation(self, rid: int) -> float:
+        """Deterministic inflation factor for request ``rid`` (1.0 = none)."""
+        if self.straggler_rate <= 0.0:
+            return 1.0
+        rng = np.random.default_rng([self.seed, rid])
+        if rng.random() >= self.straggler_rate:
+            return 1.0
+        return 1.0 + float(rng.lognormal(self.straggler_mu, self.straggler_sigma))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        horizon_ms: float,
+        core_fault_rate_hz: float = 0.0,
+        core_fault_duration_ms: float = 200.0,
+        cores_per_fault: int = 1,
+        stall_rate_hz: float = 0.0,
+        stall_duration_ms: float = 50.0,
+        straggler_rate: float = 0.0,
+        straggler_mu: float = 0.0,
+        straggler_sigma: float = 0.5,
+    ) -> "FaultPlan":
+        """Draw a concrete plan over ``[0, horizon_ms)``.
+
+        Timed events are Poisson with the given rates (in events per
+        *second* of simulated time); all randomness flows from ``seed``.
+        """
+        if horizon_ms <= 0:
+            raise FaultInjectionError(f"horizon_ms must be positive: {horizon_ms}")
+        if core_fault_rate_hz < 0 or stall_rate_hz < 0:
+            raise FaultInjectionError("fault rates must be >= 0")
+        rng = np.random.default_rng([seed, 0xFA17])
+        core_faults = tuple(
+            CoreFault(t, core_fault_duration_ms, cores_per_fault)
+            for t in _poisson_times(rng, core_fault_rate_hz, horizon_ms)
+        )
+        stalls = tuple(
+            StallFault(t, stall_duration_ms)
+            for t in _poisson_times(rng, stall_rate_hz, horizon_ms)
+        )
+        return cls(
+            core_faults=core_faults,
+            stalls=stalls,
+            straggler_rate=straggler_rate,
+            straggler_mu=straggler_mu,
+            straggler_sigma=straggler_sigma,
+            seed=seed,
+        )
+
+
+def _poisson_times(
+    rng: np.random.Generator, rate_hz: float, horizon_ms: float
+) -> list[float]:
+    """Event times of a Poisson process on ``[0, horizon_ms)``."""
+    if rate_hz <= 0:
+        return []
+    times: list[float] = []
+    t = 0.0
+    mean_gap_ms = 1000.0 / rate_hz
+    while True:
+        t += float(rng.exponential(mean_gap_ms))
+        if t >= horizon_ms:
+            return times
+        times.append(t)
+
+
+@dataclass
+class FaultStats:
+    """Counters the metrics layer accumulates during a faulty run."""
+
+    #: Timed fault events that actually fired (loss + restore pairs
+    #: count once; stalls with no victim do not count).
+    faults_fired: int = 0
+    #: Requests whose service time was inflated by a straggler draw.
+    stragglers_injected: int = 0
+    #: Stall events that froze a running request.
+    stalls_injected: int = 0
+    #: Core-loss events applied.
+    core_faults_applied: int = 0
+    #: Completions of requests that ran impaired (inflated or stalled).
+    degraded_completions: int = 0
+    #: Requests rejected by load shedding (backlog bound or deadline).
+    shed_requests: int = 0
+    #: Sheds specifically caused by a deadline-budget breach.
+    deadline_sheds: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view (for reports and bit-identical comparisons)."""
+        return {
+            "faults_fired": self.faults_fired,
+            "stragglers_injected": self.stragglers_injected,
+            "stalls_injected": self.stalls_injected,
+            "core_faults_applied": self.core_faults_applied,
+            "degraded_completions": self.degraded_completions,
+            "shed_requests": self.shed_requests,
+            "deadline_sheds": self.deadline_sheds,
+        }

@@ -20,13 +20,14 @@ on actual threads, with wall-clock latencies.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass
 
 from repro.core.table import IntervalTable
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RequestShedError
 from repro.runtime.work import LiveRequest
 
 __all__ = ["LiveServerStats", "LiveFMServer"]
@@ -34,21 +35,35 @@ __all__ = ["LiveServerStats", "LiveFMServer"]
 
 @dataclass(frozen=True)
 class LiveServerStats:
-    """Summary of a drained server."""
+    """Summary of a drained server.
+
+    A server that completed nothing (everything shed, or nothing
+    submitted) has no latency sample, so the latency statistics return
+    ``math.nan`` rather than raising — callers can ``math.isnan`` the
+    result instead of guarding every drain.
+    """
 
     completed: int
     latencies_ms: tuple[float, ...]
     max_degrees: tuple[int, ...]
+    #: Requests rejected by load shedding (queue bound or deadline).
+    shed: int = 0
+    #: Of those, rejections caused by a deadline-budget breach.
+    deadline_sheds: int = 0
 
     def tail_latency_ms(self, phi: float = 0.99) -> float:
-        """φ-percentile latency (order-statistic definition)."""
-        import math
-
+        """φ-percentile latency (order-statistic definition); ``nan``
+        when no request completed."""
+        if not self.latencies_ms:
+            return math.nan
         ordered = sorted(self.latencies_ms)
         index = max(0, math.ceil(phi * len(ordered)) - 1)
         return ordered[index]
 
     def mean_latency_ms(self) -> float:
+        """Mean latency; ``nan`` when no request completed."""
+        if not self.latencies_ms:
+            return math.nan
         return sum(self.latencies_ms) / len(self.latencies_ms)
 
 
@@ -63,17 +78,41 @@ class LiveFMServer:
         Pool size (the "cores" of the live runtime).
     quantum_ms:
         Scheduler-thread period.
+    max_queue:
+        Overload load shedding: an arrival that would queue behind
+        ``max_queue`` already-waiting requests is rejected immediately
+        — :meth:`submit` raises :class:`RequestShedError` so the client
+        fails fast instead of joining a hopeless backlog.  ``None``
+        disables the bound.
+    deadline_ms:
+        Deadline budget: a queued request whose waiting time exceeds
+        this budget is shed by the scheduler thread (the client has
+        given up; running it would only burn workers).  ``None``
+        disables deadline shedding.
     """
 
     def __init__(
-        self, table: IntervalTable, workers: int, quantum_ms: float = 5.0
+        self,
+        table: IntervalTable,
+        workers: int,
+        quantum_ms: float = 5.0,
+        max_queue: int | None = None,
+        deadline_ms: float | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1: {workers}")
         if quantum_ms <= 0:
             raise ConfigurationError(f"quantum_ms must be positive: {quantum_ms}")
+        if max_queue is not None and max_queue < 0:
+            raise ConfigurationError(f"max_queue must be >= 0: {max_queue}")
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ConfigurationError(f"deadline_ms must be positive: {deadline_ms}")
         self.table = table
         self.quantum_ms = quantum_ms
+        self.max_queue = max_queue
+        self.deadline_ms = deadline_ms
+        self._shed: list[LiveRequest] = []
+        self._deadline_sheds = 0
         self._lock = threading.Lock()
         self._running: dict[int, LiveRequest] = {}
         self._delayed: dict[int, float] = {}  # rid -> earliest start (perf s)
@@ -97,11 +136,25 @@ class LiveFMServer:
     # Client API
     # ------------------------------------------------------------------
     def submit(self, request: LiveRequest) -> None:
-        """Admit, delay, or queue an arriving request per the table."""
+        """Admit, delay, or queue an arriving request per the table.
+
+        Raises :class:`RequestShedError` when overload shedding rejects
+        the request (``max_queue`` bound exceeded) — the fail-fast
+        contract: the client learns immediately instead of timing out.
+        """
         with self._lock:
             load = self._system_count_locked() + 1
             row = self.table.lookup(load)
             if row.wait_for_exit:
+                if (
+                    self.max_queue is not None
+                    and len(self._queued) >= self.max_queue
+                ):
+                    self._shed.append(request)
+                    raise RequestShedError(
+                        f"request {request.rid} shed: backlog "
+                        f"{len(self._queued)} >= max_queue {self.max_queue}"
+                    )
                 self._queued.append(request)
                 return
             if row.admission_delay_ms > 0:
@@ -125,10 +178,14 @@ class LiveFMServer:
         self.shutdown()
         with self._lock:
             done = list(self._completed)
+            shed = len(self._shed)
+            deadline_sheds = self._deadline_sheds
         return LiveServerStats(
             completed=len(done),
             latencies_ms=tuple(r.latency_ms for r in done),
             max_degrees=tuple(r.max_observed_degree for r in done),
+            shed=shed,
+            deadline_sheds=deadline_sheds,
         )
 
     def shutdown(self) -> None:
@@ -196,6 +253,21 @@ class LiveFMServer:
             with self._lock:
                 if self._shutdown:
                     return
+                if self.deadline_ms is not None and self._queued:
+                    # Deadline shedding: a queued request that has
+                    # waited past its budget is rejected — by now the
+                    # client has given up, so running it only burns
+                    # workers that admitted requests need.
+                    now_s = time.perf_counter()
+                    budget_s = self.deadline_ms / 1000.0
+                    kept: deque[LiveRequest] = deque()
+                    for waiting in self._queued:
+                        if now_s - waiting.arrival_s > budget_s:
+                            self._shed.append(waiting)
+                            self._deadline_sheds += 1
+                        else:
+                            kept.append(waiting)
+                    self._queued = kept
                 load = max(1, self._system_count_locked())
                 row = self.table.lookup(load)
                 for request in self._running.values():

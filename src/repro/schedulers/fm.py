@@ -46,29 +46,54 @@ class FMScheduler(Scheduler):
         time, the paper's literal implementation.  Wall-clock indexing
         over-parallelizes under sustained contention (requests age
         without progressing); the ablation bench quantifies the gap.
+    max_backlog:
+        Overload load shedding: when an arrival lands on the ``e1`` row
+        and the backlog already holds this many requests, reject it
+        immediately (fail fast) instead of letting the queue destroy
+        every later request's tail.  ``None`` disables the bound.
+    deadline_ms:
+        Deadline budget: a request whose *queueing* delay exceeds this
+        budget is shed at its next wait-check — by then the client has
+        given up, so executing it would only burn cores.  ``None``
+        disables deadline shedding.
     """
 
     name = "FM"
 
     def __init__(
-        self, table: IntervalTable, boosting: bool = True, progress: str = "effective"
+        self,
+        table: IntervalTable,
+        boosting: bool = True,
+        progress: str = "effective",
+        max_backlog: int | None = None,
+        deadline_ms: float | None = None,
     ) -> None:
         if len(table) < 1:
             raise ConfigurationError("FM needs a non-empty interval table")
         if progress not in ("effective", "wall"):
             raise ConfigurationError(f"progress must be effective|wall: {progress}")
+        if max_backlog is not None and max_backlog < 0:
+            raise ConfigurationError(f"max_backlog must be >= 0: {max_backlog}")
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ConfigurationError(f"deadline_ms must be positive: {deadline_ms}")
         self.table = table
         self.boosting = boosting
         self.progress = progress
+        self.max_backlog = max_backlog
+        self.deadline_ms = deadline_ms
         if not boosting:
             self.name = "FM-noboost"
         if progress == "wall":
             self.name += "/wall"
+        if max_backlog is not None or deadline_ms is not None:
+            self.name += "+shed"
 
     # ------------------------------------------------------------------
     def on_arrival(self, ctx: SchedulerContext, request: SimRequest) -> Admission:
         row = self.table.lookup(ctx.system_count)
         if row.wait_for_exit:
+            if self.max_backlog is not None and ctx.queued_count >= self.max_backlog:
+                return Admission.shed()
             return Admission.wait_for_exit()
         if row.admission_delay_ms > 0:
             return Admission.delay(row.admission_delay_ms)
@@ -80,12 +105,15 @@ class FMScheduler(Scheduler):
         The required wait is the row's ``t0`` measured from arrival; if
         the request has already waited that long it starts now,
         otherwise it keeps waiting for the remainder.  A row that says
-        ``e1`` keeps it queued.
+        ``e1`` keeps it queued.  A request whose queueing delay has
+        blown its deadline budget is shed (fail fast).
         """
+        waited = ctx.now_ms - request.arrival_ms
+        if self.deadline_ms is not None and waited > self.deadline_ms:
+            return Admission.shed(deadline=True)
         row = self.table.lookup(ctx.system_count)
         if row.wait_for_exit:
             return Admission.wait_for_exit()
-        waited = ctx.now_ms - request.arrival_ms
         remaining = row.admission_delay_ms - waited
         if remaining > 1e-9:
             return Admission.delay(remaining)

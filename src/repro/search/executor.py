@@ -18,6 +18,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigurationError
 from repro.search.index import InvertedIndex, Segment
 from repro.search.query import Query
 from repro.search.scoring import bm25_score
@@ -49,11 +50,24 @@ class SegmentTask:
 
 @dataclass
 class QueryExecution:
-    """Full result of executing one query: ranked hits + cost breakdown."""
+    """Full result of executing one query: ranked hits + cost breakdown.
+
+    Deadline-degraded executions (``deadline_hit``) carry tasks only for
+    the segments that completed within the budget; ``coverage`` is the
+    completed fraction and ``skipped_segments`` names the rest, so a
+    partial answer is always an *explicit* partial answer — never a
+    silent drop.
+    """
 
     query: Query
     hits: list[SearchHit]
     tasks: list[SegmentTask]
+    #: Fraction of index segments whose results are merged in (1.0 = full).
+    coverage: float = 1.0
+    #: Whether the deadline budget truncated execution.
+    deadline_hit: bool = False
+    #: Segment ids the deadline forced the executor to skip.
+    skipped_segments: tuple[int, ...] = ()
 
     @property
     def total_cost_units(self) -> float:
@@ -65,6 +79,11 @@ class QueryExecution:
     def segment_costs(self) -> list[float]:
         """Per-segment task costs — the inputs to the parallel makespan."""
         return [t.cost_units for t in self.tasks]
+
+    @property
+    def is_partial(self) -> bool:
+        """Whether any segment was skipped (degraded answer)."""
+        return bool(self.skipped_segments)
 
 
 class SearchEngine:
@@ -107,12 +126,49 @@ class SearchEngine:
         task.hits = [SearchHit(doc_id, score) for doc_id, score in top]
         return task
 
-    def execute(self, query: Query) -> QueryExecution:
-        """Run the query against every segment and merge the top-k."""
-        tasks = [self.execute_segment(query, s) for s in self.index.segments]
+    def execute(
+        self, query: Query, deadline_units: float | None = None
+    ) -> QueryExecution:
+        """Run the query against every segment and merge the top-k.
+
+        ``deadline_units`` is an optional per-query budget in work
+        units (the profiler's calibration constant converts units to
+        milliseconds).  A query that exhausts the budget *degrades
+        gracefully* instead of blocking on its slowest segments: the
+        executor stops starting new segment tasks once the spent cost
+        reaches the budget, merges the results of the segments that
+        completed, and reports the coverage fraction.  At least one
+        segment always runs — a deadline response is a partial answer,
+        never an empty or missing one.
+        """
+        if deadline_units is not None and deadline_units <= 0:
+            raise ConfigurationError(
+                f"deadline_units must be positive: {deadline_units}"
+            )
+        tasks: list[SegmentTask] = []
+        skipped: list[int] = []
+        spent = 0.0
+        for segment in self.index.segments:
+            # Budget check happens *between* segments — work already
+            # done is kept (the overrun is discovered, not predicted).
+            if deadline_units is not None and tasks and spent >= deadline_units:
+                skipped.append(segment.segment_id)
+                continue
+            task = self.execute_segment(query, segment)
+            tasks.append(task)
+            spent += task.cost_units
         merged = heapq.nlargest(
             query.top_k,
             (hit for task in tasks for hit in task.hits),
             key=lambda hit: (hit.score, -hit.doc_id),
         )
-        return QueryExecution(query=query, hits=merged, tasks=tasks)
+        total_segments = len(tasks) + len(skipped)
+        return QueryExecution(
+            query=query,
+            hits=merged,
+            tasks=tasks,
+            coverage=len(tasks) / total_segments if total_segments else 1.0,
+            deadline_hit=bool(skipped)
+            or (deadline_units is not None and spent > deadline_units),
+            skipped_segments=tuple(skipped),
+        )

@@ -8,7 +8,7 @@ sharing, and selective priority boosting (see DESIGN.md §4).
 from repro.sim.api import Admission, AdmissionAction, Scheduler, SchedulerContext
 from repro.sim.engine import ArrivalSpec, Engine, simulate
 from repro.sim.events import Event, EventKind, EventQueue
-from repro.sim.metrics import MetricsCollector, RequestRecord, SimulationResult
+from repro.sim.metrics import MetricsCollector, RequestRecord, ShedRecord, SimulationResult
 from repro.sim.processor import BoostController, compute_shares
 from repro.sim.request import RequestState, SimRequest
 from repro.sim.trace import TraceEvent, TraceEventKind, TraceRecorder
@@ -27,6 +27,7 @@ __all__ = [
     "RequestState",
     "Scheduler",
     "SchedulerContext",
+    "ShedRecord",
     "SimRequest",
     "SimulationResult",
     "TraceEvent",

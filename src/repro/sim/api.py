@@ -39,6 +39,10 @@ class AdmissionAction(enum.Enum):
     START = "start"
     DELAY = "delay"
     WAIT_FOR_EXIT = "wait_for_exit"
+    #: Reject the request immediately — overload load shedding.  A shed
+    #: request never runs; it is recorded (never silently dropped) and
+    #: the client fails fast instead of queueing into a hopeless tail.
+    SHED = "shed"
 
 
 @dataclass(frozen=True)
@@ -48,6 +52,9 @@ class Admission:
     action: AdmissionAction
     degree: int = 1
     delay_ms: float = 0.0
+    #: For SHED decisions: whether the rejection was deadline-caused
+    #: (as opposed to a backlog-bound breach).
+    deadline: bool = False
 
     @classmethod
     def start(cls, degree: int) -> "Admission":
@@ -63,6 +70,16 @@ class Admission:
     def wait_for_exit(cls) -> "Admission":
         """Queue until another request exits (FM's ``e1`` marker)."""
         return cls(AdmissionAction.WAIT_FOR_EXIT)
+
+    @classmethod
+    def shed(cls, deadline: bool = False) -> "Admission":
+        """Reject the request now (fail fast under overload).
+
+        ``deadline=True`` marks the rejection as caused by a
+        deadline-budget breach rather than a backlog bound — the
+        metrics layer accounts the two separately.
+        """
+        return cls(AdmissionAction.SHED, deadline=deadline)
 
 
 class SchedulerContext:
@@ -102,6 +119,18 @@ class SchedulerContext:
     def total_threads(self) -> int:
         """Total software threads of all running requests."""
         return self._engine.total_threads
+
+    @property
+    def queued_count(self) -> int:
+        """Requests in the ``e1`` backlog (queued, not yet admitted) —
+        the quantity overload shedding bounds."""
+        return self._engine.queued_count
+
+    @property
+    def cores_online(self) -> int:
+        """Cores currently serving requests (may be below ``cores``
+        while an injected core fault is active)."""
+        return self._engine.cores_online
 
     @property
     def boosted_threads(self) -> int:

@@ -20,6 +20,7 @@ from typing import Any, Sequence
 
 from repro.core.speedup import SpeedupCurve
 from repro.errors import SimulationError
+from repro.faults.plan import CoreFault, FaultPlan, StallFault
 from repro.sim.api import Admission, AdmissionAction, Scheduler, SchedulerContext
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.metrics import MetricsCollector, SimulationResult
@@ -27,6 +28,12 @@ from repro.sim.processor import BoostController, compute_shares
 from repro.sim.request import RequestState, SimRequest
 
 __all__ = ["ArrivalSpec", "Engine", "simulate"]
+
+# FAULT event payload tags (internal).
+_CORE_LOSS = "core_loss"
+_CORE_RESTORE = "core_restore"
+_STALL = "stall"
+_STALL_END = "stall_end"
 
 _FINISH_EPS = 1e-6  # ms — one nanosecond of slack for float residue
 
@@ -55,6 +62,11 @@ class Engine:
     spin_fraction:
         Fraction of lost parallelism (``d - s(d)``) that burns CPU
         rather than blocking (see :mod:`repro.sim.processor`).
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan` injecting core
+        loss/restore events, per-request straggler inflation, and
+        transient worker stalls.  Plans are fully materialized and
+        seeded, so injection preserves bit-for-bit reproducibility.
     """
 
     def __init__(
@@ -63,6 +75,7 @@ class Engine:
         scheduler: Scheduler,
         quantum_ms: float = 5.0,
         spin_fraction: float = 0.25,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if cores < 1:
             raise SimulationError(f"cores must be >= 1, got {cores}")
@@ -72,9 +85,11 @@ class Engine:
         self.scheduler = scheduler
         self.quantum_ms = quantum_ms
         self.spin_fraction = spin_fraction
+        self.fault_plan = fault_plan
         self.boost = BoostController(cores)
 
         self.now_ms = 0.0
+        self._cores_online = cores
         self._queue = EventQueue()
         self._requests: dict[int, SimRequest] = {}
         self._running: dict[int, SimRequest] = {}
@@ -87,6 +102,7 @@ class Engine:
         self._metrics = MetricsCollector(cores)
         self._ctx = SchedulerContext(self)
         self._completed = 0
+        self._shed = 0
 
     # ------------------------------------------------------------------
     # Observable state (SchedulerContext reads these)
@@ -112,6 +128,16 @@ class Engine:
     def total_threads(self) -> int:
         return sum(r.degree for r in self._running.values())
 
+    @property
+    def queued_count(self) -> int:
+        """Size of the ``e1`` backlog (the quantity shedding bounds)."""
+        return len(self._waiting_fifo)
+
+    @property
+    def cores_online(self) -> int:
+        """Cores currently available (reduced while a core fault is live)."""
+        return self._cores_online
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
@@ -125,6 +151,16 @@ class Engine:
             request = SimRequest(rid, spec.time_ms, spec.seq_ms, spec.speedup, tag=spec.tag)
             self._requests[rid] = request
             self._queue.push(spec.time_ms, Event(EventKind.ARRIVAL, request_id=rid))
+        if self.fault_plan is not None:
+            for core_fault in self.fault_plan.core_faults:
+                self._queue.push(
+                    core_fault.time_ms,
+                    Event(EventKind.FAULT, payload=(_CORE_LOSS, core_fault)),
+                )
+            for stall in self.fault_plan.stalls:
+                self._queue.push(
+                    stall.time_ms, Event(EventKind.FAULT, payload=(_STALL, stall))
+                )
 
         while self._queue:
             time_ms, event = self._queue.pop()
@@ -139,8 +175,8 @@ class Engine:
             if self._rates_dirty:
                 self._recompute_rates()
 
-        if self._completed != len(self._requests):
-            stuck = len(self._requests) - self._completed
+        if self._completed + self._shed != len(self._requests):
+            stuck = len(self._requests) - self._completed - self._shed
             raise SimulationError(
                 f"{stuck} requests never completed (scheduler deadlock?)"
             )
@@ -158,10 +194,22 @@ class Engine:
             self._handle_quantum(self._requests[event.request_id])
         elif event.kind is EventKind.COMPLETION:
             self._handle_completion()
+        elif event.kind is EventKind.FAULT:
+            self._handle_fault(event.payload)
         else:  # pragma: no cover - enum is closed
             raise SimulationError(f"unknown event {event}")
 
     def _handle_arrival(self, request: SimRequest) -> None:
+        if self.fault_plan is not None:
+            inflation = self.fault_plan.straggler_inflation(request.rid)
+            if inflation > 1.0:
+                # A straggler: the request carries more work than its
+                # nominal demand (slow replica, cold cache).  seq_ms
+                # stays nominal — the scheduler and the demand-band
+                # metrics see the demand the request *claimed*.
+                request.remaining_work *= inflation
+                request.impaired = True
+                self._metrics.fault_stats.stragglers_injected += 1
         # The request counts toward the load its own admission sees
         # (the interval table is indexed by the count including it).
         self._candidate = 1
@@ -205,6 +253,59 @@ class Engine:
         self._wake_waiters(exits=len(finished))
 
     # ------------------------------------------------------------------
+    # Fault injection (see repro.faults)
+    # ------------------------------------------------------------------
+    def _handle_fault(self, payload: object) -> None:
+        kind, detail = payload  # type: ignore[misc]
+        stats = self._metrics.fault_stats
+        if kind == _CORE_LOSS:
+            fault: CoreFault = detail
+            removed = self._cores_online - max(1, self._cores_online - fault.cores)
+            self._cores_online -= removed
+            stats.core_faults_applied += 1
+            stats.faults_fired += 1
+            self._queue.push(
+                self.now_ms + fault.duration_ms,
+                Event(EventKind.FAULT, payload=(_CORE_RESTORE, removed)),
+            )
+            self._rates_dirty = True
+        elif kind == _CORE_RESTORE:
+            self._cores_online = min(self.cores, self._cores_online + int(detail))
+            self._rates_dirty = True
+        elif kind == _STALL:
+            stall: StallFault = detail
+            victim = self._stall_victim()
+            if victim is None:
+                return  # nothing running; the stall is a no-op
+            victim.stalled_until_ms = self.now_ms + stall.duration_ms
+            victim.impaired = True
+            stats.stalls_injected += 1
+            stats.faults_fired += 1
+            self._queue.push(
+                victim.stalled_until_ms,
+                Event(EventKind.FAULT, payload=(_STALL_END, victim.rid)),
+            )
+            self._rates_dirty = True
+        elif kind == _STALL_END:
+            # The victim may have been re-stalled or already finished;
+            # recomputing rates handles every case.
+            self._rates_dirty = True
+        else:  # pragma: no cover - payload tags are closed
+            raise SimulationError(f"unknown fault payload {payload!r}")
+
+    def _stall_victim(self) -> SimRequest | None:
+        """Deterministic stall target: the running request with the most
+        remaining work (ties broken by lowest rid)."""
+        candidates = [
+            r
+            for r in self._running.values()
+            if not r.is_stalled(self.now_ms) and not r.is_finished
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda r: (r.remaining_work, -r.rid))
+
+    # ------------------------------------------------------------------
     # Admission machinery
     # ------------------------------------------------------------------
     def _apply_admission(self, request: SimRequest, decision: Admission) -> None:
@@ -244,6 +345,12 @@ class Engine:
             else:
                 request.state = RequestState.QUEUED
                 self._waiting_fifo.append(request.rid)
+        elif decision.action is AdmissionAction.SHED:
+            # Fail fast: the request never runs; it is recorded (never
+            # silently dropped) and leaves the system immediately.
+            request.shed(self.now_ms)
+            self._metrics.record_shed(request, decision.deadline)
+            self._shed += 1
         else:  # pragma: no cover - enum is closed
             raise SimulationError(f"unknown admission {decision}")
 
@@ -270,7 +377,8 @@ class Engine:
                 forced += 1
             self._waiting_fifo.pop(0)
             self._apply_admission(request, decision)
-        # Delayed requests may start early when load drops.
+        # Delayed requests may start early when load drops — or be shed
+        # if their deadline budget expired while they waited.
         for rid in sorted(self._delayed):
             request = self._requests[rid]
             decision = self.scheduler.on_wait_check(self._ctx, request)
@@ -279,6 +387,9 @@ class Engine:
             ):
                 self._delayed.discard(rid)
                 self._apply_admission(request, Admission.start(decision.degree))
+            elif decision.action is AdmissionAction.SHED:
+                self._delayed.discard(rid)
+                self._apply_admission(request, decision)
             # A longer delay keeps the original timer: the pending
             # DELAY_EXPIRED event will re-check anyway.
 
@@ -311,12 +422,17 @@ class Engine:
         self._rates_dirty = False
         self._generation += 1
         self._shares = compute_shares(
-            self._running.values(), self.cores, self.spin_fraction
+            self._running.values(), self._cores_online, self.spin_fraction
         )
         earliest: float | None = None
         for request in self._running.values():
             factor = self._shares[request.rid].progress_factor
             request.rate = request.speedup.speedup(request.degree) * factor
+            if request.is_stalled(self.now_ms):
+                # An injected worker stall: the request's threads keep
+                # their cores (hung workers occupy, not yield) but
+                # retire no work until the stall expires.
+                request.rate = 0.0
             if request.rate > 0:
                 eta = self.now_ms + request.remaining_work / request.rate
                 if earliest is None or eta < earliest:
@@ -334,6 +450,7 @@ def simulate(
     cores: int,
     quantum_ms: float = 5.0,
     spin_fraction: float = 0.25,
+    fault_plan: FaultPlan | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: build an :class:`Engine` and run it."""
     engine = Engine(
@@ -341,5 +458,6 @@ def simulate(
         scheduler=scheduler,
         quantum_ms=quantum_ms,
         spin_fraction=spin_fraction,
+        fault_plan=fault_plan,
     )
     return engine.run(arrivals)

@@ -26,6 +26,9 @@ class EventKind(enum.Enum):
     QUANTUM = "quantum"
     #: Tentative completion; ``generation`` stale-checks it.
     COMPLETION = "completion"
+    #: An injected fault firing (core loss/restore, worker stall) —
+    #: see :mod:`repro.faults`.
+    FAULT = "fault"
 
 
 @dataclass(frozen=True)
@@ -34,12 +37,14 @@ class Event:
 
     ``request_id`` identifies the subject for all kinds but COMPLETION,
     which instead carries the rate ``generation`` it was computed under:
-    any later rate change invalidates it.
+    any later rate change invalidates it.  FAULT events carry their
+    fault description in ``payload``.
     """
 
     kind: EventKind
     request_id: int = -1
     generation: int = -1
+    payload: object = None
 
 
 @dataclass(order=True)

@@ -19,9 +19,10 @@ import numpy as np
 
 from repro.core.formulas import weighted_order_statistic
 from repro.errors import SimulationError
+from repro.faults.plan import FaultStats
 from repro.sim.request import SimRequest
 
-__all__ = ["RequestRecord", "MetricsCollector", "SimulationResult"]
+__all__ = ["RequestRecord", "ShedRecord", "MetricsCollector", "SimulationResult"]
 
 
 @dataclass(frozen=True)
@@ -56,12 +57,33 @@ class RequestRecord:
         return self.start_ms - self.arrival_ms
 
 
+@dataclass(frozen=True)
+class ShedRecord:
+    """A request rejected by load shedding — recorded, never dropped."""
+
+    rid: int
+    arrival_ms: float
+    shed_ms: float
+    seq_ms: float
+    #: True when the shed was deadline-caused (queueing delay exceeded
+    #: the deadline budget) rather than a backlog-bound breach.
+    deadline: bool
+    tag: Any = None
+
+    @property
+    def waited_ms(self) -> float:
+        """How long the request waited before being rejected."""
+        return self.shed_ms - self.arrival_ms
+
+
 class MetricsCollector:
     """Accumulates records and time-weighted integrals during a run."""
 
     def __init__(self, cores: int) -> None:
         self.cores = cores
         self.records: list[RequestRecord] = []
+        self.shed_records: list[ShedRecord] = []
+        self.fault_stats = FaultStats()
         self._thread_integral = 0.0
         self._core_busy_integral = 0.0
         self._system_count_integral = 0.0
@@ -101,6 +123,26 @@ class MetricsCollector:
                 tag=request.tag,
             )
         )
+        if request.impaired:
+            self.fault_stats.degraded_completions += 1
+
+    def record_shed(self, request: SimRequest, deadline: bool) -> None:
+        """Account a load-shed (fail-fast rejected) request."""
+        if request.shed_ms is None:
+            raise SimulationError(f"request {request.rid} not shed")
+        self.shed_records.append(
+            ShedRecord(
+                rid=request.rid,
+                arrival_ms=request.arrival_ms,
+                shed_ms=request.shed_ms,
+                seq_ms=request.seq_ms,
+                deadline=deadline,
+                tag=request.tag,
+            )
+        )
+        self.fault_stats.shed_requests += 1
+        if deadline:
+            self.fault_stats.deadline_sheds += 1
 
     def finalize(self) -> "SimulationResult":
         """Produce the immutable result object."""
@@ -112,6 +154,8 @@ class MetricsCollector:
             core_busy_integral=self._core_busy_integral,
             system_count_integral=self._system_count_integral,
             thread_residency=dict(self._thread_residency),
+            shed_records=sorted(self.shed_records, key=lambda r: r.arrival_ms),
+            fault_stats=self.fault_stats,
         )
 
 
@@ -127,6 +171,8 @@ class SimulationResult:
         core_busy_integral: float,
         system_count_integral: float,
         thread_residency: dict[int, float] | None = None,
+        shed_records: list[ShedRecord] | None = None,
+        fault_stats: FaultStats | None = None,
     ) -> None:
         if not records:
             raise SimulationError("simulation produced no completed requests")
@@ -137,6 +183,10 @@ class SimulationResult:
         self._core_busy_integral = core_busy_integral
         self._system_count_integral = system_count_integral
         self._thread_residency = thread_residency or {}
+        #: Fail-fast rejections (empty when shedding is off).
+        self.shed_records = shed_records or []
+        #: Fault-injection and shedding counters for the whole run.
+        self.fault_stats = fault_stats or FaultStats()
 
     def __len__(self) -> int:
         return len(self.records)
@@ -156,6 +206,21 @@ class SimulationResult:
     def mean_latency_ms(self) -> float:
         """Mean response time."""
         return float(self.latencies_ms().mean())
+
+    # ------------------------------------------------------------------
+    # Robustness views (load shedding / fault injection)
+    # ------------------------------------------------------------------
+    @property
+    def shed_count(self) -> int:
+        """Requests rejected by load shedding during the run."""
+        return len(self.shed_records)
+
+    @property
+    def admitted_fraction(self) -> float:
+        """Fraction of offered requests that were admitted (completed
+        over completed + shed) — the goodput denominator under shedding."""
+        total = len(self.records) + len(self.shed_records)
+        return len(self.records) / total if total else 0.0
 
     # ------------------------------------------------------------------
     # System gauges (Figures 9(c), 12(c))
@@ -222,11 +287,15 @@ class SimulationResult:
 
         System-level integrals are scaled by the retained fraction —
         they remain whole-run averages, which is what the paper reports.
+        Shed records are kept only for the slice's arrival window; fault
+        counters remain whole-run (faults are not per-record).
         """
         subset = self.records[start:stop]
         if not subset:
             raise ValueError(f"empty slice [{start}:{stop}]")
         fraction = len(subset) / len(self.records)
+        lo = subset[0].arrival_ms
+        hi = subset[-1].arrival_ms
         return SimulationResult(
             records=subset,
             cores=self.cores,
@@ -237,4 +306,6 @@ class SimulationResult:
             thread_residency={
                 count: ms * fraction for count, ms in self._thread_residency.items()
             },
+            shed_records=[r for r in self.shed_records if lo <= r.arrival_ms <= hi],
+            fault_stats=self.fault_stats,
         )

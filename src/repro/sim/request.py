@@ -26,6 +26,7 @@ class RequestState(enum.Enum):
     DELAYED = "delayed"  # waiting out a t0 > 0 admission delay
     RUNNING = "running"
     DONE = "done"
+    SHED = "shed"  # rejected by overload load shedding (never ran)
 
 
 class SimRequest:
@@ -48,6 +49,9 @@ class SimRequest:
         "degree_residency",
         "rate",
         "tag",
+        "stalled_until_ms",
+        "impaired",
+        "shed_ms",
     )
 
     def __init__(
@@ -79,6 +83,15 @@ class SimRequest:
         self.rate = 0.0
         #: Opaque caller payload (e.g. the originating query).
         self.tag = tag
+        #: While ``now < stalled_until_ms`` the request retires no work
+        #: (an injected worker stall); its threads keep their cores.
+        self.stalled_until_ms = 0.0
+        #: Whether any fault touched this request (straggler inflation
+        #: or a stall) — completions of impaired requests are counted
+        #: as *degraded* in the fault stats.
+        self.impaired = False
+        #: When load shedding rejected this request (None = not shed).
+        self.shed_ms: float | None = None
 
     # ------------------------------------------------------------------
     def start(self, now_ms: float, degree: int) -> None:
@@ -162,6 +175,17 @@ class SimRequest:
             raise SimulationError(f"request {self.rid}: cannot finish from {self.state}")
         self.state = RequestState.DONE
         self.finish_ms = now_ms
+
+    def shed(self, now_ms: float) -> None:
+        """Transition to SHED (fail-fast rejection; the request never ran)."""
+        if self.state is RequestState.RUNNING or self.state is RequestState.DONE:
+            raise SimulationError(f"request {self.rid}: cannot shed from {self.state}")
+        self.state = RequestState.SHED
+        self.shed_ms = now_ms
+
+    def is_stalled(self, now_ms: float) -> bool:
+        """Whether an injected worker stall is freezing the request."""
+        return now_ms < self.stalled_until_ms - _EPS
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,184 @@
+"""Hedged requests, retries, and the robust cluster simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.hedging import (
+    HedgePolicy,
+    RetryPolicy,
+    hedged_latency,
+    latency_with_retries,
+)
+from repro.cluster.simulation import simulate_cluster, simulate_cluster_robust
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan
+from repro.schedulers import SequentialScheduler
+from repro.workloads.arrivals import UniformProcess
+
+
+class TestHedgePolicy:
+    def test_exactly_one_delay_mode(self):
+        with pytest.raises(ConfigurationError):
+            HedgePolicy()
+        with pytest.raises(ConfigurationError):
+            HedgePolicy(delay_ms=10.0, delay_percentile=0.95)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HedgePolicy(delay_ms=-1.0)
+        with pytest.raises(ConfigurationError):
+            HedgePolicy(delay_percentile=1.0)
+
+    def test_fixed_delay_resolves_to_itself(self):
+        assert HedgePolicy(delay_ms=12.5).resolve_delay_ms([1.0]) == 12.5
+
+    def test_percentile_resolves_against_marginal(self):
+        lats = np.arange(1.0, 101.0)
+        delay = HedgePolicy(delay_percentile=0.95).resolve_delay_ms(lats)
+        assert delay == pytest.approx(np.quantile(lats, 0.95))
+
+    def test_percentile_needs_samples(self):
+        with pytest.raises(ConfigurationError):
+            HedgePolicy(delay_percentile=0.9).resolve_delay_ms([])
+
+
+class TestHedgedLatency:
+    def test_fast_primary_sends_no_hedge(self):
+        assert hedged_latency(5.0, 1.0, delay_ms=10.0) == (5.0, False)
+
+    def test_slow_primary_hedges_and_first_response_wins(self):
+        latency, sent = hedged_latency(100.0, 20.0, delay_ms=10.0)
+        assert sent
+        assert latency == pytest.approx(30.0)  # delay + replica
+
+    def test_primary_can_still_win_after_hedging(self):
+        latency, sent = hedged_latency(40.0, 500.0, delay_ms=10.0)
+        assert sent
+        assert latency == pytest.approx(40.0)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(timeout_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(timeout_ms=10.0, max_retries=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(timeout_ms=10.0, backoff=0.5)
+
+    def test_fast_answer_never_retries(self):
+        policy = RetryPolicy(timeout_ms=50.0)
+        assert latency_with_retries([10.0, 1.0], policy) == (10.0, 0)
+
+    def test_retry_improves_a_timed_out_shard(self):
+        policy = RetryPolicy(timeout_ms=50.0)
+        latency, retries = latency_with_retries([1000.0, 10.0], policy)
+        assert retries == 1
+        assert latency == pytest.approx(60.0)  # issued at 50 + 10
+
+    def test_original_attempt_is_not_cancelled(self):
+        policy = RetryPolicy(timeout_ms=50.0)
+        latency, retries = latency_with_retries([70.0, 400.0], policy)
+        assert retries == 1
+        assert latency == pytest.approx(70.0)
+
+    def test_exponential_backoff_issue_times(self):
+        policy = RetryPolicy(timeout_ms=10.0, max_retries=2, backoff=3.0)
+        # Retries issue at 10 and 10 + 30 = 40.
+        latency, retries = latency_with_retries([1000.0, 1000.0, 5.0], policy)
+        assert retries == 2
+        assert latency == pytest.approx(45.0)
+
+    def test_needs_an_attempt(self):
+        with pytest.raises(ConfigurationError):
+            latency_with_retries([], RetryPolicy(timeout_ms=10.0))
+
+
+class TestSimulateClusterRobust:
+    def _run(self, tiny_workload, **kwargs):
+        return simulate_cluster_robust(
+            scheduler_factory=SequentialScheduler,
+            workload=tiny_workload,
+            num_servers=3,
+            num_queries=50,
+            process=UniformProcess(60.0),
+            cores=4,
+            seed=2,
+            **kwargs,
+        )
+
+    def test_no_mitigations_matches_plain_cluster(self, tiny_workload):
+        """With every robustness feature off, the robust path is
+        bit-identical to simulate_cluster (same RNG stream)."""
+        robust = self._run(tiny_workload)
+        plain = simulate_cluster(
+            scheduler_factory=SequentialScheduler,
+            workload=tiny_workload,
+            num_servers=3,
+            num_queries=50,
+            process=UniformProcess(60.0),
+            cores=4,
+            seed=2,
+        )
+        assert np.array_equal(robust.query_latencies_ms, plain.query_latencies_ms)
+        assert robust.mean_quality() == 1.0
+        assert robust.hedges_sent == 0
+
+    def test_deterministic_with_full_stack(self, tiny_workload):
+        kwargs = dict(
+            fault_plan_factory=lambda i: FaultPlan(straggler_rate=0.3, seed=10 + i),
+            hedge=HedgePolicy(delay_percentile=0.9),
+            retry=RetryPolicy(timeout_ms=400.0),
+            deadline_ms=500.0,
+        )
+        a = self._run(tiny_workload, **kwargs)
+        b = self._run(tiny_workload, **kwargs)
+        assert np.array_equal(a.query_latencies_ms, b.query_latencies_ms)
+        assert np.array_equal(a.quality, b.quality)
+        assert (a.hedges_sent, a.retries_sent) == (b.hedges_sent, b.retries_sent)
+        assert a.server_fault_stats == b.server_fault_stats
+
+    def test_hedging_never_raises_the_max_over_shards(self, tiny_workload):
+        base = self._run(tiny_workload)
+        hedged = self._run(tiny_workload, hedge=HedgePolicy(delay_percentile=0.8))
+        assert hedged.hedges_sent > 0
+        assert hedged.hedge_delay_ms is not None
+        assert np.all(
+            hedged.raw_query_latencies_ms <= base.raw_query_latencies_ms + 1e-9
+        )
+
+    def test_deadline_caps_latency_and_scores_quality(self, tiny_workload):
+        run = self._run(tiny_workload, deadline_ms=100.0)
+        assert np.all(run.query_latencies_ms <= 100.0 + 1e-9)
+        assert np.all((run.quality >= 0.0) & (run.quality <= 1.0))
+        # Quality is the per-query fraction of shards inside the deadline.
+        stacked = np.stack(run.server_latencies_ms)
+        assert np.allclose(run.quality, (stacked <= 100.0).mean(axis=0))
+        assert 0.0 < run.full_answer_fraction() <= 1.0
+
+    def test_stragglers_raise_the_tail(self, tiny_workload):
+        base = self._run(tiny_workload)
+        frail = self._run(
+            tiny_workload,
+            fault_plan_factory=lambda i: FaultPlan(
+                straggler_rate=0.4, straggler_mu=1.0, seed=i
+            ),
+        )
+        assert frail.cluster_tail_ms(0.95) > base.cluster_tail_ms(0.95)
+        assert sum(s["stragglers_injected"] for s in frail.server_fault_stats) > 0
+
+    def test_retries_fire_on_timeouts(self, tiny_workload):
+        run = self._run(
+            tiny_workload,
+            fault_plan_factory=lambda i: FaultPlan(
+                straggler_rate=0.4, straggler_mu=1.5, seed=i
+            ),
+            retry=RetryPolicy(timeout_ms=150.0),
+        )
+        assert run.retries_sent > 0
+
+    def test_validation(self, tiny_workload):
+        with pytest.raises(ConfigurationError):
+            self._run(tiny_workload, deadline_ms=0.0)

@@ -49,6 +49,29 @@ class TestSimulateCluster:
         b = self._run(tiny_workload)
         assert np.array_equal(a.query_latencies_ms, b.query_latencies_ms)
 
+    def test_same_seed_is_bit_identical_everywhere(self, tiny_workload):
+        """Not just the cluster max: every per-server latency array
+        replays bit-for-bit under the same seed."""
+        a = self._run(tiny_workload)
+        b = self._run(tiny_workload)
+        for lat_a, lat_b in zip(a.server_latencies_ms, b.server_latencies_ms):
+            assert np.array_equal(lat_a, lat_b)
+
+    def test_different_seeds_produce_different_latencies(self, tiny_workload):
+        def run(seed):
+            return simulate_cluster(
+                scheduler_factory=SequentialScheduler,
+                workload=tiny_workload,
+                num_servers=4,
+                num_queries=60,
+                process=UniformProcess(50.0),
+                cores=4,
+                seed=seed,
+            )
+
+        a, b = run(1), run(2)
+        assert not np.array_equal(a.query_latencies_ms, b.query_latencies_ms)
+
     def test_validation(self, tiny_workload):
         with pytest.raises(ConfigurationError):
             simulate_cluster(

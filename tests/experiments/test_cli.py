@@ -20,6 +20,10 @@ class TestParser:
         assert args.experiment == "all"
         assert args.scale == "tiny"
 
+    def test_accepts_robustness_experiment(self):
+        args = build_parser().parse_args(["robustness"])
+        assert args.experiment == "robustness"
+
     def test_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig99"])

@@ -126,3 +126,56 @@ class TestLiveServer:
         server.drain(timeout_s=5.0)
         server.shutdown()
         server.shutdown()
+
+
+class TestEmptyDrain:
+    def test_drain_with_no_requests_returns_nan_stats(self):
+        """Regression: draining an idle server used to crash computing
+        latency statistics over an empty sample (IndexError in the
+        percentile, ZeroDivisionError in the mean)."""
+        import math
+
+        server = LiveFMServer(_table(), workers=2)
+        stats = server.drain(timeout_s=5.0)
+        assert stats.completed == 0
+        assert math.isnan(stats.tail_latency_ms(0.99))
+        assert math.isnan(stats.mean_latency_ms())
+
+
+class TestLiveShedding:
+    def test_max_queue_sheds_with_fail_fast_error(self):
+        """With capacity 1 and max_queue 0, the second concurrent
+        arrival is rejected immediately instead of queueing."""
+        from repro.errors import RequestShedError
+
+        table = _table(step_ms=500.0, capacity_rows=1)
+        server = LiveFMServer(table, workers=4, quantum_ms=5.0, max_queue=0)
+        server.submit(_request(0, 120.0))
+        time.sleep(0.02)  # ensure request 0 is running, not queued
+        with pytest.raises(RequestShedError):
+            server.submit(_request(1, 120.0))
+        stats = server.drain(timeout_s=10.0)
+        assert stats.completed == 1
+        assert stats.shed == 1
+        assert stats.deadline_sheds == 0
+
+    def test_deadline_budget_sheds_stale_queued_requests(self):
+        """A queued request whose wait exceeds the deadline budget is
+        shed by the scheduler thread, and the server still drains."""
+        table = _table(step_ms=500.0, capacity_rows=1)
+        server = LiveFMServer(
+            table, workers=4, quantum_ms=5.0, deadline_ms=30.0
+        )
+        server.submit(_request(0, 150.0))
+        time.sleep(0.02)
+        server.submit(_request(1, 50.0))  # queues behind the 150 ms run
+        stats = server.drain(timeout_s=10.0)
+        assert stats.completed == 1
+        assert stats.shed == 1
+        assert stats.deadline_sheds == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LiveFMServer(_table(), workers=2, max_queue=-1)
+        with pytest.raises(ConfigurationError):
+            LiveFMServer(_table(), workers=2, deadline_ms=0.0)

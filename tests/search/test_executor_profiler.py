@@ -58,6 +58,62 @@ class TestExecutor:
         assert [h.doc_id for h in a.hits] == [h.doc_id for h in b.hits]
 
 
+class TestDeadlineDegradation:
+    """Deadline-hit queries answer partially — never hang, never drop."""
+
+    def test_no_deadline_is_full_coverage(self, engine):
+        execution = engine.execute(parse_query("t1 t2"))
+        assert execution.coverage == 1.0
+        assert not execution.deadline_hit
+        assert not execution.is_partial
+        assert execution.skipped_segments == ()
+
+    def test_tight_deadline_returns_partial_results(self, engine):
+        query = parse_query("t1 t2", top_k=10)
+        full = engine.execute(query)
+        tight = engine.execute(query, deadline_units=full.total_cost_units / 10)
+        assert tight.deadline_hit
+        assert tight.is_partial
+        assert 0.0 < tight.coverage < 1.0
+        # The partial answer is real: hits from the completed segments.
+        assert tight.hits
+        completed = {t.segment_id for t in tight.tasks}
+        assert completed.isdisjoint(tight.skipped_segments)
+        assert len(completed) + len(tight.skipped_segments) == (
+            engine.index.num_segments
+        )
+        assert tight.coverage == pytest.approx(
+            len(completed) / engine.index.num_segments
+        )
+
+    def test_first_segment_always_runs(self, engine):
+        """Even an absurdly small budget yields an answer, not nothing."""
+        execution = engine.execute(parse_query("t1"), deadline_units=1e-9)
+        assert len(execution.tasks) == 1
+        assert execution.coverage == pytest.approx(1 / engine.index.num_segments)
+        assert execution.deadline_hit
+
+    def test_partial_hits_are_subset_quality(self, engine):
+        """Partial top-k scores can only be <= the full top-k scores."""
+        query = parse_query("t1 t3", top_k=5)
+        full = engine.execute(query)
+        tight = engine.execute(query, deadline_units=full.total_cost_units / 4)
+        for partial_hit, full_hit in zip(tight.hits, full.hits):
+            assert partial_hit.score <= full_hit.score + 1e-12
+
+    def test_generous_deadline_changes_nothing(self, engine):
+        query = parse_query("t2 t4", top_k=8)
+        full = engine.execute(query)
+        relaxed = engine.execute(query, deadline_units=full.total_cost_units * 10)
+        assert not relaxed.deadline_hit
+        assert relaxed.coverage == 1.0
+        assert [h.doc_id for h in relaxed.hits] == [h.doc_id for h in full.hits]
+
+    def test_validation(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.execute(parse_query("t1"), deadline_units=0.0)
+
+
 class TestLptMakespan:
     def test_single_worker_is_sum(self):
         assert lpt_makespan([3.0, 1.0, 2.0], 1) == pytest.approx(6.0)

@@ -15,10 +15,31 @@ def test_all_errors_derive_from_repro_error():
         errors.SearchInfeasibleError,
         errors.SimulationError,
         errors.ConfigurationError,
+        errors.DeadlineExceededError,
+        errors.RequestShedError,
+        errors.FaultInjectionError,
     ]
     for cls in subclasses:
         assert issubclass(cls, errors.ReproError)
         assert issubclass(cls, Exception)
+
+
+def test_hierarchy_is_flat_and_disjoint():
+    """Each leaf derives directly from ReproError, not from a sibling —
+    catching one class never accidentally swallows another."""
+    leaves = [
+        errors.DeadlineExceededError,
+        errors.RequestShedError,
+        errors.FaultInjectionError,
+        errors.ConfigurationError,
+        errors.SimulationError,
+    ]
+    for cls in leaves:
+        assert cls.__bases__ == (errors.ReproError,)
+    for a in leaves:
+        for b in leaves:
+            if a is not b:
+                assert not issubclass(a, b)
 
 
 def test_one_except_clause_catches_library_failures():
@@ -26,3 +47,10 @@ def test_one_except_clause_catches_library_failures():
 
     with pytest.raises(errors.ReproError):
         IntervalSchedule([])
+
+
+def test_fault_injection_error_raised_by_bad_plan():
+    from repro.faults import FaultPlan
+
+    with pytest.raises(errors.FaultInjectionError):
+        FaultPlan(straggler_rate=-0.1)
