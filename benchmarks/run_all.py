@@ -1,0 +1,223 @@
+"""Telemetry perf trajectory: off-vs-on benches -> BENCH_telemetry.json.
+
+Runs the simulator, search-executor, and cluster benches twice each —
+telemetry explicitly disabled vs enabled — plus microbenchmarks of the
+telemetry primitives themselves, and writes the headline numbers
+(events/sec, p50/p99, overhead %) to ``BENCH_telemetry.json`` at the
+repo root so future PRs have a baseline to regress against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--scale quick] [--output PATH]
+
+The acceptance bound for this trajectory is a <3% simulator slowdown
+with telemetry disabled (the "off" run *is* the instrumented build with
+its pipeline resolved to None, so the delta vs the pre-telemetry
+baseline is the cost of the ``is None`` guards).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.cluster.hedging import HedgePolicy
+from repro.cluster.simulation import simulate_cluster_robust
+from repro.experiments.config import Scale, default_scale
+from repro.experiments.tables import bing_table
+from repro.experiments.runner import run_policy
+from repro.schedulers import FMScheduler
+from repro.search.corpus import generate_corpus, generate_query_log
+from repro.search.executor import SearchEngine
+from repro.search.index import InvertedIndex
+from repro.search.query import parse_query
+from repro.telemetry import LogHistogram, MetricsRegistry, Telemetry, Tracer
+from repro.telemetry.clock import ManualClock
+from repro.workloads import bing as bing_mod
+from repro.workloads.arrivals import PoissonProcess
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TIMING_REPEATS = 3
+
+
+def best_of(fn, repeats: int = TIMING_REPEATS) -> float:
+    """Best wall time over ``repeats`` calls (sheds scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def off_on_cell(make_run, units: int) -> dict:
+    """Time ``make_run(telemetry)`` with telemetry off vs on.
+
+    ``make_run`` returns a zero-arg runner bound to the given pipeline;
+    ``units`` is the work count (requests/queries) per run.
+    """
+    off_tel = Telemetry(enabled=False)
+    on_tel = Telemetry()
+    off_s = best_of(make_run(off_tel))
+    on_s = best_of(make_run(on_tel))
+    spans = len(on_tel.tracer.spans)
+    cell = {
+        "off_wall_s": round(off_s, 6),
+        "on_wall_s": round(on_s, 6),
+        "off_units_per_s": round(units / off_s, 1),
+        "on_units_per_s": round(units / on_s, 1),
+        "overhead_enabled_pct": round(100.0 * (on_s / off_s - 1.0), 2),
+        "spans": spans,
+        "span_events_per_s": round(spans / on_s, 1),
+    }
+    for name, histogram in on_tel.metrics.histograms.items():
+        if name.endswith("latency_ms"):
+            cell["p50_ms"] = round(histogram.percentile(0.50), 3)
+            cell["p99_ms"] = round(histogram.percentile(0.99), 3)
+    return cell
+
+
+def bench_sim(scale: Scale) -> dict:
+    table = bing_table(scale)
+    workload = bing_mod.bing_workload(profile_size=scale.profile_size)
+    num_requests = scale.num_requests * 2
+
+    def make_run(telemetry: Telemetry):
+        def run():
+            telemetry.reset()
+            run_policy(
+                FMScheduler(table),
+                workload,
+                rps=180.0,
+                cores=bing_mod.CORES,
+                num_requests=num_requests,
+                quantum_ms=bing_mod.QUANTUM_MS,
+                spin_fraction=bing_mod.SPIN_FRACTION,
+                telemetry=telemetry,
+            )
+
+        return run
+
+    return {"num_requests": num_requests, **off_on_cell(make_run, num_requests)}
+
+
+def bench_search(scale: Scale) -> dict:
+    documents = generate_corpus(max(200, scale.num_requests), seed=7)
+    index = InvertedIndex.build(documents, num_segments=8)
+    queries = [
+        parse_query(text)
+        for text in generate_query_log(max(100, scale.num_requests // 2), seed=11)
+    ]
+
+    def make_run(telemetry: Telemetry):
+        engine = SearchEngine(index, telemetry=telemetry)
+
+        def run():
+            telemetry.reset()
+            for query in queries:
+                engine.execute(query)
+
+        return run
+
+    return {"num_queries": len(queries), **off_on_cell(make_run, len(queries))}
+
+
+def bench_cluster(scale: Scale) -> dict:
+    table = bing_table(scale)
+    workload = bing_mod.bing_workload(profile_size=scale.profile_size)
+    num_queries = scale.num_requests
+
+    def make_run(telemetry: Telemetry):
+        def run():
+            telemetry.reset()
+            simulate_cluster_robust(
+                scheduler_factory=lambda: FMScheduler(table, boosting=False),
+                workload=workload,
+                num_servers=4,
+                num_queries=num_queries,
+                process=PoissonProcess(180.0),
+                cores=bing_mod.CORES,
+                quantum_ms=bing_mod.QUANTUM_MS,
+                spin_fraction=bing_mod.SPIN_FRACTION,
+                seed=71,
+                hedge=HedgePolicy(delay_percentile=0.9),
+                deadline_ms=bing_mod.TERMINATION_MS,
+                telemetry=telemetry,
+            )
+
+        return run
+
+    return {"num_queries": num_queries, **off_on_cell(make_run, num_queries)}
+
+
+def bench_primitives() -> dict:
+    """Raw telemetry-primitive throughput (events/sec)."""
+    n = 200_000
+    values = [1.0 + (i % 997) for i in range(n)]
+
+    histogram = LogHistogram()
+    hist_s = best_of(lambda: [histogram.record(v) for v in values])
+
+    registry = MetricsRegistry()
+    counter = registry.counter("bench.counter")
+    counter_s = best_of(lambda: [counter.inc() for _ in range(n)])
+
+    def spans():
+        tracer = Tracer(clock=ManualClock())
+        for i in range(n // 10):
+            tracer.complete("bench", float(i), float(i + 1), track="bench", lane=i)
+
+    span_s = best_of(spans)
+    return {
+        "histogram_record_per_s": round(n / hist_s, 0),
+        "counter_inc_per_s": round(n / counter_s, 0),
+        "span_complete_per_s": round((n // 10) / span_s, 0),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", choices=["tiny", "quick", "full"], default=None,
+        help="fidelity preset (default: $REPRO_SCALE or 'quick')",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_telemetry.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    if args.scale:
+        from repro.experiments.config import FULL, QUICK, TINY
+
+        scale = {"tiny": TINY, "quick": QUICK, "full": FULL}[args.scale]
+    else:
+        scale = default_scale()
+
+    print(f"running telemetry benches at scale={scale.name} ...")
+    report = {
+        "benchmark": "telemetry",
+        "scale": scale.name,
+        "python": platform.python_version(),
+        "timing_repeats": TIMING_REPEATS,
+        "sim": bench_sim(scale),
+        "search": bench_search(scale),
+        "cluster": bench_cluster(scale),
+        "primitives": bench_primitives(),
+    }
+    report["notes"] = (
+        "off runs pass an explicit Telemetry(enabled=False): the disabled "
+        "path is the instrumented build with every pipeline resolved to "
+        "None. Acceptance bound: sim off_units_per_s within 3% of the "
+        "pre-telemetry baseline."
+    )
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

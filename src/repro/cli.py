@@ -5,6 +5,12 @@ tables, e.g.::
 
     repro-fm fig8 --scale quick
     repro-fm all --scale full
+    repro-fm robustness --trace trace.json   # then open chrome://tracing
+
+``--trace`` installs an ambient :class:`~repro.telemetry.Telemetry`
+pipeline for the run and writes every span the instrumented layers
+emit (sim, search, runtime, cluster) as Chrome/Perfetto trace-event
+JSON.
 """
 
 from __future__ import annotations
@@ -18,10 +24,20 @@ from repro.experiments.config import FULL, QUICK, TINY, Scale, default_scale
 from repro.experiments.extensions import EXTENSIONS
 from repro.experiments.figures import ALL_EXPERIMENTS
 from repro.experiments.robustness import ROBUSTNESS
+from repro.experiments.telemetry import TELEMETRY
+from repro.telemetry import Telemetry, install
+from repro.telemetry.export import write_chrome_trace
 
 #: Every runnable experiment: the paper's figures/tables, the ablation
-#: studies, the extension experiments, and the robustness study.
-EXPERIMENTS = {**ALL_EXPERIMENTS, **ABLATIONS, **EXTENSIONS, **ROBUSTNESS}
+#: studies, the extension experiments, the robustness study, and the
+#: telemetry overhead study.
+EXPERIMENTS = {
+    **ALL_EXPERIMENTS,
+    **ABLATIONS,
+    **EXTENSIONS,
+    **ROBUSTNESS,
+    **TELEMETRY,
+}
 
 __all__ = ["main", "build_parser"]
 
@@ -49,6 +65,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="fidelity preset (default: $REPRO_SCALE or 'quick')",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        default=None,
+        help=(
+            "record telemetry spans from every instrumented layer and "
+            "write Chrome/Perfetto trace-event JSON (open in "
+            "chrome://tracing or ui.perfetto.dev)"
+        ),
+    )
     return parser
 
 
@@ -57,12 +83,20 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     scale = _SCALES[args.scale] if args.scale else default_scale()
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        started = time.perf_counter()
-        result = EXPERIMENTS[name](scale)
-        elapsed = time.perf_counter() - started
-        print(result.render())
-        print(f"\n[{name} completed in {elapsed:.1f}s at scale={scale.name}]\n")
+    telemetry = Telemetry() if args.trace else None
+    with install(telemetry):
+        for name in names:
+            started = time.perf_counter()
+            result = EXPERIMENTS[name](scale)
+            elapsed = time.perf_counter() - started
+            print(result.render())
+            print(f"\n[{name} completed in {elapsed:.1f}s at scale={scale.name}]\n")
+    if telemetry is not None:
+        write_chrome_trace(args.trace, telemetry)
+        print(
+            f"[trace: {len(telemetry.tracer.spans)} spans from "
+            f"{len(telemetry.tracer.tracks())} tracks -> {args.trace}]"
+        )
     return 0
 
 

@@ -27,6 +27,8 @@ from repro.core.formulas import weighted_order_statistic
 from repro.errors import ConfigurationError
 from repro.faults.plan import FaultPlan
 from repro.sim.engine import ArrivalSpec, simulate
+from repro.sim.metrics import SimulationResult
+from repro.telemetry import Telemetry, resolve_telemetry
 from repro.workloads.arrivals import ArrivalProcess
 from repro.workloads.workload import Workload
 
@@ -36,6 +38,32 @@ __all__ = [
     "simulate_cluster",
     "simulate_cluster_robust",
 ]
+
+#: Passed to inner per-server engines: the cluster layer owns telemetry
+#: for its shards (one span per shard request on the ``"cluster"``
+#: track); letting every server engine also resolve an ambient pipeline
+#: would interleave N servers' request ids on the same ``"sim"`` lanes.
+_SUPPRESS_INNER = Telemetry(enabled=False)
+
+
+def _record_shard_spans(
+    telemetry: Telemetry, server: int, result: SimulationResult
+) -> None:
+    """One span per (server, query): arrival to completion, on the
+    query's lane — shard spans of one query share a start time, so the
+    exporter nests them longest-outermost."""
+    tracer = telemetry.tracer
+    for record in result.records:
+        tracer.complete(
+            f"shard{server}",
+            record.arrival_ms,
+            record.finish_ms,
+            track="cluster",
+            lane=int(record.tag),
+            server=server,
+            degree=record.final_degree,
+        )
+    telemetry.metrics.counter("cluster.shard_requests").inc(len(result.records))
 
 
 @dataclass
@@ -71,6 +99,7 @@ def simulate_cluster(
     quantum_ms: float = 5.0,
     spin_fraction: float = 0.25,
     seed: int = 0,
+    telemetry: Telemetry | None = None,
 ) -> ClusterResult:
     """Run one fan-out experiment.
 
@@ -86,11 +115,16 @@ def simulate_cluster(
     process:
         Arrival process for the *cluster* queries; every server sees
         the same arrival instants.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` pipeline: emits
+        one span per shard request on the ``"cluster"`` track (lane =
+        query index, in virtual ms) and a cluster-latency histogram.
     """
     if num_servers < 1:
         raise ConfigurationError(f"num_servers must be >= 1: {num_servers}")
     if num_queries < 1:
         raise ConfigurationError(f"num_queries must be >= 1: {num_queries}")
+    telemetry = resolve_telemetry(telemetry)
     rng = np.random.default_rng(seed)
     times = process.times_ms(num_queries, rng)
 
@@ -112,15 +146,24 @@ def simulate_cluster(
             cores=cores,
             quantum_ms=quantum_ms,
             spin_fraction=spin_fraction,
+            telemetry=_SUPPRESS_INNER,
         )
         latencies = np.empty(num_queries)
         for record in result.records:
             latencies[record.tag] = record.latency_ms
         per_server.append(latencies)
+        if telemetry is not None:
+            _record_shard_spans(telemetry, server, result)
 
     stacked = np.stack(per_server)
+    cluster_latencies = stacked.max(axis=0)
+    if telemetry is not None:
+        telemetry.metrics.counter("cluster.queries").inc(num_queries)
+        histogram = telemetry.metrics.histogram("cluster.query_latency_ms")
+        for latency in cluster_latencies:
+            histogram.record(float(latency))
     return ClusterResult(
-        query_latencies_ms=stacked.max(axis=0),
+        query_latencies_ms=cluster_latencies,
         server_latencies_ms=per_server,
     )
 
@@ -178,6 +221,7 @@ def simulate_cluster_robust(
     hedge: HedgePolicy | None = None,
     retry: RetryPolicy | None = None,
     deadline_ms: float | None = None,
+    telemetry: Telemetry | None = None,
 ) -> RobustClusterResult:
     """A fan-out experiment with faults and tail-taming mitigations.
 
@@ -204,6 +248,11 @@ def simulate_cluster_robust(
     4. **Deadline** — a query stops waiting at ``deadline_ms`` and
        answers from the shards that made it; quality is the fraction
        that did.
+
+    With a resolved :class:`~repro.telemetry.Telemetry` pipeline the
+    run emits primary-shard spans on the ``"cluster"`` track, hedge
+    spans on ``"cluster.hedge"``, hedge/retry/deadline-miss counters,
+    and latency + quality histograms.
     """
     if num_servers < 1:
         raise ConfigurationError(f"num_servers must be >= 1: {num_servers}")
@@ -211,6 +260,7 @@ def simulate_cluster_robust(
         raise ConfigurationError(f"num_queries must be >= 1: {num_queries}")
     if deadline_ms is not None and deadline_ms <= 0:
         raise ConfigurationError(f"deadline_ms must be positive: {deadline_ms}")
+    telemetry = resolve_telemetry(telemetry)
     rng = np.random.default_rng(seed)
     times = process.times_ms(num_queries, rng)
 
@@ -223,6 +273,7 @@ def simulate_cluster_robust(
             quantum_ms=quantum_ms,
             spin_fraction=spin_fraction,
             fault_plan=plan,
+            telemetry=_SUPPRESS_INNER,
         )
 
     # --- primaries: every server sees every query at its arrival time.
@@ -245,6 +296,8 @@ def simulate_cluster_robust(
             latencies[record.tag] = record.latency_ms
         per_server.append(latencies)
         fault_stats.append(result.fault_stats.as_dict())
+        if telemetry is not None:
+            _record_shard_spans(telemetry, server, result)
 
     effective = np.stack(per_server).copy()  # (servers, queries)
 
@@ -276,6 +329,21 @@ def simulate_cluster_robust(
                 effective[server][q] = min(
                     effective[server][q], hedge_delay + record.latency_ms
                 )
+                if telemetry is not None:
+                    # Hedges get their own track: they start mid-query,
+                    # so nesting them under the primary shard span would
+                    # be an improper partial overlap.
+                    telemetry.tracer.complete(
+                        f"hedge{server}",
+                        float(times[q]) + hedge_delay,
+                        float(times[q]) + hedge_delay + record.latency_ms,
+                        track="cluster.hedge",
+                        lane=int(q),
+                        server=server,
+                        won=bool(
+                            hedge_delay + record.latency_ms < per_server[server][q]
+                        ),
+                    )
 
     # --- timeout + retry with exponential backoff.
     retries_sent = 0
@@ -300,6 +368,21 @@ def simulate_cluster_robust(
     else:
         quality = np.ones(num_queries)
         query_latencies = raw
+
+    if telemetry is not None:
+        metrics = telemetry.metrics
+        metrics.counter("cluster.queries").inc(num_queries)
+        metrics.counter("cluster.hedges").inc(hedges_sent)
+        metrics.counter("cluster.retries").inc(retries_sent)
+        if deadline_ms is not None:
+            metrics.counter("cluster.deadline_misses").inc(
+                int(np.sum(raw > deadline_ms))
+            )
+        latency_hist = metrics.histogram("cluster.query_latency_ms")
+        quality_hist = metrics.histogram("cluster.quality")
+        for latency, answered in zip(query_latencies, quality):
+            latency_hist.record(float(latency))
+            quality_hist.record(float(answered))
 
     return RobustClusterResult(
         query_latencies_ms=query_latencies,

@@ -17,6 +17,7 @@ from repro.errors import ConfigurationError
 from repro.sim.api import Scheduler
 from repro.sim.engine import simulate
 from repro.sim.metrics import SimulationResult
+from repro.telemetry import Telemetry
 from repro.workloads.arrivals import ArrivalProcess, PoissonProcess
 from repro.workloads.workload import Workload
 
@@ -33,6 +34,7 @@ def run_policy(
     seed: int = 42,
     process: ArrivalProcess | None = None,
     spin_fraction: float = 0.25,
+    telemetry: Telemetry | None = None,
 ) -> SimulationResult:
     """One experiment run: ``num_requests`` open-loop arrivals at
     ``rps`` against a ``cores``-core server under ``scheduler``."""
@@ -44,6 +46,7 @@ def run_policy(
         cores=cores,
         quantum_ms=quantum_ms,
         spin_fraction=spin_fraction,
+        telemetry=telemetry,
     )
 
 

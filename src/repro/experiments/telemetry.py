@@ -1,0 +1,223 @@
+"""Telemetry overhead experiment (beyond the paper).
+
+Instrumentation only earns its keep if the disabled path is free and
+the enabled path is cheap.  This experiment measures both, per layer:
+
+* **Simulator** — the same FM run with telemetry explicitly disabled
+  vs enabled; overhead is the wall-time ratio, throughput is requests
+  simulated per second.
+* **Search executor** — a query batch against a synthetic segmented
+  index, disabled vs enabled (two spans + five metric updates per
+  query).
+* **Cluster** — a robust fan-out run with hedging and a deadline,
+  reporting the spans and counters the cluster layer emits.
+
+The "off" runs pass an explicit ``Telemetry(enabled=False)``, which
+also suppresses any ambiently installed pipeline (e.g. the CLI's
+``--trace``) — the comparison stays honest under tracing.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cluster.hedging import HedgePolicy
+from repro.cluster.simulation import simulate_cluster_robust
+from repro.experiments.config import Scale, default_scale
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import run_policy
+from repro.experiments.tables import bing_table
+from repro.schedulers import FMScheduler
+from repro.search.corpus import generate_corpus, generate_query_log
+from repro.search.executor import SearchEngine
+from repro.search.index import InvertedIndex
+from repro.search.query import parse_query
+from repro.telemetry import Telemetry
+from repro.workloads import bing as bing_mod
+from repro.workloads.arrivals import PoissonProcess
+
+__all__ = ["experiment_telemetry", "TELEMETRY"]
+
+#: Timing repetitions per cell (best-of, to shed scheduler noise).
+TIMING_REPEATS = 3
+
+
+def _best_of(fn, repeats: int = TIMING_REPEATS) -> tuple[float, object]:
+    """Wall-time the callable ``repeats`` times; return (best_s, last_result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _sim_cell(scale: Scale, telemetry: Telemetry) -> tuple[float, int]:
+    """One simulator timing cell; returns (best_s, events recorded)."""
+    table = bing_table(scale)
+    workload = bing_mod.bing_workload(profile_size=scale.profile_size)
+
+    def run():
+        telemetry.reset()
+        return run_policy(
+            FMScheduler(table),
+            workload,
+            rps=180.0,
+            cores=bing_mod.CORES,
+            num_requests=scale.num_requests * 2,
+            quantum_ms=bing_mod.QUANTUM_MS,
+            spin_fraction=bing_mod.SPIN_FRACTION,
+            telemetry=telemetry,
+        )
+
+    best, _ = _best_of(run)
+    return best, len(telemetry.tracer.spans)
+
+
+def _search_cell(scale: Scale, telemetry: Telemetry) -> tuple[float, int, int]:
+    """One search timing cell; returns (best_s, queries, spans)."""
+    documents = generate_corpus(max(200, scale.num_requests), seed=7)
+    index = InvertedIndex.build(documents, num_segments=8)
+    queries = [
+        parse_query(text)
+        for text in generate_query_log(max(100, scale.num_requests // 2), seed=11)
+    ]
+    engine = SearchEngine(index, telemetry=telemetry)
+
+    def run():
+        telemetry.reset()
+        for query in queries:
+            engine.execute(query)
+
+    best, _ = _best_of(run)
+    return best, len(queries), len(telemetry.tracer.spans)
+
+
+def experiment_telemetry(scale: Scale | None = None) -> FigureResult:
+    """Per-layer telemetry overhead: disabled vs enabled wall time."""
+    scale = scale or default_scale()
+    result = FigureResult(
+        "telemetry", "Telemetry overhead: metrics + spans, per layer"
+    )
+
+    # --- Panel 1: simulator off vs on --------------------------------
+    off = Telemetry(enabled=False)
+    on = Telemetry()
+    off_s, _ = _sim_cell(scale, off)
+    on_s, spans = _sim_cell(scale, on)
+    num_requests = scale.num_requests * 2
+    result.add_table(
+        "FM simulator at 180 RPS (Bing workload, best of "
+        f"{TIMING_REPEATS} runs)",
+        ["telemetry", "wall (s)", "requests/s", "spans", "overhead"],
+        [
+            ["off", off_s, num_requests / off_s, 0, "--"],
+            ["on", on_s, num_requests / on_s, spans, f"{on_s / off_s - 1:+.1%}"],
+        ],
+    )
+
+    # --- Panel 2: search executor off vs on --------------------------
+    off_s, num_queries, _ = _search_cell(scale, Telemetry(enabled=False))
+    on_s, _, spans = _search_cell(scale, Telemetry())
+    result.add_table(
+        "search executor, synthetic Zipf corpus (8 segments, best of "
+        f"{TIMING_REPEATS} runs)",
+        ["telemetry", "wall (s)", "queries/s", "spans", "overhead"],
+        [
+            ["off", off_s, num_queries / off_s, 0, "--"],
+            ["on", on_s, num_queries / on_s, spans, f"{on_s / off_s - 1:+.1%}"],
+        ],
+    )
+
+    # --- Panel 3: what the cluster layer emits -----------------------
+    cluster_tel = Telemetry()
+    workload = bing_mod.bing_workload(profile_size=scale.profile_size)
+    table = bing_table(scale)
+    simulate_cluster_robust(
+        scheduler_factory=lambda: FMScheduler(table, boosting=False),
+        workload=workload,
+        num_servers=4,
+        num_queries=scale.num_requests,
+        process=PoissonProcess(180.0),
+        cores=bing_mod.CORES,
+        quantum_ms=bing_mod.QUANTUM_MS,
+        spin_fraction=bing_mod.SPIN_FRACTION,
+        seed=71,
+        hedge=HedgePolicy(delay_percentile=0.9),
+        deadline_ms=bing_mod.TERMINATION_MS,
+        telemetry=cluster_tel,
+    )
+    track_rows = [
+        [track, len(cluster_tel.tracer.by_track(track))]
+        for track in cluster_tel.tracer.tracks()
+    ]
+    counter_rows = [
+        [name, counter.value]
+        for name, counter in sorted(cluster_tel.metrics.counters.items())
+    ]
+    result.add_table(
+        "cluster robust run (4-way fan-out, p90 hedge, 200 ms deadline): "
+        "spans per track",
+        ["track", "spans"],
+        track_rows,
+    )
+    result.add_table(
+        "cluster robust run: counters",
+        ["counter", "value"],
+        counter_rows,
+    )
+
+    # --- Ambient demo: feed the CLI's --trace pipeline ---------------
+    # These runs pass NO explicit telemetry, so they emit into the
+    # ambient pipeline when one is installed (the CLI's --trace flag):
+    # one `repro-fm telemetry --trace out.json` yields sim, search, and
+    # cluster spans in a single Chrome trace.  Without an ambient
+    # pipeline they resolve to None and record nothing.
+    run_policy(
+        FMScheduler(table),
+        workload,
+        rps=180.0,
+        cores=bing_mod.CORES,
+        num_requests=scale.num_requests,
+        quantum_ms=bing_mod.QUANTUM_MS,
+        spin_fraction=bing_mod.SPIN_FRACTION,
+    )
+    demo_engine = SearchEngine(
+        InvertedIndex.build(generate_corpus(200, seed=7), num_segments=4)
+    )
+    for text in generate_query_log(20, seed=11):
+        demo_engine.execute(parse_query(text))
+    simulate_cluster_robust(
+        scheduler_factory=lambda: FMScheduler(table, boosting=False),
+        workload=workload,
+        num_servers=2,
+        num_queries=max(10, scale.num_requests // 4),
+        process=PoissonProcess(180.0),
+        cores=bing_mod.CORES,
+        quantum_ms=bing_mod.QUANTUM_MS,
+        spin_fraction=bing_mod.SPIN_FRACTION,
+        seed=71,
+        hedge=HedgePolicy(delay_percentile=0.9),
+        deadline_ms=bing_mod.TERMINATION_MS,
+    )
+
+    latency = cluster_tel.metrics.histograms["cluster.query_latency_ms"]
+    result.add_note(
+        f"cluster p99 from the streaming histogram: {latency.percentile(0.99):.1f} ms "
+        "(±1% relative error by construction)"
+    )
+    result.add_note(
+        "disabled-path cost is one attribute load + None check per hot-path "
+        "site; the acceptance bound is <3% simulator regression "
+        "(see BENCH_telemetry.json)"
+    )
+    result.add_note(
+        "an explicit Telemetry(enabled=False) also vetoes an ambient "
+        "pipeline, so off/on cells stay honest under `--trace`"
+    )
+    return result
+
+
+#: Registry (merged into the CLI's experiment list).
+TELEMETRY = {"telemetry": experiment_telemetry}

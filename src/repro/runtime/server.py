@@ -29,6 +29,8 @@ from dataclasses import dataclass
 from repro.core.table import IntervalTable
 from repro.errors import ConfigurationError, RequestShedError
 from repro.runtime.work import LiveRequest
+from repro.telemetry import Telemetry, resolve_telemetry
+from repro.telemetry.spans import Span
 
 __all__ = ["LiveServerStats", "LiveFMServer"]
 
@@ -89,6 +91,13 @@ class LiveFMServer:
         this budget is shed by the scheduler thread (the client has
         given up; running it would only burn workers).  ``None``
         disables deadline shedding.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` pipeline.  When
+        resolved, the server emits wall-clock per-request spans on the
+        ``"runtime"`` track (``queue``/``run``/``shed``), a queue-depth
+        gauge, shed and completion counters, and a latency histogram.
+        All updates happen under the server lock, and span appends are
+        GIL-atomic, so worker threads share the pipeline safely.
     """
 
     def __init__(
@@ -98,6 +107,7 @@ class LiveFMServer:
         quantum_ms: float = 5.0,
         max_queue: int | None = None,
         deadline_ms: float | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1: {workers}")
@@ -111,6 +121,9 @@ class LiveFMServer:
         self.quantum_ms = quantum_ms
         self.max_queue = max_queue
         self.deadline_ms = deadline_ms
+        self.telemetry = resolve_telemetry(telemetry)
+        self._arrival_ms: dict[int, float] = {}  # rid -> tracer-clock arrival
+        self._run_spans: dict[int, Span] = {}
         self._shed: list[LiveRequest] = []
         self._deadline_sheds = 0
         self._lock = threading.Lock()
@@ -143,6 +156,10 @@ class LiveFMServer:
         contract: the client learns immediately instead of timing out.
         """
         with self._lock:
+            telemetry = self.telemetry
+            if telemetry is not None:
+                telemetry.metrics.counter("runtime.arrivals").inc()
+                self._arrival_ms[request.rid] = telemetry.tracer.clock.now_ms()
             load = self._system_count_locked() + 1
             row = self.table.lookup(load)
             if row.wait_for_exit:
@@ -151,11 +168,17 @@ class LiveFMServer:
                     and len(self._queued) >= self.max_queue
                 ):
                     self._shed.append(request)
+                    if telemetry is not None:
+                        self._shed_telemetry_locked(request, deadline=False)
                     raise RequestShedError(
                         f"request {request.rid} shed: backlog "
                         f"{len(self._queued)} >= max_queue {self.max_queue}"
                     )
                 self._queued.append(request)
+                if telemetry is not None:
+                    telemetry.metrics.gauge("runtime.queue_depth").set(
+                        len(self._queued)
+                    )
                 return
             if row.admission_delay_ms > 0:
                 self._delayed[request.rid] = (
@@ -207,7 +230,34 @@ class LiveFMServer:
         request.degree = max(1, degree)
         request.mark_started()
         self._running[request.rid] = request
+        telemetry = self.telemetry
+        if telemetry is not None:
+            now_ms = telemetry.tracer.clock.now_ms()
+            arrived_ms = self._arrival_ms.get(request.rid, now_ms)
+            if now_ms > arrived_ms:
+                telemetry.tracer.complete(
+                    "queue", arrived_ms, now_ms, track="runtime",
+                    lane=request.rid,
+                )
+            self._run_spans[request.rid] = telemetry.tracer.begin(
+                "run", track="runtime", lane=request.rid, at_ms=now_ms,
+                degree=request.degree,
+            )
         self._work_available.notify_all()
+
+    def _shed_telemetry_locked(self, request: LiveRequest, deadline: bool) -> None:
+        """Record one shed rejection (caller already checked telemetry)."""
+        telemetry = self.telemetry
+        metrics = telemetry.metrics
+        metrics.counter("runtime.sheds").inc()
+        if deadline:
+            metrics.counter("runtime.deadline_sheds").inc()
+        now_ms = telemetry.tracer.clock.now_ms()
+        arrived_ms = self._arrival_ms.pop(request.rid, now_ms)
+        telemetry.tracer.complete(
+            "shed", arrived_ms, now_ms, track="runtime", lane=request.rid,
+            deadline=deadline,
+        )
 
     def _worker_loop(self) -> None:
         """Pull one slice at a time from any running request."""
@@ -237,6 +287,20 @@ class LiveFMServer:
         with self._lock:
             self._running.pop(request.rid, None)
             self._completed.append(request)
+            telemetry = self.telemetry
+            if telemetry is not None:
+                telemetry.metrics.counter("runtime.completions").inc()
+                telemetry.metrics.histogram("runtime.latency_ms").record(
+                    request.latency_ms
+                )
+                self._arrival_ms.pop(request.rid, None)
+                span = self._run_spans.pop(request.rid, None)
+                if span is not None:
+                    telemetry.tracer.end(
+                        span,
+                        latency_ms=request.latency_ms,
+                        degree=request.max_observed_degree,
+                    )
             # e1 contract: one admission per exit, FIFO.
             if self._queued:
                 waiter = self._queued.popleft()
@@ -244,6 +308,10 @@ class LiveFMServer:
                 row = self.table.lookup(load)
                 degree = 1 if row.wait_for_exit else row.initial_degree
                 self._start_locked(waiter, degree)
+            if telemetry is not None:
+                telemetry.metrics.gauge("runtime.queue_depth").set(
+                    len(self._queued)
+                )
             self._work_available.notify_all()
 
     def _scheduler_loop(self) -> None:
@@ -265,9 +333,15 @@ class LiveFMServer:
                         if now_s - waiting.arrival_s > budget_s:
                             self._shed.append(waiting)
                             self._deadline_sheds += 1
+                            if self.telemetry is not None:
+                                self._shed_telemetry_locked(waiting, deadline=True)
                         else:
                             kept.append(waiting)
                     self._queued = kept
+                    if self.telemetry is not None:
+                        self.telemetry.metrics.gauge("runtime.queue_depth").set(
+                            len(self._queued)
+                        )
                 load = max(1, self._system_count_locked())
                 row = self.table.lookup(load)
                 for request in self._running.values():

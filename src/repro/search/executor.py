@@ -22,6 +22,7 @@ from repro.errors import ConfigurationError
 from repro.search.index import InvertedIndex, Segment
 from repro.search.query import Query
 from repro.search.scoring import bm25_score
+from repro.telemetry import Telemetry, resolve_telemetry
 
 __all__ = ["SearchHit", "SegmentTask", "QueryExecution", "SearchEngine"]
 
@@ -87,10 +88,20 @@ class QueryExecution:
 
 
 class SearchEngine:
-    """Executes queries against a segmented :class:`InvertedIndex`."""
+    """Executes queries against a segmented :class:`InvertedIndex`.
 
-    def __init__(self, index: InvertedIndex) -> None:
+    With a resolved :class:`~repro.telemetry.Telemetry` pipeline
+    (explicit or ambient), every :meth:`execute` emits a wall-clock
+    ``query`` span on the ``"search"`` track with one parent-linked
+    child span per segment task, plus segment and coverage counters;
+    without one, execution is unchanged.
+    """
+
+    def __init__(
+        self, index: InvertedIndex, telemetry: Telemetry | None = None
+    ) -> None:
         self.index = index
+        self.telemetry = resolve_telemetry(telemetry)
         # Corpus-wide stats are snapshotted once: the paper's engines
         # serve a read-only index between rebuilds.
         self._num_docs = index.num_docs
@@ -145,6 +156,13 @@ class SearchEngine:
             raise ConfigurationError(
                 f"deadline_units must be positive: {deadline_units}"
             )
+        telemetry = self.telemetry
+        query_span = None
+        if telemetry is not None:
+            query_span = telemetry.tracer.begin(
+                "query", track="search", terms=" ".join(query.terms),
+                top_k=query.top_k,
+            )
         tasks: list[SegmentTask] = []
         skipped: list[int] = []
         spent = 0.0
@@ -154,7 +172,17 @@ class SearchEngine:
             if deadline_units is not None and tasks and spent >= deadline_units:
                 skipped.append(segment.segment_id)
                 continue
-            task = self.execute_segment(query, segment)
+            if telemetry is not None:
+                segment_span = telemetry.tracer.begin(
+                    "segment", track="search", parent=query_span,
+                    segment=segment.segment_id,
+                )
+                task = self.execute_segment(query, segment)
+                telemetry.tracer.end(
+                    segment_span, cost_units=task.cost_units, hits=len(task.hits)
+                )
+            else:
+                task = self.execute_segment(query, segment)
             tasks.append(task)
             spent += task.cost_units
         merged = heapq.nlargest(
@@ -163,7 +191,7 @@ class SearchEngine:
             key=lambda hit: (hit.score, -hit.doc_id),
         )
         total_segments = len(tasks) + len(skipped)
-        return QueryExecution(
+        execution = QueryExecution(
             query=query,
             hits=merged,
             tasks=tasks,
@@ -172,3 +200,21 @@ class SearchEngine:
             or (deadline_units is not None and spent > deadline_units),
             skipped_segments=tuple(skipped),
         )
+        if telemetry is not None:
+            metrics = telemetry.metrics
+            metrics.counter("search.queries").inc()
+            metrics.counter("search.segments").inc(len(tasks))
+            metrics.counter("search.segments_skipped").inc(len(skipped))
+            if execution.deadline_hit:
+                metrics.counter("search.deadline_hits").inc()
+            metrics.histogram("search.query_cost_units").record(
+                execution.total_cost_units
+            )
+            metrics.histogram("search.coverage").record(execution.coverage)
+            telemetry.tracer.end(
+                query_span,
+                cost_units=execution.total_cost_units,
+                coverage=execution.coverage,
+                deadline_hit=execution.deadline_hit,
+            )
+        return execution

@@ -26,6 +26,8 @@ from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.metrics import MetricsCollector, SimulationResult
 from repro.sim.processor import BoostController, compute_shares
 from repro.sim.request import RequestState, SimRequest
+from repro.telemetry import Telemetry, resolve_telemetry
+from repro.telemetry.spans import Span
 
 __all__ = ["ArrivalSpec", "Engine", "simulate"]
 
@@ -67,6 +69,16 @@ class Engine:
         loss/restore events, per-request straggler inflation, and
         transient worker stalls.  Plans are fully materialized and
         seeded, so injection preserves bit-for-bit reproducibility.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` pipeline.  When
+        resolved (explicitly or via an installed ambient pipeline) the
+        engine emits per-request spans on the ``"sim"`` track — a
+        retroactive ``queue`` span covering any admission wait, a
+        ``run`` span from start to completion (with a ``boost``
+        instant when priority boosting fires), and a ``shed`` span for
+        rejected requests — plus counters and a latency histogram,
+        all timestamped in *virtual* milliseconds.  When absent (the
+        default) no telemetry code runs at all.
     """
 
     def __init__(
@@ -76,6 +88,7 @@ class Engine:
         quantum_ms: float = 5.0,
         spin_fraction: float = 0.25,
         fault_plan: FaultPlan | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if cores < 1:
             raise SimulationError(f"cores must be >= 1, got {cores}")
@@ -103,6 +116,8 @@ class Engine:
         self._ctx = SchedulerContext(self)
         self._completed = 0
         self._shed = 0
+        self.telemetry = resolve_telemetry(telemetry)
+        self._run_spans: dict[int, Span] = {}
 
     # ------------------------------------------------------------------
     # Observable state (SchedulerContext reads these)
@@ -210,6 +225,8 @@ class Engine:
                 request.remaining_work *= inflation
                 request.impaired = True
                 self._metrics.fault_stats.stragglers_injected += 1
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter("sim.arrivals").inc()
         # The request counts toward the load its own admission sees
         # (the interval table is indexed by the count including it).
         self._candidate = 1
@@ -229,10 +246,19 @@ class Engine:
     def _handle_quantum(self, request: SimRequest) -> None:
         if request.state is not RequestState.RUNNING:
             return
+        was_boosted = request.boosted
         desired = self.scheduler.on_quantum(self._ctx, request)
         new_degree = max(desired, request.degree)
         if request.raise_degree(new_degree):
             self._rates_dirty = True
+            if self.telemetry is not None:
+                self.telemetry.metrics.counter("sim.degree_raises").inc()
+        if self.telemetry is not None and request.boosted and not was_boosted:
+            self.telemetry.metrics.counter("sim.boosts").inc()
+            self.telemetry.tracer.instant(
+                "boost", track="sim", lane=request.rid, at_ms=self.now_ms,
+                degree=request.degree,
+            )
         self._queue.push(
             self.now_ms + self.quantum_ms,
             Event(EventKind.QUANTUM, request_id=request.rid),
@@ -248,6 +274,8 @@ class Engine:
             self._metrics.record(request)  # snapshot before boost release
             self.boost.release(request)
             self._completed += 1
+            if self.telemetry is not None:
+                self._finish_telemetry(request)
             self.scheduler.on_exit(self._ctx, request)
         self._rates_dirty = True
         self._wake_waiters(exits=len(finished))
@@ -312,15 +340,7 @@ class Engine:
         if decision.action is AdmissionAction.START or (
             decision.action is AdmissionAction.DELAY and decision.delay_ms <= 0
         ):
-            degree = max(1, decision.degree)
-            request.start(self.now_ms, degree)
-            self._running[request.rid] = request
-            self._rates_dirty = True
-            if self.scheduler.uses_quantum:
-                self._queue.push(
-                    self.now_ms + self.quantum_ms,
-                    Event(EventKind.QUANTUM, request_id=request.rid),
-                )
+            self._start_request(request, decision.degree)
         elif decision.action is AdmissionAction.DELAY:
             request.state = RequestState.DELAYED
             self._delayed.add(request.rid)
@@ -334,25 +354,67 @@ class Engine:
                 # sequentially — matches FM's behaviour, where the e1 row
                 # admits one request per exit and an idle system admits
                 # immediately.
-                request.start(self.now_ms, 1)
-                self._running[request.rid] = request
-                self._rates_dirty = True
-                if self.scheduler.uses_quantum:
-                    self._queue.push(
-                        self.now_ms + self.quantum_ms,
-                        Event(EventKind.QUANTUM, request_id=request.rid),
-                    )
+                self._start_request(request, 1)
             else:
                 request.state = RequestState.QUEUED
                 self._waiting_fifo.append(request.rid)
+                if self.telemetry is not None:
+                    self.telemetry.metrics.gauge("sim.queue_depth").set(
+                        len(self._waiting_fifo)
+                    )
         elif decision.action is AdmissionAction.SHED:
             # Fail fast: the request never runs; it is recorded (never
             # silently dropped) and leaves the system immediately.
             request.shed(self.now_ms)
             self._metrics.record_shed(request, decision.deadline)
             self._shed += 1
+            if self.telemetry is not None:
+                self.telemetry.metrics.counter("sim.sheds").inc()
+                self.telemetry.tracer.complete(
+                    "shed", request.arrival_ms, self.now_ms,
+                    track="sim", lane=request.rid, deadline=decision.deadline,
+                )
         else:  # pragma: no cover - enum is closed
             raise SimulationError(f"unknown admission {decision}")
+
+    def _start_request(self, request: SimRequest, degree: int) -> None:
+        """Begin executing an admitted request (the one place requests
+        transition into the running set)."""
+        waited_as = request.state  # pre-start state names the wait kind
+        request.start(self.now_ms, max(1, degree))
+        self._running[request.rid] = request
+        self._rates_dirty = True
+        if self.scheduler.uses_quantum:
+            self._queue.push(
+                self.now_ms + self.quantum_ms,
+                Event(EventKind.QUANTUM, request_id=request.rid),
+            )
+        if self.telemetry is not None:
+            tracer = self.telemetry.tracer
+            if self.now_ms > request.arrival_ms:
+                tracer.complete(
+                    "queue", request.arrival_ms, self.now_ms,
+                    track="sim", lane=request.rid,
+                    wait=waited_as.value,
+                )
+            self._run_spans[request.rid] = tracer.begin(
+                "run", track="sim", lane=request.rid, at_ms=self.now_ms,
+                degree=request.degree,
+            )
+
+    def _finish_telemetry(self, request: SimRequest) -> None:
+        """Close a completed request's run span and update metrics."""
+        telemetry = self.telemetry
+        telemetry.metrics.counter("sim.completions").inc()
+        telemetry.metrics.histogram("sim.latency_ms").record(request.latency_ms)
+        span = self._run_spans.pop(request.rid, None)
+        if span is not None:
+            telemetry.tracer.end(
+                span, at_ms=self.now_ms,
+                latency_ms=request.latency_ms,
+                degree=request.degree,
+                boosted=request.boosted,
+            )
 
     def _wake_waiters(self, exits: int) -> None:
         """Re-evaluate waiting requests after ``exits`` completions
@@ -376,6 +438,10 @@ class Engine:
                 decision = Admission.start(1)
                 forced += 1
             self._waiting_fifo.pop(0)
+            if self.telemetry is not None:
+                self.telemetry.metrics.gauge("sim.queue_depth").set(
+                    len(self._waiting_fifo)
+                )
             self._apply_admission(request, decision)
         # Delayed requests may start early when load drops — or be shed
         # if their deadline budget expired while they waited.
@@ -451,6 +517,7 @@ def simulate(
     quantum_ms: float = 5.0,
     spin_fraction: float = 0.25,
     fault_plan: FaultPlan | None = None,
+    telemetry: Telemetry | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: build an :class:`Engine` and run it."""
     engine = Engine(
@@ -459,5 +526,6 @@ def simulate(
         quantum_ms=quantum_ms,
         spin_fraction=spin_fraction,
         fault_plan=fault_plan,
+        telemetry=telemetry,
     )
     return engine.run(arrivals)

@@ -9,6 +9,20 @@ per-request timeline renderer used in debugging and the examples.
 
 The recorder is transparent: it forwards every hook to the wrapped
 policy and never changes decisions.
+
+Decisions are recorded as *instant spans* on the ``"sim.sched"`` track
+of a :class:`~repro.telemetry.Tracer` — the unified span model shared
+with the engine's per-request spans, so a scheduler-decision trace
+exports to Chrome/Perfetto and JSONL like everything else.  Pass a
+:class:`~repro.telemetry.Telemetry` (or install one ambiently) to emit
+into a shared pipeline; without one the recorder owns a private tracer.
+
+.. deprecated::
+    The bespoke :class:`TraceEvent` list (:attr:`TraceRecorder.events`,
+    :meth:`timeline`, :meth:`counts`, :meth:`render`) is now a
+    compatibility shim adapted from the recorded spans; new code should
+    read ``recorder.tracer.spans`` or export through
+    :mod:`repro.telemetry.export`.
 """
 
 from __future__ import annotations
@@ -19,8 +33,13 @@ from typing import Any
 
 from repro.sim.api import Admission, AdmissionAction, Scheduler, SchedulerContext
 from repro.sim.request import SimRequest
+from repro.telemetry import Telemetry, Tracer, resolve_telemetry
+from repro.telemetry.clock import ManualClock
 
 __all__ = ["TraceEventKind", "TraceEvent", "TraceRecorder"]
+
+#: Track name the recorder's decision instants live on.
+SCHED_TRACK = "sim.sched"
 
 
 class TraceEventKind(enum.Enum):
@@ -36,7 +55,7 @@ class TraceEventKind(enum.Enum):
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One recorded decision."""
+    """One recorded decision (compatibility view over an instant span)."""
 
     time_ms: float
     kind: TraceEventKind
@@ -55,17 +74,46 @@ class TraceEvent:
 class TraceRecorder(Scheduler):
     """Transparent tracing wrapper around another scheduler."""
 
-    def __init__(self, inner: Scheduler) -> None:
+    def __init__(self, inner: Scheduler, telemetry: Telemetry | None = None) -> None:
         self.inner = inner
         self.uses_quantum = inner.uses_quantum
         self.name = f"trace({inner.name})"
-        self.events: list[TraceEvent] = []
+        resolved = resolve_telemetry(telemetry)
+        #: Whether the tracer is private (reset clears it wholesale) or
+        #: shared with a wider pipeline (reset removes only our track).
+        self._owns_tracer = resolved is None
+        # Timestamps always come from the scheduler context, so a
+        # private tracer needs no real clock.
+        self.tracer: Tracer = (
+            Tracer(clock=ManualClock()) if resolved is None else resolved.tracer
+        )
 
     def reset(self) -> None:
-        self.events = []
+        if self._owns_tracer:
+            self.tracer.reset()
+        else:
+            self.tracer.spans[:] = [
+                s for s in self.tracer.spans if s.track != SCHED_TRACK
+            ]
         self.inner.reset()
 
     # ------------------------------------------------------------------
+    def _emit(
+        self,
+        ctx: SchedulerContext,
+        kind: TraceEventKind,
+        request_id: int,
+        detail: Any = None,
+    ) -> None:
+        self.tracer.instant(
+            kind.value,
+            track=SCHED_TRACK,
+            lane=request_id,
+            at_ms=ctx.now_ms,
+            load=ctx.system_count,
+            detail=detail,
+        )
+
     def _record_admission(
         self, ctx: SchedulerContext, request: SimRequest, decision: Admission
     ) -> Admission:
@@ -75,9 +123,7 @@ class TraceRecorder(Scheduler):
             kind, detail = TraceEventKind.DELAY, f"{decision.delay_ms:g}ms"
         else:
             kind, detail = TraceEventKind.QUEUE, "e1"
-        self.events.append(
-            TraceEvent(ctx.now_ms, kind, request.rid, ctx.system_count, detail)
-        )
+        self._emit(ctx, kind, request.rid, detail)
         return decision
 
     def on_arrival(self, ctx: SchedulerContext, request: SimRequest) -> Admission:
@@ -92,36 +138,47 @@ class TraceRecorder(Scheduler):
         was_boosted = request.boosted
         desired = self.inner.on_quantum(ctx, request)
         if desired > request.degree:
-            self.events.append(
-                TraceEvent(
-                    ctx.now_ms,
-                    TraceEventKind.DEGREE_UP,
-                    request.rid,
-                    ctx.system_count,
-                    f"d{request.degree}->d{desired}",
-                )
+            self._emit(
+                ctx,
+                TraceEventKind.DEGREE_UP,
+                request.rid,
+                f"d{request.degree}->d{desired}",
             )
         if request.boosted and not was_boosted:
-            self.events.append(
-                TraceEvent(
-                    ctx.now_ms, TraceEventKind.BOOST, request.rid, ctx.system_count
-                )
-            )
+            self._emit(ctx, TraceEventKind.BOOST, request.rid)
         return desired
 
     def on_exit(self, ctx: SchedulerContext, request: SimRequest) -> None:
-        self.events.append(
-            TraceEvent(
-                ctx.now_ms,
-                TraceEventKind.EXIT,
-                request.rid,
-                ctx.system_count,
-                f"latency={request.latency_ms:.1f}ms d{request.degree}",
-            )
+        self._emit(
+            ctx,
+            TraceEventKind.EXIT,
+            request.rid,
+            f"latency={request.latency_ms:.1f}ms d{request.degree}",
         )
         self.inner.on_exit(ctx, request)
 
     # ------------------------------------------------------------------
+    # Compatibility shim (deprecated: read ``tracer.spans`` instead)
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The recorded decisions as :class:`TraceEvent` objects.
+
+        .. deprecated:: adapted from the span model for callers of the
+           original event-list API; prefer ``tracer.spans``.
+        """
+        return [
+            TraceEvent(
+                time_ms=span.start_ms,
+                kind=TraceEventKind(span.name),
+                request_id=span.lane,
+                load=span.attrs["load"],
+                detail=span.attrs.get("detail"),
+            )
+            for span in self.tracer.spans
+            if span.track == SCHED_TRACK
+        ]
+
     def timeline(self, request_id: int) -> list[TraceEvent]:
         """All recorded events of one request, in time order."""
         return [e for e in self.events if e.request_id == request_id]
@@ -135,8 +192,9 @@ class TraceRecorder(Scheduler):
 
     def render(self, limit: int | None = None) -> str:
         """Human-readable trace dump (optionally truncated)."""
-        events = self.events if limit is None else self.events[:limit]
-        lines = [event.describe() for event in events]
-        if limit is not None and len(self.events) > limit:
-            lines.append(f"... ({len(self.events) - limit} more events)")
+        events = self.events
+        shown = events if limit is None else events[:limit]
+        lines = [event.describe() for event in shown]
+        if limit is not None and len(events) > limit:
+            lines.append(f"... ({len(events) - limit} more events)")
         return "\n".join(lines)

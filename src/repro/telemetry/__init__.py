@@ -1,0 +1,141 @@
+"""repro.telemetry — unified metrics, spans, and trace export.
+
+One observability pipeline for every execution layer of the
+reproduction: the virtual-time simulator, the segmented search
+executor, the live thread runtime, and the cluster simulation all
+report into the same three primitives —
+
+* a :class:`MetricsRegistry` of counters, gauges, and mergeable
+  log-bucketed :class:`LogHistogram`\\ s with bounded relative error;
+* a :class:`Tracer` producing parent-linked :class:`Span`\\ s over
+  either virtual or wall clocks, propagated with ``contextvars``;
+* exporters for Chrome ``trace_event`` JSON (``chrome://tracing`` /
+  Perfetto), JSONL, and plain-text dashboards.
+
+Usage — explicit wiring::
+
+    tel = Telemetry()
+    result = simulate(arrivals, scheduler, cores=8, telemetry=tel)
+    write_chrome_trace("trace.json", tel)
+
+or ambient installation (the CLI's ``--trace`` flag does this), which
+every instrumented component picks up automatically::
+
+    with install(Telemetry()) as tel:
+        run_policy(...)
+    print(render_summary(tel))
+
+Instrumentation is **zero-cost when disabled**: components resolve
+their pipeline once at construction (``resolve_telemetry``) and guard
+hot paths on ``telemetry is None`` — a disabled run executes not a
+single telemetry call.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from typing import Iterator
+
+from repro.telemetry.clock import Clock, ManualClock, VirtualClock, WallClock
+from repro.telemetry.export import (
+    read_spans_jsonl,
+    render_summary,
+    span_from_dict,
+    span_to_dict,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.telemetry.histogram import LogHistogram
+from repro.telemetry.metrics import Counter, Gauge, MetricsRegistry
+from repro.telemetry.spans import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "Gauge",
+    "LogHistogram",
+    "ManualClock",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "VirtualClock",
+    "WallClock",
+    "current_telemetry",
+    "install",
+    "read_spans_jsonl",
+    "render_summary",
+    "resolve_telemetry",
+    "span_from_dict",
+    "span_to_dict",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+]
+
+
+class Telemetry:
+    """One observability pipeline: a metrics registry plus a tracer.
+
+    ``enabled=False`` builds a pipeline whose tracer is a no-op and
+    which every instrumented component treats as absent — handy for
+    explicitly suppressing an ambient (installed) pipeline in A/B
+    overhead measurements.
+    """
+
+    def __init__(self, clock: Clock | None = None, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self.tracer: Tracer = Tracer(clock=clock) if enabled else NULL_TRACER
+
+    def reset(self) -> None:
+        """Clear all metrics and spans (instruments are re-created lazily)."""
+        self.metrics.reset()
+        self.tracer.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        return f"Telemetry({state}, spans={len(self.tracer.spans)})"
+
+
+#: The ambiently installed pipeline (None = telemetry off everywhere).
+_CURRENT: ContextVar[Telemetry | None] = ContextVar(
+    "repro_telemetry", default=None
+)
+
+
+def current_telemetry() -> Telemetry | None:
+    """The pipeline installed in this execution context, if any."""
+    return _CURRENT.get()
+
+
+def resolve_telemetry(explicit: Telemetry | None = None) -> Telemetry | None:
+    """The pipeline an instrumented component should use.
+
+    An explicit argument always wins — including an explicitly
+    *disabled* pipeline, which resolves to None without falling back to
+    the ambient one (that is what makes off-vs-on A/B runs honest under
+    an installed ``--trace`` pipeline).  With no explicit argument the
+    ambient installed pipeline is used.
+    """
+    if explicit is not None:
+        return explicit if explicit.enabled else None
+    ambient = _CURRENT.get()
+    if ambient is not None and ambient.enabled:
+        return ambient
+    return None
+
+
+@contextlib.contextmanager
+def install(telemetry: Telemetry | None) -> Iterator[Telemetry | None]:
+    """Make ``telemetry`` the ambient pipeline for the enclosed block
+    (``None`` uninstalls any pipeline for the block's duration)."""
+    token = _CURRENT.set(telemetry)
+    try:
+        yield telemetry
+    finally:
+        _CURRENT.reset(token)

@@ -1,0 +1,78 @@
+"""Clock abstraction: one span model, two notions of time.
+
+The simulator runs in *virtual* milliseconds (the engine owns ``now_ms``
+and time only advances at events); the live runtime and the search
+executor run on the *wall* clock.  Spans and metrics must work over
+both, so every :class:`~repro.telemetry.spans.Tracer` carries a
+:class:`Clock` and all timestamps are "milliseconds since the clock's
+origin" — virtual time already is that, and :class:`WallClock`
+normalizes ``perf_counter`` to it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Clock", "WallClock", "VirtualClock", "ManualClock"]
+
+
+class Clock:
+    """Source of "current time in milliseconds since origin"."""
+
+    def now_ms(self) -> float:
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Monotonic wall time, zeroed at construction."""
+
+    __slots__ = ("_origin_s",)
+
+    def __init__(self) -> None:
+        self._origin_s = time.perf_counter()
+
+    def now_ms(self) -> float:
+        return (time.perf_counter() - self._origin_s) * 1000.0
+
+
+class VirtualClock(Clock):
+    """Reads virtual time from its owner (e.g. the simulator engine).
+
+    ``source`` is a zero-argument callable returning the current virtual
+    time in milliseconds — typically ``lambda: engine.now_ms``.
+    """
+
+    __slots__ = ("_source",)
+
+    def __init__(self, source: Callable[[], float]) -> None:
+        self._source = source
+
+    def now_ms(self) -> float:
+        return float(self._source())
+
+
+class ManualClock(Clock):
+    """An explicitly advanced clock, for tests."""
+
+    __slots__ = ("_now_ms",)
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        self._now_ms = float(start_ms)
+
+    def now_ms(self) -> float:
+        return self._now_ms
+
+    def advance(self, delta_ms: float) -> None:
+        if delta_ms < 0:
+            raise ConfigurationError(f"clock cannot run backwards: {delta_ms}")
+        self._now_ms += delta_ms
+
+    def set(self, now_ms: float) -> None:
+        if now_ms < self._now_ms:
+            raise ConfigurationError(
+                f"clock cannot run backwards: {now_ms} < {self._now_ms}"
+            )
+        self._now_ms = float(now_ms)

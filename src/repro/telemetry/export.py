@@ -1,0 +1,249 @@
+"""Exporters: Chrome ``trace_event`` JSON, JSONL, and text dashboards.
+
+Three consumers, three formats:
+
+* :func:`to_chrome_trace` — the Trace Event Format understood by
+  ``chrome://tracing`` and Perfetto.  Tracks become processes, lanes
+  become threads, spans become complete (``"X"``) events and instants
+  become ``"i"`` events; timestamps are microseconds.  Within one
+  (process, thread) lane events are emitted sorted by start time with
+  longer spans first on ties, which is exactly the nesting order the
+  viewers expect.
+* :func:`write_spans_jsonl` / :func:`read_spans_jsonl` — one span per
+  line, loss-free round-trip, for offline analysis (pandas, jq).
+* :func:`render_summary` — the plain-text dashboard: counters, gauges,
+  histogram percentiles, and per-track span counts, in the same aligned
+  style as the experiment tables.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.telemetry.spans import INSTANT, Span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "span_to_dict",
+    "span_from_dict",
+    "write_spans_jsonl",
+    "read_spans_jsonl",
+    "render_summary",
+]
+
+
+def _jsonable(value: object) -> object:
+    """Coerce attr values to something JSON can hold."""
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else repr(value)
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event format
+# ----------------------------------------------------------------------
+def to_chrome_trace(
+    spans: Sequence[Span], metrics: dict | None = None
+) -> dict:
+    """Build a Trace-Event-Format document from finished spans.
+
+    ``metrics`` (a :meth:`MetricsRegistry.as_dict` snapshot) rides along
+    under ``otherData`` so one file carries the whole story.
+    """
+    pids = {track: pid for pid, track in enumerate(sorted({s.track for s in spans}), 1)}
+    events: list[dict] = []
+    for track, pid in pids.items():
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": track},
+            }
+        )
+    # Viewer-friendly order: per lane, by start time, longest first on
+    # ties — equal-start spans then nest outermost-first.
+    ordered = sorted(
+        (s for s in spans if not s.is_open),
+        key=lambda s: (pids[s.track], s.lane, s.start_ms, -s.duration_ms),
+    )
+    for span in ordered:
+        event = {
+            "name": span.name,
+            "ph": "i" if span.kind == INSTANT else "X",
+            "pid": pids[span.track],
+            "tid": span.lane,
+            "ts": span.start_ms * 1000.0,  # trace_event wants microseconds
+            "args": {k: _jsonable(v) for k, v in span.attrs.items()},
+        }
+        if span.kind == INSTANT:
+            event["s"] = "t"  # instant scoped to its thread lane
+        else:
+            event["dur"] = span.duration_ms * 1000.0
+        events.append(event)
+    document = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if metrics is not None:
+        document["otherData"] = {"metrics": metrics}
+    return document
+
+
+def write_chrome_trace(
+    path: str | Path, telemetry: "Telemetry"
+) -> Path:
+    """Write one telemetry pipeline's spans + metrics as a Chrome trace."""
+    path = Path(path)
+    document = to_chrome_trace(telemetry.tracer.spans, telemetry.metrics.as_dict())
+    path.write_text(json.dumps(document, indent=1))
+    return path
+
+
+# ----------------------------------------------------------------------
+# JSONL round-trip
+# ----------------------------------------------------------------------
+def span_to_dict(span: Span) -> dict:
+    """Loss-free dict form of a finished span."""
+    return {
+        "name": span.name,
+        "track": span.track,
+        "lane": span.lane,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "start_ms": span.start_ms,
+        "end_ms": span.end_ms,
+        "kind": span.kind,
+        "attrs": {k: _jsonable(v) for k, v in span.attrs.items()},
+    }
+
+
+def span_from_dict(data: dict) -> Span:
+    """Inverse of :func:`span_to_dict`."""
+    return Span(
+        name=data["name"],
+        track=data["track"],
+        lane=data["lane"],
+        span_id=data["span_id"],
+        parent_id=data["parent_id"],
+        start_ms=data["start_ms"],
+        end_ms=data["end_ms"],
+        kind=data["kind"],
+        attrs=dict(data.get("attrs", {})),
+    )
+
+
+def write_spans_jsonl(path: str | Path, spans: Iterable[Span]) -> Path:
+    """One span per line; streams without building the document."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for span in spans:
+            handle.write(json.dumps(span_to_dict(span)))
+            handle.write("\n")
+    return path
+
+
+def read_spans_jsonl(path: str | Path) -> list[Span]:
+    """Load spans written by :func:`write_spans_jsonl`."""
+    spans: list[Span] = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(span_from_dict(json.loads(line)))
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Text dashboard
+# ----------------------------------------------------------------------
+def _format(value: float) -> str:
+    if value != value:  # NaN
+        return "nan"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def _aligned(columns: Sequence[str], rows: Sequence[Sequence[str]]) -> list[str]:
+    widths = [
+        max(len(col), *(len(row[i]) for row in rows)) if rows else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = ["  ".join(col.ljust(w) for col, w in zip(columns, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                cell.ljust(w) if i == 0 else cell.rjust(w)
+                for i, (cell, w) in enumerate(zip(row, widths))
+            )
+        )
+    return lines
+
+
+def render_summary(telemetry: "Telemetry") -> str:
+    """The plain-text dashboard for one telemetry pipeline."""
+    metrics = telemetry.metrics
+    parts: list[str] = ["=== telemetry summary ==="]
+
+    counters = sorted(metrics.counters.items())
+    if counters:
+        parts.append("")
+        parts.extend(
+            _aligned(
+                ["counter", "value"],
+                [[name, str(c.value)] for name, c in counters],
+            )
+        )
+
+    gauges = sorted(metrics.gauges.items())
+    if gauges:
+        parts.append("")
+        parts.extend(
+            _aligned(
+                ["gauge", "value", "max"],
+                [[name, _format(g.value), _format(g.max_value)] for name, g in gauges],
+            )
+        )
+
+    histograms = sorted(metrics.histograms.items())
+    if histograms:
+        parts.append("")
+        rows = []
+        for name, hist in histograms:
+            rows.append(
+                [
+                    name,
+                    str(hist.count),
+                    _format(hist.mean()),
+                    _format(hist.percentile(0.50)),
+                    _format(hist.percentile(0.90)),
+                    _format(hist.percentile(0.99)),
+                    _format(hist.max),
+                ]
+            )
+        parts.extend(
+            _aligned(["histogram", "count", "mean", "p50", "p90", "p99", "max"], rows)
+        )
+
+    spans = telemetry.tracer.spans
+    if spans:
+        per_track: dict[str, int] = {}
+        for span in spans:
+            per_track[span.track] = per_track.get(span.track, 0) + 1
+        parts.append("")
+        parts.extend(
+            _aligned(
+                ["track", "spans"],
+                [[track, str(n)] for track, n in sorted(per_track.items())],
+            )
+        )
+    return "\n".join(parts)

@@ -1,0 +1,230 @@
+"""Streaming log-bucketed latency histograms (HDR/DDSketch-style).
+
+A :class:`LogHistogram` records non-negative samples into geometrically
+spaced buckets: bucket ``i`` covers ``[gamma**i, gamma**(i+1))`` with
+``gamma = (1 + eps) / (1 - eps)``.  Reporting the relative-error-optimal
+representative ``gamma**i * 2*gamma / (1 + gamma)`` makes every quantile
+answer accurate to a *relative* error of at most ``eps`` — the guarantee
+that matters for latency tails, where p99 may be 1000x the median and a
+fixed absolute bin width would be either useless or enormous.
+
+Properties the rest of the system relies on:
+
+* **Streaming** — O(1) per sample, memory proportional to the *dynamic
+  range* of the data (buckets actually hit), not the sample count.
+* **Mergeable** — histograms with the same ``eps`` merge by adding
+  bucket counts; merging is associative and commutative, so per-shard
+  histograms roll up to cluster totals exactly (the Dapper/Monarch
+  aggregation model).
+* **Bounded error** — ``percentile(q)`` agrees with
+  ``numpy.percentile(data, 100*q, method="inverted_cdf")`` to within
+  the documented relative error ``eps`` (plus float rounding at bucket
+  boundaries), for every ``q``.
+
+Percentiles use the order-statistic rank ``ceil(q * n)`` — the same
+convention as :func:`repro.core.formulas.weighted_order_statistic` and
+the paper's tail-latency definition.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LogHistogram"]
+
+
+class LogHistogram:
+    """A mergeable log-bucketed histogram with bounded relative error.
+
+    Parameters
+    ----------
+    relative_error:
+        Maximum relative error of :meth:`percentile` answers (default
+        1%).  Smaller values mean more, narrower buckets.
+    min_trackable:
+        Values in ``[0, min_trackable)`` collapse into a dedicated zero
+        bucket whose representative is 0.0 — they are counted, not
+        resolved (a latency below a nanosecond is noise, not signal).
+    """
+
+    __slots__ = (
+        "relative_error",
+        "min_trackable",
+        "_gamma",
+        "_log_gamma",
+        "_rep_factor",
+        "_buckets",
+        "_zero_count",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+    )
+
+    def __init__(
+        self, relative_error: float = 0.01, min_trackable: float = 1e-9
+    ) -> None:
+        if not 0.0 < relative_error < 1.0:
+            raise ConfigurationError(
+                f"relative_error must be in (0, 1): {relative_error}"
+            )
+        if min_trackable <= 0.0:
+            raise ConfigurationError(
+                f"min_trackable must be positive: {min_trackable}"
+            )
+        self.relative_error = relative_error
+        self.min_trackable = min_trackable
+        self._gamma = (1.0 + relative_error) / (1.0 - relative_error)
+        self._log_gamma = math.log(self._gamma)
+        # Midpoint (in relative terms) of a bucket: the representative
+        # minimizing the worst-case relative error over [g^i, g^(i+1)).
+        self._rep_factor = 2.0 * self._gamma / (1.0 + self._gamma)
+        self._buckets: dict[int, int] = {}
+        self._zero_count = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, value: float, count: int = 1) -> None:
+        """Add ``count`` observations of ``value`` (must be >= 0)."""
+        if value < 0:
+            raise ConfigurationError(f"histogram values must be >= 0: {value}")
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1: {count}")
+        if value < self.min_trackable:
+            self._zero_count += count
+        else:
+            index = math.floor(math.log(value) / self._log_gamma)
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        self._count += count
+        self._sum += value * count
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def record_many(self, values: Iterable[float]) -> None:
+        """Record every value in an iterable."""
+        for value in values:
+            self.record(value)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Total observations recorded."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values (exact, not bucketed)."""
+        return self._sum
+
+    @property
+    def min(self) -> float:
+        """Smallest observed value (exact); ``nan`` when empty."""
+        return self._min if self._count else math.nan
+
+    @property
+    def max(self) -> float:
+        """Largest observed value (exact); ``nan`` when empty."""
+        return self._max if self._count else math.nan
+
+    def mean(self) -> float:
+        """Exact mean of observations; ``nan`` when empty."""
+        return self._sum / self._count if self._count else math.nan
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (``q`` in [0, 1]) to within the configured
+        relative error; ``nan`` when the histogram is empty.
+
+        Uses the order-statistic rank ``ceil(q * count)`` (clamped to at
+        least 1), matching ``numpy.percentile(..., method="inverted_cdf")``.
+        The answer is clamped to the exact observed ``[min, max]`` so
+        extreme quantiles never overshoot the data.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1]: {q}")
+        if self._count == 0:
+            return math.nan
+        rank = max(1, math.ceil(q * self._count))
+        cumulative = self._zero_count
+        if rank <= cumulative:
+            return 0.0
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            if rank <= cumulative:
+                representative = self._gamma**index * self._rep_factor
+                return min(max(representative, self._min), self._max)
+        return self._max  # pragma: no cover - counts always sum to _count
+
+    def percentiles(self, qs: Iterable[float]) -> list[float]:
+        """Vectorized :meth:`percentile`."""
+        return [self.percentile(q) for q in qs]
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Return a new histogram holding both inputs' observations.
+
+        Associative and commutative; both inputs are left untouched.
+        Requires identical ``relative_error`` (bucket grids must line
+        up for counts to add).
+        """
+        merged = LogHistogram(self.relative_error, self.min_trackable)
+        merged.update(self)
+        merged.update(other)
+        return merged
+
+    def update(self, other: "LogHistogram") -> None:
+        """In-place merge of ``other`` into ``self``."""
+        if other.relative_error != self.relative_error:
+            raise ConfigurationError(
+                "cannot merge histograms with different relative errors: "
+                f"{self.relative_error} vs {other.relative_error}"
+            )
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        self._zero_count += other._zero_count
+        self._count += other._count
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def bucket_count(self) -> int:
+        """Distinct buckets in use (memory footprint proxy)."""
+        return len(self._buckets) + (1 if self._zero_count else 0)
+
+    def as_dict(self) -> dict:
+        """Summary snapshot used by exporters and dashboards."""
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean(),
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "relative_error": self.relative_error,
+            "buckets": self.bucket_count,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LogHistogram(count={self._count}, mean={self.mean():.4g}, "
+            f"p99={self.percentile(0.99):.4g}, eps={self.relative_error})"
+        )

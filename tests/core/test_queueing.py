@@ -11,7 +11,7 @@ from repro.core.queueing import (
     mg1_ps_slowdown,
     utilization,
 )
-from repro.core.speedup import TabulatedSpeedup, UniformSpeedupModel
+from repro.core.speedup import TabulatedSpeedup
 from repro.errors import ConfigurationError
 from repro.schedulers import SequentialScheduler
 from repro.sim.engine import ArrivalSpec, simulate

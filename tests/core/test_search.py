@@ -8,7 +8,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.demand import DemandProfile
 from repro.core.formulas import total_average_parallelism
-from repro.core.schedule import IntervalSchedule
 from repro.core.search import (
     SearchConfig,
     build_interval_table,

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import EXPERIMENTS, build_parser, main
 from repro.experiments.figures import ALL_EXPERIMENTS
 
 
@@ -14,6 +16,19 @@ class TestParser:
         for name in ALL_EXPERIMENTS:
             args = parser.parse_args([name])
             assert args.experiment == name
+
+    def test_every_experiment_accepts_trace_flag(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name, "--trace", "out.json"])
+            assert args.experiment == name
+            assert args.trace == "out.json"
+
+    def test_help_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--help"])
+        assert excinfo.value.code == 0
+        assert "--trace" in capsys.readouterr().out
 
     def test_accepts_all_keyword(self):
         args = build_parser().parse_args(["all", "--scale", "tiny"])
@@ -43,3 +58,30 @@ class TestMain:
     def test_runs_thm1(self, capsys):
         assert main(["thm1", "--scale", "tiny"]) == 0
         assert "few-to-many" in capsys.readouterr().out
+
+    def test_runs_telemetry_experiment(self, capsys):
+        assert main(["telemetry", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "overhead" in out
+
+    def test_trace_writes_chrome_json_with_layer_spans(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(["telemetry", "--scale", "tiny", "--trace", str(trace_path)]) == 0
+        assert "spans" in capsys.readouterr().out
+        document = json.loads(trace_path.read_text())
+        events = document["traceEvents"]
+        tracks = {
+            event["args"]["name"]
+            for event in events
+            if event.get("ph") == "M" and event["name"] == "process_name"
+        }
+        # the acceptance criterion: sim, search, AND cluster spans in
+        # one CLI-produced trace file
+        assert {"sim", "search", "cluster"} <= tracks
+        assert any(event.get("ph") == "X" for event in events)
+        assert document["otherData"]["metrics"]["counters"]
+
+    def test_trace_flag_on_plain_experiment(self, tmp_path):
+        trace_path = tmp_path / "fig5.json"
+        assert main(["fig5", "--scale", "tiny", "--trace", str(trace_path)]) == 0
+        json.loads(trace_path.read_text())  # valid JSON even if few spans

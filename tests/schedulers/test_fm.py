@@ -161,8 +161,6 @@ class TestProgressModes:
 
 class TestAgainstSequential:
     def test_fm_tail_beats_sequential_under_load(self, tiny_workload):
-        import numpy as np
-
         from repro.core.search import SearchConfig, build_interval_table
         from repro.experiments.runner import run_policy
 

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.schedule import Schedule, ScheduleStep
 from repro.core.speedup import TabulatedSpeedup
 from repro.core.table import IntervalTable

@@ -1,0 +1,130 @@
+"""Tests for the exporters: Chrome trace JSON, JSONL, text dashboard."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry import (
+    Telemetry,
+    Tracer,
+    read_spans_jsonl,
+    render_summary,
+    span_from_dict,
+    span_to_dict,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.telemetry.clock import ManualClock
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer(clock=ManualClock())
+    outer = tracer.complete("query", 0.0, 30.0, track="search", lane=1, top_k=10)
+    tracer.complete(
+        "segment", 0.0, 12.0, track="search", lane=1, parent=outer, segment=0
+    )
+    tracer.complete("run", 5.0, 25.0, track="sim", lane=7, degree=2)
+    tracer.instant("boost", track="sim", lane=7, at_ms=15.0, degree=3)
+    tracer.complete("shard0", 2.0, 40.0, track="cluster", lane=3, server=0)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_document_is_valid_json(self, tmp_path):
+        telemetry = Telemetry()
+        telemetry.tracer.spans.extend(_sample_tracer().spans)
+        telemetry.metrics.counter("sim.arrivals").inc(3)
+        path = write_chrome_trace(tmp_path / "trace.json", telemetry)
+        document = json.loads(path.read_text())
+        assert "traceEvents" in document
+        assert document["displayTimeUnit"] == "ms"
+        assert document["otherData"]["metrics"]["counters"] == {"sim.arrivals": 3}
+
+    def test_tracks_become_processes_with_metadata(self):
+        document = to_chrome_trace(_sample_tracer().spans)
+        meta = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert names == {"search", "sim", "cluster"}
+        # distinct pids per track
+        assert len({e["pid"] for e in meta}) == 3
+
+    def test_events_have_consistent_ts_dur(self):
+        document = to_chrome_trace(_sample_tracer().spans)
+        events = [e for e in document["traceEvents"] if e["ph"] in ("X", "i")]
+        assert events, "no span events exported"
+        for event in events:
+            assert event["ts"] >= 0.0
+            if event["ph"] == "X":
+                assert event["dur"] >= 0.0
+            else:
+                assert event["s"] == "t"
+
+    def test_ts_monotone_per_lane(self):
+        document = to_chrome_trace(_sample_tracer().spans)
+        last: dict[tuple[int, int], float] = {}
+        for event in document["traceEvents"]:
+            if event["ph"] not in ("X", "i"):
+                continue
+            key = (event["pid"], event["tid"])
+            assert event["ts"] >= last.get(key, float("-inf"))
+            last[key] = event["ts"]
+
+    def test_equal_start_spans_nest_longest_first(self):
+        document = to_chrome_trace(_sample_tracer().spans)
+        search = [
+            e
+            for e in document["traceEvents"]
+            if e["ph"] == "X" and e["tid"] == 1 and e["name"] in ("query", "segment")
+        ]
+        assert [e["name"] for e in search] == ["query", "segment"]
+
+    def test_open_spans_are_excluded(self):
+        tracer = Tracer(clock=ManualClock())
+        tracer.begin("never-ended", track="t", at_ms=0.0)
+        tracer.complete("done", 0.0, 1.0, track="t")
+        document = to_chrome_trace(tracer.spans + [tracer.begin("open", at_ms=2.0)])
+        names = [e["name"] for e in document["traceEvents"] if e["ph"] == "X"]
+        assert names == ["done"]
+
+    def test_nonjson_attrs_are_coerced(self):
+        tracer = Tracer(clock=ManualClock())
+        tracer.complete("x", 0.0, 1.0, track="t", obj=object(), inf=float("inf"))
+        document = to_chrome_trace(tracer.spans)
+        json.dumps(document)  # must not raise
+
+
+class TestJsonl:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        spans = _sample_tracer().spans
+        path = write_spans_jsonl(tmp_path / "spans.jsonl", spans)
+        loaded = read_spans_jsonl(path)
+        assert len(loaded) == len(spans)
+        for original, restored in zip(spans, loaded):
+            assert span_to_dict(original) == span_to_dict(restored)
+
+    def test_span_dict_round_trip(self):
+        span = _sample_tracer().spans[0]
+        assert span_to_dict(span_from_dict(span_to_dict(span))) == span_to_dict(span)
+
+    def test_empty_file_round_trips(self, tmp_path):
+        path = write_spans_jsonl(tmp_path / "empty.jsonl", [])
+        assert read_spans_jsonl(path) == []
+
+
+class TestSummary:
+    def test_renders_all_instrument_kinds(self):
+        telemetry = Telemetry()
+        telemetry.metrics.counter("sim.arrivals").inc(5)
+        telemetry.metrics.gauge("sim.queue_depth").set(3)
+        telemetry.metrics.histogram("sim.latency_ms").record_many([1.0, 2.0, 50.0])
+        telemetry.tracer.spans.extend(_sample_tracer().spans)
+        text = render_summary(telemetry)
+        assert "sim.arrivals" in text
+        assert "sim.queue_depth" in text
+        assert "sim.latency_ms" in text
+        assert "cluster" in text
+        assert "p99" in text
+
+    def test_empty_pipeline_renders_header_only(self):
+        assert render_summary(Telemetry()).startswith("=== telemetry summary ===")

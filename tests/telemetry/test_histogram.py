@@ -1,0 +1,190 @@
+"""Property tests for the log-bucketed streaming histogram.
+
+The contract under test: ``percentile(q)`` agrees with the exact
+order statistic (``numpy.quantile(..., method="inverted_cdf")``, the
+same ``ceil(q*n)`` rank convention) to within the configured relative
+error, for every quantile, across seeds and distributions; merging is
+associative/commutative and equivalent to recording the concatenation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import LogHistogram
+
+
+def _exact(data: np.ndarray, q: float) -> float:
+    """The order statistic the histogram documents agreement with."""
+    return float(np.quantile(data, q, method="inverted_cdf"))
+
+
+def _draws(rng: np.random.Generator, kind: str, n: int) -> np.ndarray:
+    if kind == "lognormal":
+        return rng.lognormal(3.0, 1.2, size=n)
+    if kind == "exponential":
+        return rng.exponential(50.0, size=n)
+    if kind == "bimodal":
+        short = rng.uniform(1.0, 10.0, size=n)
+        long_ = rng.uniform(200.0, 2000.0, size=n)
+        return np.where(rng.random(n) < 0.2, long_, short)
+    raise AssertionError(kind)
+
+
+QUANTILES = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0]
+
+
+class TestPercentileAccuracy:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("kind", ["lognormal", "exponential", "bimodal"])
+    def test_matches_numpy_within_relative_error(self, seed, kind):
+        rng = np.random.default_rng(seed)
+        data = _draws(rng, kind, 2000)
+        histogram = LogHistogram(relative_error=0.01)
+        histogram.record_many(data)
+        for q in QUANTILES:
+            exact = _exact(data, q)
+            approx = histogram.percentile(q)
+            # documented bound, plus float rounding at bucket edges
+            assert abs(approx - exact) <= exact * (0.01 * 1.001) + 1e-9, (
+                f"q={q}: {approx} vs exact {exact}"
+            )
+
+    @pytest.mark.parametrize("eps", [0.001, 0.005, 0.02, 0.05])
+    def test_bound_scales_with_configured_error(self, eps):
+        rng = np.random.default_rng(99)
+        data = rng.lognormal(2.0, 1.0, size=3000)
+        histogram = LogHistogram(relative_error=eps)
+        histogram.record_many(data)
+        for q in QUANTILES:
+            exact = _exact(data, q)
+            assert abs(histogram.percentile(q) - exact) <= exact * (eps * 1.001) + 1e-9
+
+    def test_extremes_stay_within_observed_min_max(self):
+        histogram = LogHistogram()
+        histogram.record_many([3.0, 7.0, 11.0])
+        assert 3.0 <= histogram.percentile(0.0) <= 3.0 * 1.01
+        assert 11.0 * 0.99 <= histogram.percentile(1.0) <= 11.0
+
+    def test_exact_stats_are_exact(self):
+        data = [1.5, 2.5, 100.0]
+        histogram = LogHistogram()
+        histogram.record_many(data)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(104.0)
+        assert histogram.min == 1.5
+        assert histogram.max == 100.0
+        assert histogram.mean() == pytest.approx(104.0 / 3)
+
+
+class TestMerge:
+    def test_merge_equals_concatenation(self):
+        rng = np.random.default_rng(5)
+        a, b = rng.exponential(20.0, size=500), rng.lognormal(2.0, 1.0, size=700)
+        ha, hb, hboth = LogHistogram(), LogHistogram(), LogHistogram()
+        ha.record_many(a)
+        hb.record_many(b)
+        hboth.record_many(np.concatenate([a, b]))
+        merged = ha.merge(hb)
+        assert merged.count == hboth.count
+        for q in QUANTILES:
+            assert merged.percentile(q) == hboth.percentile(q)
+
+    def test_merge_is_commutative_and_associative(self):
+        rng = np.random.default_rng(6)
+        hs = []
+        for _ in range(3):
+            h = LogHistogram()
+            h.record_many(rng.exponential(30.0, size=300))
+            hs.append(h)
+        a, b, c = hs
+        ab_c = a.merge(b).merge(c)
+        a_bc = a.merge(b.merge(c))
+        ba_c = b.merge(a).merge(c)
+        for q in QUANTILES:
+            assert ab_c.percentile(q) == a_bc.percentile(q) == ba_c.percentile(q)
+
+    def test_merge_leaves_inputs_untouched(self):
+        a, b = LogHistogram(), LogHistogram()
+        a.record(1.0)
+        b.record(2.0)
+        a.merge(b)
+        assert a.count == 1 and b.count == 1
+
+    def test_update_merges_in_place(self):
+        a, b = LogHistogram(), LogHistogram()
+        a.record(1.0)
+        b.record(2.0)
+        a.update(b)
+        assert a.count == 2
+        assert a.max == 2.0
+
+    def test_mismatched_relative_error_raises(self):
+        with pytest.raises(ConfigurationError):
+            LogHistogram(relative_error=0.01).merge(LogHistogram(relative_error=0.02))
+
+
+class TestEdgeCases:
+    def test_empty_percentile_is_nan(self):
+        histogram = LogHistogram()
+        assert math.isnan(histogram.percentile(0.5))
+        assert math.isnan(histogram.min)
+        assert math.isnan(histogram.max)
+        assert math.isnan(histogram.mean())
+
+    def test_zero_goes_to_zero_bucket(self):
+        histogram = LogHistogram()
+        histogram.record(0.0)
+        histogram.record(0.0)
+        histogram.record(100.0)
+        assert histogram.count == 3
+        assert histogram.percentile(0.5) == 0.0
+        assert histogram.min == 0.0
+
+    def test_negative_value_raises(self):
+        with pytest.raises(ConfigurationError):
+            LogHistogram().record(-1.0)
+
+    def test_bad_count_raises(self):
+        with pytest.raises(ConfigurationError):
+            LogHistogram().record(1.0, count=0)
+
+    def test_bad_quantile_raises(self):
+        histogram = LogHistogram()
+        histogram.record(1.0)
+        with pytest.raises(ConfigurationError):
+            histogram.percentile(1.5)
+
+    def test_bad_relative_error_raises(self):
+        with pytest.raises(ConfigurationError):
+            LogHistogram(relative_error=0.0)
+        with pytest.raises(ConfigurationError):
+            LogHistogram(relative_error=1.0)
+
+    def test_weighted_record(self):
+        histogram = LogHistogram()
+        histogram.record(5.0, count=10)
+        assert histogram.count == 10
+        assert histogram.sum == pytest.approx(50.0)
+        assert histogram.percentile(0.5) == pytest.approx(5.0, rel=0.01)
+
+    def test_memory_stays_bounded(self):
+        # 100k samples over 6 decades should land in O(log range / eps)
+        # buckets, not O(n).
+        rng = np.random.default_rng(7)
+        histogram = LogHistogram(relative_error=0.01)
+        histogram.record_many(10.0 ** rng.uniform(-2, 4, size=100_000))
+        assert histogram.count == 100_000
+        assert histogram.bucket_count < 800
+
+    def test_as_dict_snapshot(self):
+        histogram = LogHistogram()
+        histogram.record_many([1.0, 2.0, 3.0])
+        snapshot = histogram.as_dict()
+        assert snapshot["count"] == 3
+        assert snapshot["relative_error"] == 0.01
+        assert snapshot["p50"] == pytest.approx(2.0, rel=0.011)

@@ -1,0 +1,207 @@
+"""Tests for metrics registry, clocks, and span tracing."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import (
+    NULL_TRACER,
+    MetricsRegistry,
+    NullTracer,
+    Telemetry,
+    Tracer,
+    current_telemetry,
+    install,
+    resolve_telemetry,
+)
+from repro.telemetry.clock import ManualClock, VirtualClock, WallClock
+
+
+class TestClocks:
+    def test_wall_clock_starts_near_zero_and_advances(self):
+        clock = WallClock()
+        first = clock.now_ms()
+        assert first >= 0.0
+        time.sleep(0.002)
+        assert clock.now_ms() > first
+
+    def test_virtual_clock_follows_source(self):
+        now = {"t": 10.0}
+        clock = VirtualClock(lambda: now["t"])
+        assert clock.now_ms() == 10.0
+        now["t"] = 25.0
+        assert clock.now_ms() == 25.0
+
+    def test_manual_clock_advances_and_rejects_backwards(self):
+        clock = ManualClock()
+        clock.advance(5.0)
+        assert clock.now_ms() == 5.0
+        clock.set(7.5)
+        assert clock.now_ms() == 7.5
+        with pytest.raises(ConfigurationError):
+            clock.set(3.0)
+        with pytest.raises(ConfigurationError):
+            clock.advance(-1.0)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_counter_monotone(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_gauge_high_water_mark(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(3)
+        gauge.set(9)
+        gauge.set(2)
+        assert gauge.value == 2.0
+        assert gauge.max_value == 9.0
+
+    def test_as_dict_and_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(4)
+        registry.histogram("h").record(1.0)
+        snapshot = registry.as_dict()
+        assert snapshot["counters"] == {"c": 1}
+        assert snapshot["gauges"]["g"] == {"value": 4.0, "max": 4.0}
+        assert snapshot["histograms"]["h"]["count"] == 1
+        registry.reset()
+        assert registry.as_dict() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestTracer:
+    def test_begin_end_records_span(self):
+        tracer = Tracer(clock=ManualClock())
+        span = tracer.begin("work", track="t", lane=3, at_ms=10.0, size=4)
+        assert span.is_open
+        tracer.end(span, at_ms=15.0, ok=True)
+        assert tracer.spans == [span]
+        assert span.duration_ms == 5.0
+        assert span.attrs == {"size": 4, "ok": True}
+
+    def test_end_before_start_raises(self):
+        tracer = Tracer(clock=ManualClock())
+        span = tracer.begin("work", at_ms=10.0)
+        with pytest.raises(ConfigurationError):
+            tracer.end(span, at_ms=9.0)
+
+    def test_double_end_raises(self):
+        tracer = Tracer(clock=ManualClock())
+        span = tracer.begin("work", at_ms=0.0)
+        tracer.end(span, at_ms=1.0)
+        with pytest.raises(ConfigurationError):
+            tracer.end(span, at_ms=2.0)
+
+    def test_explicit_parent_links(self):
+        tracer = Tracer(clock=ManualClock())
+        parent = tracer.begin("query", at_ms=0.0)
+        child = tracer.begin("segment", parent=parent, at_ms=1.0)
+        assert child.parent_id == parent.span_id
+
+    def test_context_propagation_nests(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                instant = tracer.instant("tick")
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert instant.parent_id == inner.span_id
+        # inner closed first, then outer
+        assert tracer.spans.index(inner) > tracer.spans.index(instant)
+        assert tracer.spans.index(outer) > tracer.spans.index(inner)
+
+    def test_complete_and_instant(self):
+        tracer = Tracer(clock=ManualClock())
+        done = tracer.complete("queued", 2.0, 8.0, track="sim", lane=1)
+        mark = tracer.instant("boost", track="sim", lane=1, at_ms=5.0)
+        assert done.duration_ms == 6.0
+        assert mark.kind == "instant"
+        assert mark.start_ms == mark.end_ms == 5.0
+
+    def test_by_track_and_tracks(self):
+        tracer = Tracer(clock=ManualClock())
+        tracer.complete("a", 0.0, 1.0, track="sim")
+        tracer.complete("b", 0.0, 1.0, track="search")
+        tracer.complete("c", 1.0, 2.0, track="sim")
+        assert [s.name for s in tracer.by_track("sim")] == ["a", "c"]
+        assert set(tracer.tracks()) == {"sim", "search"}
+
+    def test_reset_clears_spans(self):
+        tracer = Tracer(clock=ManualClock())
+        tracer.complete("a", 0.0, 1.0)
+        tracer.reset()
+        assert tracer.spans == []
+
+    def test_virtual_clock_timestamps(self):
+        now = {"t": 100.0}
+        tracer = Tracer(clock=VirtualClock(lambda: now["t"]))
+        span = tracer.begin("work")
+        now["t"] = 140.0
+        tracer.end(span)
+        assert span.start_ms == 100.0
+        assert span.end_ms == 140.0
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        tracer = NullTracer()
+        span = tracer.begin("work", at_ms=1.0)
+        tracer.end(span, at_ms=2.0)
+        tracer.instant("tick")
+        tracer.complete("done", 0.0, 1.0)
+        assert tracer.spans == []
+
+    def test_shared_singleton_is_null(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+
+
+class TestTelemetryResolution:
+    def test_explicit_wins(self):
+        explicit = Telemetry()
+        assert resolve_telemetry(explicit) is explicit
+
+    def test_explicit_disabled_resolves_to_none_even_under_ambient(self):
+        ambient = Telemetry()
+        with install(ambient):
+            assert resolve_telemetry(Telemetry(enabled=False)) is None
+
+    def test_ambient_used_when_no_explicit(self):
+        ambient = Telemetry()
+        assert resolve_telemetry() is None
+        with install(ambient):
+            assert resolve_telemetry() is ambient
+            assert current_telemetry() is ambient
+        assert resolve_telemetry() is None
+
+    def test_install_none_uninstalls(self):
+        ambient = Telemetry()
+        with install(ambient):
+            with install(None):
+                assert resolve_telemetry() is None
+            assert resolve_telemetry() is ambient
+
+    def test_disabled_pipeline_uses_null_tracer(self):
+        disabled = Telemetry(enabled=False)
+        assert disabled.tracer is NULL_TRACER
+
+    def test_reset_clears_metrics_and_spans(self):
+        telemetry = Telemetry()
+        telemetry.metrics.counter("c").inc()
+        telemetry.tracer.complete("a", 0.0, 1.0)
+        telemetry.reset()
+        assert telemetry.metrics.as_dict()["counters"] == {}
+        assert telemetry.tracer.spans == []

@@ -13,7 +13,6 @@ from repro.search.corpus import generate_corpus, generate_query_log
 from repro.search.executor import SearchEngine
 from repro.search.index import InvertedIndex
 from repro.search.profiler import profile_queries
-from repro.workloads.arrivals import PoissonProcess
 from repro.workloads.workload import Workload
 
 
