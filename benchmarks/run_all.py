@@ -6,6 +6,10 @@ telemetry primitives themselves, and writes the headline numbers
 (events/sec, p50/p99, overhead %) to ``BENCH_telemetry.json`` at the
 repo root so future PRs have a baseline to regress against.
 
+Also writes ``BENCH_observe.json`` for the observability layer: trace
+analyzer throughput on a synthetic 100k-span trace, and the simulator
+overhead of the per-request attribution flight recorder (on vs. off).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_all.py [--scale quick] [--output PATH]
@@ -178,6 +182,89 @@ def bench_primitives() -> dict:
     }
 
 
+def bench_analyzer(num_spans: int = 100_000) -> dict:
+    """Trace-analyzer throughput on a synthetic ``num_spans``-span trace.
+
+    The trace mimics the sim track's shape (queue + attributed run span
+    per request) so the analyzer exercises its full reconstruction path,
+    and is written to disk first so the measurement includes parsing.
+    """
+    import tempfile
+
+    from repro.observe import analyze_trace
+    from repro.telemetry.export import write_spans_jsonl
+
+    num_requests = num_spans // 2  # one queue + one run span each
+    tracer = Tracer(clock=ManualClock())
+    for i in range(num_requests):
+        arrival = float(i)
+        queue = 0.5 + (i % 13) * 0.25
+        service = 20.0 + (i % 997) * 0.1
+        contention = (i % 29) * 0.5
+        start = arrival + queue
+        finish = start + service + contention
+        tracer.complete("queue", arrival, start, track="sim", lane=i % 64)
+        tracer.complete(
+            "run", start, finish, track="sim", lane=i % 64,
+            queue_ms=queue, service_ms=service, contention_ms=contention,
+            boost_wait_ms=0.0, stall_ms=0.0, latency_ms=finish - arrival,
+            degree=1 + i % 4, boosted=i % 17 == 0,
+        )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = write_spans_jsonl(Path(tmp) / "bench.jsonl", tracer.spans)
+        trace_bytes = path.stat().st_size
+        analyze_s = best_of(lambda: analyze_trace(path, phi=0.99))
+    return {
+        "num_spans": len(tracer.spans),
+        "trace_bytes": trace_bytes,
+        "analyze_wall_s": round(analyze_s, 6),
+        "spans_per_s": round(len(tracer.spans) / analyze_s, 0),
+        "requests_per_s": round(num_requests / analyze_s, 0),
+    }
+
+
+def bench_attribution(scale: Scale) -> dict:
+    """Simulator cost of the attribution flight recorder (on vs. off).
+
+    No telemetry pipeline in either run — this isolates the per-quantum
+    interval accounting itself, the cost paid by every instrumented run.
+    """
+    import numpy as np
+
+    from repro.sim.engine import simulate
+
+    table = bing_table(scale)
+    workload = bing_mod.bing_workload(profile_size=scale.profile_size)
+    num_requests = scale.num_requests * 2
+    arrivals = workload.arrivals(
+        num_requests, PoissonProcess(180.0), np.random.default_rng(23)
+    )
+
+    def make_run(attribution: bool):
+        def run():
+            simulate(
+                arrivals,
+                FMScheduler(table),
+                cores=bing_mod.CORES,
+                quantum_ms=bing_mod.QUANTUM_MS,
+                spin_fraction=bing_mod.SPIN_FRACTION,
+                attribution=attribution,
+            )
+
+        return run
+
+    off_s = best_of(make_run(False))
+    on_s = best_of(make_run(True))
+    return {
+        "num_requests": num_requests,
+        "off_wall_s": round(off_s, 6),
+        "on_wall_s": round(on_s, 6),
+        "off_requests_per_s": round(num_requests / off_s, 1),
+        "on_requests_per_s": round(num_requests / on_s, 1),
+        "overhead_enabled_pct": round(100.0 * (on_s / off_s - 1.0), 2),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -187,6 +274,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output", type=Path, default=REPO_ROOT / "BENCH_telemetry.json",
         help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--observe-output", type=Path,
+        default=REPO_ROOT / "BENCH_observe.json",
+        help="where to write the observe-layer JSON report",
     )
     args = parser.parse_args(argv)
     if args.scale:
@@ -216,6 +308,26 @@ def main(argv: list[str] | None = None) -> int:
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     print(f"\nwrote {args.output}")
+
+    print(f"\nrunning observe benches at scale={scale.name} ...")
+    observe = {
+        "benchmark": "observe",
+        "scale": scale.name,
+        "python": platform.python_version(),
+        "timing_repeats": TIMING_REPEATS,
+        "analyzer": bench_analyzer(),
+        "attribution": bench_attribution(scale),
+        "notes": (
+            "analyzer times load_trace + analyze on a synthetic JSONL "
+            "trace shaped like the sim track (attributed run spans). "
+            "attribution compares full simulate() runs with the flight "
+            "recorder on vs. off, no telemetry pipeline in either."
+        ),
+    }
+    observe_path = args.observe_output
+    observe_path.write_text(json.dumps(observe, indent=2) + "\n")
+    print(json.dumps(observe, indent=2))
+    print(f"\nwrote {observe_path}")
     return 0
 
 

@@ -11,6 +11,12 @@ tables, e.g.::
 pipeline for the run and writes every span the instrumented layers
 emit (sim, search, runtime, cluster) as Chrome/Perfetto trace-event
 JSON.
+
+The ``repro`` alias adds a subcommand for offline trace analysis::
+
+    repro analyze trace.json --phi 0.99      # tail attribution report
+
+(any other ``repro ...`` invocation behaves exactly like ``repro-fm``).
 """
 
 from __future__ import annotations
@@ -24,19 +30,21 @@ from repro.experiments.config import FULL, QUICK, TINY, Scale, default_scale
 from repro.experiments.extensions import EXTENSIONS
 from repro.experiments.figures import ALL_EXPERIMENTS
 from repro.experiments.robustness import ROBUSTNESS
+from repro.experiments.tail_attribution import TAIL_ATTRIBUTION
 from repro.experiments.telemetry import TELEMETRY
 from repro.telemetry import Telemetry, install
 from repro.telemetry.export import write_chrome_trace
 
 #: Every runnable experiment: the paper's figures/tables, the ablation
-#: studies, the extension experiments, the robustness study, and the
-#: telemetry overhead study.
+#: studies, the extension experiments, the robustness study, the
+#: telemetry overhead study, and the tail-attribution study.
 EXPERIMENTS = {
     **ALL_EXPERIMENTS,
     **ABLATIONS,
     **EXTENSIONS,
     **ROBUSTNESS,
     **TELEMETRY,
+    **TAIL_ATTRIBUTION,
 }
 
 __all__ = ["main", "build_parser"]
@@ -79,7 +87,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    ``analyze`` dispatches to the trace-analysis CLI
+    (:mod:`repro.observe.analyze`); everything else is an experiment id.
+    """
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "analyze":
+        from repro.observe.analyze import main as analyze_main
+
+        return analyze_main(argv[1:])
     args = build_parser().parse_args(argv)
     scale = _SCALES[args.scale] if args.scale else default_scale()
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

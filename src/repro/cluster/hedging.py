@@ -36,8 +36,10 @@ from repro.errors import ConfigurationError
 __all__ = [
     "HedgePolicy",
     "RetryPolicy",
+    "RetryResolution",
     "hedged_latency",
     "latency_with_retries",
+    "resolve_retries",
 ]
 
 
@@ -115,20 +117,42 @@ def hedged_latency(
     return min(primary_ms, delay_ms + replica_ms), True
 
 
-def latency_with_retries(
+@dataclass(frozen=True)
+class RetryResolution:
+    """How one shard request resolved under a :class:`RetryPolicy`.
+
+    The attribution view of a retry ladder: the shard's effective
+    latency splits additively as ``redundancy_wait_ms`` (the winning
+    attempt's issue offset — time spent waiting for timeouts to fire)
+    plus the winning attempt's own latency.
+    """
+
+    latency_ms: float
+    #: Retry attempts actually issued (0 = the original answered first).
+    retries: int
+    #: Index of the attempt that answered first (0 = original).
+    winner: int
+    #: The winner's issue offset: 0.0 when the original wins, else the
+    #: cumulative backoff time before the winning retry went out.
+    redundancy_wait_ms: float
+
+
+def resolve_retries(
     attempt_latencies_ms: Sequence[float], policy: RetryPolicy
-) -> tuple[float, int]:
-    """Effective shard latency under timeout + exponential backoff.
+) -> RetryResolution:
+    """Resolve a retry ladder in full detail.
 
     ``attempt_latencies_ms[0]`` is the original attempt's latency
     (possibly already hedged); subsequent entries are what each retry
-    *would* take if issued.  Returns ``(latency, retries_issued)``.
+    *would* take if issued.
     """
     if len(attempt_latencies_ms) == 0:
         raise ConfigurationError("need at least the original attempt's latency")
     issue = 0.0
     timeout = policy.timeout_ms
     best = issue + float(attempt_latencies_ms[0])
+    winner = 0
+    winner_issue = 0.0
     retries = 0
     budget = min(policy.max_retries, len(attempt_latencies_ms) - 1)
     for k in range(1, budget + 1):
@@ -138,5 +162,26 @@ def latency_with_retries(
         issue = next_issue
         timeout *= policy.backoff
         retries += 1
-        best = min(best, issue + float(attempt_latencies_ms[k]))
-    return best, retries
+        arrival = issue + float(attempt_latencies_ms[k])
+        if arrival < best:
+            best = arrival
+            winner = k
+            winner_issue = issue
+    return RetryResolution(
+        latency_ms=best,
+        retries=retries,
+        winner=winner,
+        redundancy_wait_ms=winner_issue,
+    )
+
+
+def latency_with_retries(
+    attempt_latencies_ms: Sequence[float], policy: RetryPolicy
+) -> tuple[float, int]:
+    """Effective shard latency under timeout + exponential backoff.
+
+    The 2-tuple view of :func:`resolve_retries`: returns
+    ``(latency, retries_issued)``.
+    """
+    resolution = resolve_retries(attempt_latencies_ms, policy)
+    return resolution.latency_ms, resolution.retries

@@ -22,7 +22,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.cluster.hedging import HedgePolicy, RetryPolicy, latency_with_retries
+from repro.cluster.hedging import HedgePolicy, RetryPolicy, resolve_retries
 from repro.core.formulas import weighted_order_statistic
 from repro.errors import ConfigurationError
 from repro.faults.plan import FaultPlan
@@ -192,6 +192,21 @@ class RobustClusterResult:
     retries_sent: int = 0
     #: Per-primary-server fault counters (dicts from FaultStats.as_dict).
     server_fault_stats: list[dict] = field(default_factory=list)
+    #: Per-query redundancy wait: of the slowest (latency-setting)
+    #: shard's effective latency, the part spent waiting before the
+    #: winning duplicate went out — the hedge delay when a hedge won,
+    #: the cumulative backoff when a retry won, 0.0 when the primary
+    #: answered first.  ``raw_query_latencies_ms - query_redundancy_wait_ms``
+    #: is the winning attempt's own latency (additive split).
+    query_redundancy_wait_ms: np.ndarray = field(
+        default_factory=lambda: np.zeros(0)
+    )
+
+    def mean_redundancy_wait_ms(self) -> float:
+        """Average per-query redundancy wait (0.0 with no mitigations)."""
+        if self.query_redundancy_wait_ms.size == 0:
+            return 0.0
+        return float(self.query_redundancy_wait_ms.mean())
 
     def cluster_tail_ms(self, phi: float) -> float:
         """φ-percentile of the effective cluster latency."""
@@ -300,6 +315,10 @@ def simulate_cluster_robust(
             _record_shard_spans(telemetry, server, result)
 
     effective = np.stack(per_server).copy()  # (servers, queries)
+    # Redundancy wait per (server, query): the winning attempt's issue
+    # offset — how long this shard's answer waited on hedge/retry
+    # machinery before the duplicate that won was even sent.
+    redundancy = np.zeros_like(effective)
 
     # --- hedging: late shards duplicate to a per-shard replica server.
     hedge_delay: float | None = None
@@ -326,9 +345,10 @@ def simulate_cluster_robust(
             hedges_sent += len(hedged)
             for record in replica.records:
                 q = record.tag
-                effective[server][q] = min(
-                    effective[server][q], hedge_delay + record.latency_ms
-                )
+                hedged_total = hedge_delay + record.latency_ms
+                if hedged_total < effective[server][q]:
+                    effective[server][q] = hedged_total
+                    redundancy[server][q] = hedge_delay
                 if telemetry is not None:
                     # Hedges get their own track: they start mid-query,
                     # so nesting them under the primary shard span would
@@ -356,12 +376,21 @@ def simulate_cluster_robust(
                 if first <= retry.timeout_ms:
                     continue
                 redraws = retry_rng.choice(marginal, size=retry.max_retries)
-                latency, used = latency_with_retries([first, *redraws], retry)
-                effective[server][q] = latency
-                retries_sent += used
+                resolution = resolve_retries([first, *redraws], retry)
+                effective[server][q] = resolution.latency_ms
+                retries_sent += resolution.retries
+                if resolution.winner > 0:
+                    # A retry won: the shard's redundancy wait is the
+                    # backoff time, superseding any hedge wait baked
+                    # into the (losing) original attempt.
+                    redundancy[server][q] = resolution.redundancy_wait_ms
 
     # --- deadline: partial aggregation + answer quality.
     raw = effective.max(axis=0)
+    # Attribution: each query's latency is set by its slowest shard;
+    # that shard's redundancy wait is the query's redundancy wait.
+    slowest_shard = effective.argmax(axis=0)
+    query_redundancy = redundancy[slowest_shard, np.arange(num_queries)]
     if deadline_ms is not None:
         quality = (effective <= deadline_ms).mean(axis=0)
         query_latencies = np.minimum(raw, deadline_ms)
@@ -380,9 +409,18 @@ def simulate_cluster_robust(
             )
         latency_hist = metrics.histogram("cluster.query_latency_ms")
         quality_hist = metrics.histogram("cluster.quality")
-        for latency, answered in zip(query_latencies, quality):
+        # cluster.attr.*: the two-way additive split of each query's
+        # (uncapped) latency — the slowest shard's own attempt latency
+        # plus the redundancy wait in front of it.
+        wait_hist = metrics.histogram("cluster.attr.redundancy_wait_ms")
+        shard_hist = metrics.histogram("cluster.attr.slowest_shard_ms")
+        for latency, answered, total, wait in zip(
+            query_latencies, quality, raw, query_redundancy
+        ):
             latency_hist.record(float(latency))
             quality_hist.record(float(answered))
+            wait_hist.record(float(wait))
+            shard_hist.record(float(total - wait))
 
     return RobustClusterResult(
         query_latencies_ms=query_latencies,
@@ -393,4 +431,5 @@ def simulate_cluster_robust(
         hedges_sent=hedges_sent,
         retries_sent=retries_sent,
         server_fault_stats=fault_stats,
+        query_redundancy_wait_ms=query_redundancy,
     )

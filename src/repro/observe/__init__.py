@@ -1,0 +1,38 @@
+"""Tail analysis on top of :mod:`repro.telemetry`: who is the p99, why?
+
+Three pieces (DESIGN.md §9):
+
+* the **flight recorder** lives in :mod:`repro.sim` — every request's
+  latency decomposes additively into queue wait, pure service,
+  contention inflation, boost wait, and stall time;
+* :mod:`repro.observe.slo` watches a live latency stream against a
+  percentile target with multi-window burn rates and drift detection;
+* :mod:`repro.observe.analyze` reads a ``--trace`` file offline and
+  attributes the φ-tail by component (the ``repro analyze`` CLI).
+"""
+
+from repro.observe.analyze import (
+    AnalysisReport,
+    RequestView,
+    TraceData,
+    TrackReport,
+    analyze_spans,
+    analyze_trace,
+    load_trace,
+    requests_from_spans,
+)
+from repro.observe.slo import SLOMonitor, SLOStatus, SLOTarget
+
+__all__ = [
+    "SLOTarget",
+    "SLOStatus",
+    "SLOMonitor",
+    "RequestView",
+    "TraceData",
+    "TrackReport",
+    "AnalysisReport",
+    "load_trace",
+    "requests_from_spans",
+    "analyze_spans",
+    "analyze_trace",
+]

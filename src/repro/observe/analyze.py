@@ -1,0 +1,550 @@
+"""Offline trace analysis: who is the p99, and why?
+
+Ingests a trace written by any experiment's ``--trace`` flag — Chrome
+``trace_event`` JSON (:func:`repro.telemetry.export.write_chrome_trace`)
+or span JSONL (:func:`~repro.telemetry.export.write_spans_jsonl`) —
+reconstructs per-request views, identifies the requests composing the
+φ-tail, and attributes their latency to the flight recorder's additive
+components (queue wait, service, contention, boost wait, stall; see
+DESIGN.md §9).  For cluster tracks it correlates tail membership with
+hedging, and it echoes the run's fault/shed/hedge counters so a tail
+report carries its context.
+
+Used as a library (:func:`analyze_trace`) and as the ``repro analyze``
+CLI::
+
+    repro-fm tail-attribution --trace trace.json
+    repro analyze trace.json --phi 0.99 --json report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.experiments.report import render_table
+from repro.sim.metrics import ATTRIBUTION_COMPONENTS
+from repro.telemetry.export import span_from_dict
+from repro.telemetry.spans import INSTANT, Span
+
+__all__ = [
+    "RequestView",
+    "TraceData",
+    "TrackReport",
+    "AnalysisReport",
+    "load_trace",
+    "requests_from_spans",
+    "analyze_spans",
+    "analyze_trace",
+    "main",
+]
+
+#: Tracks holding one request per lane with queue/run/shed spans.
+_REQUEST_TRACKS = ("sim", "runtime")
+#: Counters worth echoing into a tail report, when present.
+_CONTEXT_COUNTERS = (
+    "sim.arrivals",
+    "sim.completions",
+    "sim.sheds",
+    "sim.boosts",
+    "sim.degree_raises",
+    "runtime.arrivals",
+    "runtime.completions",
+    "runtime.sheds",
+    "runtime.deadline_sheds",
+    "cluster.queries",
+    "cluster.hedges",
+    "cluster.retries",
+    "cluster.deadline_misses",
+)
+
+
+@dataclass
+class RequestView:
+    """One reconstructed request: latency plus its additive components."""
+
+    track: str
+    lane: int
+    start_ms: float
+    end_ms: float
+    latency_ms: float
+    #: Additive decomposition (sums to ``latency_ms`` when the trace
+    #: carries flight-recorder attrs; coarse queue/execute otherwise).
+    components: dict[str, float] = field(default_factory=dict)
+    boosted: bool = False
+    hedged: bool = False
+    shed: bool = False
+
+    def dominant_component(self) -> str:
+        """The component contributing the most latency."""
+        if not self.components:
+            return "unknown"
+        return max(self.components.items(), key=lambda kv: kv[1])[0]
+
+
+@dataclass
+class TraceData:
+    """A loaded trace: reconstructed spans plus the metrics snapshot."""
+
+    spans: list[Span]
+    metrics: dict | None = None
+
+    def counters(self) -> dict[str, int]:
+        if not self.metrics:
+            return {}
+        return dict(self.metrics.get("counters", {}))
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+def load_trace(path: str | Path) -> TraceData:
+    """Load Chrome trace-event JSON or span JSONL (auto-detected)."""
+    path = Path(path)
+    text = path.read_text()
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError:
+        document = None
+    if isinstance(document, dict) and "traceEvents" in document:
+        return _from_chrome(document)
+    # JSONL: one span dict per line.
+    spans = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            spans.append(span_from_dict(json.loads(line)))
+    if not spans:
+        raise ConfigurationError(f"{path}: no spans found (empty trace?)")
+    return TraceData(spans=spans)
+
+
+def _from_chrome(document: dict) -> TraceData:
+    """Rebuild spans from a Chrome trace-event document."""
+    events = document.get("traceEvents", [])
+    track_of_pid: dict[int, str] = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            track_of_pid[event["pid"]] = event.get("args", {}).get("name", "")
+    spans: list[Span] = []
+    for index, event in enumerate(events):
+        phase = event.get("ph")
+        if phase not in ("X", "i"):
+            continue
+        start_ms = float(event.get("ts", 0.0)) / 1000.0
+        duration_ms = float(event.get("dur", 0.0)) / 1000.0
+        spans.append(
+            Span(
+                name=event.get("name", ""),
+                track=track_of_pid.get(event.get("pid"), str(event.get("pid"))),
+                lane=int(event.get("tid", 0)),
+                span_id=index + 1,
+                parent_id=None,
+                start_ms=start_ms,
+                end_ms=start_ms if phase == "i" else start_ms + duration_ms,
+                kind=INSTANT if phase == "i" else "span",
+                attrs=dict(event.get("args", {})),
+            )
+        )
+    if not spans:
+        raise ConfigurationError("trace document holds no span events")
+    metrics = (document.get("otherData") or {}).get("metrics")
+    return TraceData(spans=spans, metrics=metrics)
+
+
+# ----------------------------------------------------------------------
+# Reconstruction
+# ----------------------------------------------------------------------
+def requests_from_spans(spans: list[Span]) -> dict[str, list[RequestView]]:
+    """Per-track request views reconstructed from raw spans.
+
+    ``sim`` / ``runtime`` tracks yield one view per ``run`` span (its
+    flight-recorder attrs when present, else a coarse queue/execute
+    split) plus a view per ``shed`` span.  ``cluster`` yields one view
+    per query lane — latency is the slowest shard — flagged ``hedged``
+    when a ``cluster.hedge`` span exists for the lane.
+    """
+    by_track: dict[str, list[Span]] = {}
+    for span in spans:
+        by_track.setdefault(span.track, []).append(span)
+
+    out: dict[str, list[RequestView]] = {}
+    for track in _REQUEST_TRACKS:
+        views = _request_track_views(track, by_track.get(track, []))
+        if views:
+            out[track] = views
+    if "cluster" in by_track:
+        hedged_lanes = {s.lane for s in by_track.get("cluster.hedge", [])}
+        views = _cluster_views(by_track["cluster"], hedged_lanes)
+        if views:
+            out["cluster"] = views
+    return out
+
+
+def _request_track_views(track: str, spans: list[Span]) -> list[RequestView]:
+    queue_ms: dict[int, float] = {}
+    for span in spans:
+        if span.name == "queue" and span.kind != INSTANT:
+            queue_ms[span.lane] = queue_ms.get(span.lane, 0.0) + span.duration_ms
+    views: list[RequestView] = []
+    for span in spans:
+        if span.kind == INSTANT:
+            continue
+        if span.name == "run":
+            waited = float(span.attrs.get("queue_ms", queue_ms.get(span.lane, 0.0)))
+            latency = float(span.attrs.get("latency_ms", waited + span.duration_ms))
+            if "service_ms" in span.attrs:
+                components = {
+                    name: float(span.attrs.get(name, 0.0))
+                    for name in ATTRIBUTION_COMPONENTS
+                }
+            else:  # pre-attribution trace: coarse two-way split
+                components = {"queue_ms": waited, "execute_ms": span.duration_ms}
+            views.append(
+                RequestView(
+                    track=track,
+                    lane=span.lane,
+                    start_ms=span.start_ms - waited,
+                    end_ms=span.end_ms,
+                    latency_ms=latency,
+                    components=components,
+                    boosted=bool(span.attrs.get("boosted", False)),
+                )
+            )
+        elif span.name == "shed":
+            views.append(
+                RequestView(
+                    track=track,
+                    lane=span.lane,
+                    start_ms=span.start_ms,
+                    end_ms=span.end_ms,
+                    latency_ms=span.duration_ms,
+                    components={"queue_ms": span.duration_ms},
+                    shed=True,
+                )
+            )
+    return views
+
+
+def _cluster_views(
+    spans: list[Span], hedged_lanes: set[int]
+) -> list[RequestView]:
+    by_lane: dict[int, list[Span]] = {}
+    for span in spans:
+        if span.kind != INSTANT and span.name.startswith("shard"):
+            by_lane.setdefault(span.lane, []).append(span)
+    views = []
+    for lane, shard_spans in sorted(by_lane.items()):
+        slowest = max(shard_spans, key=lambda s: s.duration_ms)
+        views.append(
+            RequestView(
+                track="cluster",
+                lane=lane,
+                start_ms=min(s.start_ms for s in shard_spans),
+                end_ms=max(s.end_ms for s in shard_spans),
+                latency_ms=slowest.duration_ms,
+                components={
+                    "slowest_shard_ms": slowest.duration_ms,
+                    "fanout_spread_ms": slowest.duration_ms
+                    - min(s.duration_ms for s in shard_spans),
+                },
+                hedged=lane in hedged_lanes,
+            )
+        )
+    return views
+
+
+# ----------------------------------------------------------------------
+# Tail analysis
+# ----------------------------------------------------------------------
+@dataclass
+class TrackReport:
+    """Tail attribution for one track."""
+
+    track: str
+    phi: float
+    count: int
+    shed_count: int
+    mean_ms: float
+    tail_threshold_ms: float
+    tail_count: int
+    #: component -> {overall_mean_ms, tail_mean_ms, tail_share}.
+    components: dict[str, dict[str, float]]
+    #: Correlates (tail vs rest): boosted / hedged membership rates.
+    boosted_rate: tuple[float, float] | None = None
+    hedged_rate: tuple[float, float] | None = None
+    #: The slowest requests, worst first.
+    slowest: list[RequestView] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        out = {
+            "track": self.track,
+            "phi": self.phi,
+            "count": self.count,
+            "shed_count": self.shed_count,
+            "mean_ms": self.mean_ms,
+            "tail_threshold_ms": self.tail_threshold_ms,
+            "tail_count": self.tail_count,
+            "components": self.components,
+            "slowest": [
+                {
+                    "lane": v.lane,
+                    "latency_ms": v.latency_ms,
+                    "dominant": v.dominant_component(),
+                    "boosted": v.boosted,
+                    "hedged": v.hedged,
+                }
+                for v in self.slowest
+            ],
+        }
+        if self.boosted_rate is not None:
+            out["boosted_rate"] = {
+                "tail": self.boosted_rate[0], "rest": self.boosted_rate[1]
+            }
+        if self.hedged_rate is not None:
+            out["hedged_rate"] = {
+                "tail": self.hedged_rate[0], "rest": self.hedged_rate[1]
+            }
+        return out
+
+    def render(self) -> str:
+        parts = [
+            f"--- track {self.track}: {self.count} requests, "
+            f"p{self.phi * 100:g} >= {self.tail_threshold_ms:.2f} ms "
+            f"({self.tail_count} in tail"
+            + (f", {self.shed_count} shed" if self.shed_count else "")
+            + ") ---"
+        ]
+        rows = [
+            [
+                name,
+                stats["overall_mean_ms"],
+                stats["tail_mean_ms"],
+                f"{stats['tail_share']:.1%}"
+                if stats["tail_share"] == stats["tail_share"]
+                else "nan",
+            ]
+            for name, stats in self.components.items()
+        ]
+        parts.append(
+            render_table(
+                ["component", "mean (ms)", "tail mean (ms)", "tail share"], rows
+            )
+        )
+        correlates = []
+        if self.boosted_rate is not None:
+            correlates.append(
+                ["boosted", f"{self.boosted_rate[0]:.1%}", f"{self.boosted_rate[1]:.1%}"]
+            )
+        if self.hedged_rate is not None:
+            correlates.append(
+                ["hedged", f"{self.hedged_rate[0]:.1%}", f"{self.hedged_rate[1]:.1%}"]
+            )
+        if correlates:
+            parts.append("")
+            parts.append(render_table(["signal", "tail", "rest"], correlates))
+        if self.slowest:
+            parts.append("")
+            parts.append(
+                render_table(
+                    ["lane", "latency (ms)", "dominant component"],
+                    [
+                        [v.lane, v.latency_ms, v.dominant_component()]
+                        for v in self.slowest
+                    ],
+                )
+            )
+        return "\n".join(parts)
+
+
+@dataclass
+class AnalysisReport:
+    """The whole trace's tail story: per-track reports plus context."""
+
+    phi: float
+    tracks: dict[str, TrackReport]
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "phi": self.phi,
+            "tracks": {name: report.to_json() for name, report in self.tracks.items()},
+            "counters": self.counters,
+        }
+
+    def render(self) -> str:
+        parts = [f"=== tail attribution report (phi={self.phi}) ==="]
+        for name in sorted(self.tracks):
+            parts.append("")
+            parts.append(self.tracks[name].render())
+        if self.counters:
+            parts.append("")
+            parts.append("run context (counters):")
+            parts.append(
+                render_table(
+                    ["counter", "value"],
+                    [[k, v] for k, v in sorted(self.counters.items())],
+                )
+            )
+        return "\n".join(parts)
+
+
+def _tail_threshold(latencies: list[float], phi: float) -> float:
+    """Order-statistic φ-percentile (``ceil(phi*n)`` rank)."""
+    ordered = sorted(latencies)
+    return ordered[max(0, math.ceil(phi * len(ordered)) - 1)]
+
+
+def _membership_rate(tail: list[RequestView], rest: list[RequestView], flag: str):
+    def rate(views: list[RequestView]) -> float:
+        if not views:
+            return math.nan
+        return sum(1 for v in views if getattr(v, flag)) / len(views)
+
+    return rate(tail), rate(rest)
+
+
+def _report_track(
+    track: str, views: list[RequestView], phi: float, top: int
+) -> TrackReport:
+    completed = [v for v in views if not v.shed]
+    sheds = len(views) - len(completed)
+    if not completed:
+        raise ConfigurationError(
+            f"track {track!r}: every request was shed; no latency to attribute"
+        )
+    latencies = [v.latency_ms for v in completed]
+    threshold = _tail_threshold(latencies, phi)
+    tail = [v for v in completed if v.latency_ms >= threshold]
+    rest = [v for v in completed if v.latency_ms < threshold]
+    component_names: list[str] = []
+    for view in completed:
+        for name in view.components:
+            if name not in component_names:
+                component_names.append(name)
+    tail_mean_latency = sum(v.latency_ms for v in tail) / len(tail)
+    components = {}
+    for name in component_names:
+        overall = sum(v.components.get(name, 0.0) for v in completed) / len(completed)
+        tail_mean = sum(v.components.get(name, 0.0) for v in tail) / len(tail)
+        components[name] = {
+            "overall_mean_ms": overall,
+            "tail_mean_ms": tail_mean,
+            "tail_share": tail_mean / tail_mean_latency
+            if tail_mean_latency > 0
+            else math.nan,
+        }
+    report = TrackReport(
+        track=track,
+        phi=phi,
+        count=len(completed),
+        shed_count=sheds,
+        mean_ms=sum(latencies) / len(latencies),
+        tail_threshold_ms=threshold,
+        tail_count=len(tail),
+        components=components,
+        slowest=sorted(completed, key=lambda v: -v.latency_ms)[:top],
+    )
+    if any(v.boosted for v in completed):
+        report.boosted_rate = _membership_rate(tail, rest, "boosted")
+    if any(v.hedged for v in completed):
+        report.hedged_rate = _membership_rate(tail, rest, "hedged")
+    return report
+
+
+def analyze_spans(
+    spans: list[Span],
+    phi: float = 0.99,
+    counters: dict[str, int] | None = None,
+    track: str | None = None,
+    top: int = 5,
+) -> AnalysisReport:
+    """Tail-attribution report over reconstructed spans."""
+    if not 0.0 < phi < 1.0:
+        raise ConfigurationError(f"phi must be in (0, 1): {phi}")
+    per_track = requests_from_spans(spans)
+    if track is not None:
+        if track not in per_track:
+            raise ConfigurationError(
+                f"track {track!r} not in trace (have: {sorted(per_track) or 'none'})"
+            )
+        per_track = {track: per_track[track]}
+    if not per_track:
+        raise ConfigurationError("no request tracks (sim/runtime/cluster) in trace")
+    context = {
+        name: value
+        for name, value in (counters or {}).items()
+        if name in _CONTEXT_COUNTERS
+    }
+    return AnalysisReport(
+        phi=phi,
+        tracks={
+            name: _report_track(name, views, phi, top)
+            for name, views in per_track.items()
+        },
+        counters=context,
+    )
+
+
+def analyze_trace(
+    path: str | Path, phi: float = 0.99, track: str | None = None, top: int = 5
+) -> AnalysisReport:
+    """Load a trace file and produce its tail-attribution report."""
+    trace = load_trace(path)
+    return analyze_spans(
+        trace.spans, phi=phi, counters=trace.counters(), track=track, top=top
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI (`repro analyze`)
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description=(
+            "Attribute tail latency from a --trace output: identify the "
+            "requests composing the p-phi tail and decompose their latency "
+            "into queue / service / contention / boost-wait / stall."
+        ),
+    )
+    parser.add_argument("trace", help="Chrome trace JSON or span JSONL file")
+    parser.add_argument(
+        "--phi", type=float, default=0.99, help="tail percentile (default 0.99)"
+    )
+    parser.add_argument(
+        "--track", default=None, help="restrict to one track (sim/runtime/cluster)"
+    )
+    parser.add_argument(
+        "--top", type=int, default=5, help="slowest requests to list (default 5)"
+    )
+    parser.add_argument(
+        "--json", metavar="OUT.json", default=None,
+        help="also write the report as JSON",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        report = analyze_trace(args.trace, phi=args.phi, track=args.track, top=args.top)
+    except (ConfigurationError, FileNotFoundError) as error:
+        print(f"repro analyze: {error}")
+        return 2
+    if args.json:
+        Path(args.json).write_text(json.dumps(report.to_json(), indent=1) + "\n")
+    try:
+        print(report.render())
+        if args.json:
+            print(f"\n[report JSON -> {args.json}]")
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: the JSON (if any) is
+        # already on disk, so exit quietly like a well-behaved filter.
+        sys.stderr.close()
+    return 0

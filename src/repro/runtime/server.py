@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from repro.core.table import IntervalTable
 from repro.errors import ConfigurationError, RequestShedError
+from repro.observe.slo import SLOMonitor
 from repro.runtime.work import LiveRequest
 from repro.telemetry import Telemetry, resolve_telemetry
 from repro.telemetry.spans import Span
@@ -98,6 +99,13 @@ class LiveFMServer:
         gauge, shed and completion counters, and a latency histogram.
         All updates happen under the server lock, and span appends are
         GIL-atomic, so worker threads share the pipeline safely.
+    slo:
+        Optional :class:`~repro.observe.slo.SLOMonitor`.  Every
+        completion feeds it (timestamped by the tracer clock); the
+        server counts breach onsets, exposes :attr:`degraded`, and —
+        when telemetry is resolved — exports ``slo.*`` gauges
+        (windowed percentile, burn rates, breached flag) plus a
+        ``runtime.slo_breaches`` counter.
     """
 
     def __init__(
@@ -108,6 +116,7 @@ class LiveFMServer:
         max_queue: int | None = None,
         deadline_ms: float | None = None,
         telemetry: Telemetry | None = None,
+        slo: SLOMonitor | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1: {workers}")
@@ -122,6 +131,9 @@ class LiveFMServer:
         self.max_queue = max_queue
         self.deadline_ms = deadline_ms
         self.telemetry = resolve_telemetry(telemetry)
+        self.slo = slo
+        self._breached = False  # last SLO verdict, for onset counting
+        self._slo_breaches = 0
         self._arrival_ms: dict[int, float] = {}  # rid -> tracer-clock arrival
         self._run_spans: dict[int, Span] = {}
         self._shed: list[LiveRequest] = []
@@ -283,11 +295,50 @@ class LiveFMServer:
                 with self._lock:
                     self._work_available.notify_all()
 
+    @property
+    def degraded(self) -> bool:
+        """The SLO monitor's current breach verdict (False without one).
+
+        Callers use this as a degradation signal — e.g. tighten
+        ``deadline_ms`` or shrink ``max_queue`` while the error budget
+        burns.
+        """
+        return self._breached
+
+    @property
+    def slo_breaches(self) -> int:
+        """Breach *onsets* observed (ok -> breached transitions)."""
+        return self._slo_breaches
+
+    def _observe_slo_locked(self, request: LiveRequest) -> None:
+        """Feed one completion to the SLO monitor and export its state."""
+        telemetry = self.telemetry
+        if telemetry is not None:
+            at_ms = telemetry.tracer.clock.now_ms()
+        else:
+            at_ms = time.perf_counter() * 1000.0
+        self.slo.observe(request.latency_ms, at_ms=at_ms)
+        status = self.slo.status()
+        onset = status.breached and not self._breached
+        self._breached = status.breached
+        if onset:
+            self._slo_breaches += 1
+        if telemetry is not None:
+            gauge = telemetry.metrics.gauge
+            gauge("slo.percentile_ms").set(status.short_percentile_ms)
+            gauge("slo.short_burn_rate").set(status.short_burn_rate)
+            gauge("slo.long_burn_rate").set(status.long_burn_rate)
+            gauge("slo.breached").set(1.0 if status.breached else 0.0)
+            if onset:
+                telemetry.metrics.counter("runtime.slo_breaches").inc()
+
     def _on_exit(self, request: LiveRequest) -> None:
         with self._lock:
             self._running.pop(request.rid, None)
             self._completed.append(request)
             telemetry = self.telemetry
+            if self.slo is not None:
+                self._observe_slo_locked(request)
             if telemetry is not None:
                 telemetry.metrics.counter("runtime.completions").inc()
                 telemetry.metrics.histogram("runtime.latency_ms").record(

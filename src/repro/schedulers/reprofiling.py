@@ -18,9 +18,17 @@ When the workload drifts (e.g. a new query mix doubles the tail), the
 static table's intervals are mis-calibrated; the re-profiling variant
 converges to the new optimum within one rebuild period.  The
 ``ext-reprofile`` experiment quantifies this.
+
+With an :class:`~repro.observe.slo.SLOMonitor` attached, the loop also
+closes on *latency* rather than just the timer: when the monitor's
+short-window percentile drifts away from its long-window baseline —
+the mix shifted — the scheduler rebuilds immediately (subject to
+``drift_cooldown_ms``) instead of waiting out the period.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from repro.core.demand import DemandProfile
 from repro.core.search import SearchConfig, build_interval_table
@@ -30,6 +38,9 @@ from repro.errors import ConfigurationError
 from repro.schedulers.fm import FMScheduler
 from repro.sim.api import SchedulerContext
 from repro.sim.request import SimRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe.slo import SLOMonitor
 
 __all__ = ["ReprofilingFMScheduler"]
 
@@ -55,6 +66,15 @@ class ReprofilingFMScheduler(FMScheduler):
         weekly", compressed to simulation scale).
     min_samples:
         Don't rebuild until this many completions were observed.
+    slo_monitor:
+        Optional :class:`~repro.observe.slo.SLOMonitor`.  Every
+        completion is fed to it; a drift verdict triggers an immediate
+        rebuild (recorded in ``drift_rebuilds``) without waiting for
+        the timer.
+    drift_cooldown_ms:
+        Minimum virtual time between drift-triggered rebuilds, so a
+        sustained drift doesn't rebuild on every completion while the
+        windows converge.
     """
 
     def __init__(
@@ -66,6 +86,8 @@ class ReprofilingFMScheduler(FMScheduler):
         rebuild_every_ms: float = 10_000.0,
         min_samples: int = 200,
         boosting: bool = True,
+        slo_monitor: "SLOMonitor | None" = None,
+        drift_cooldown_ms: float = 2_000.0,
     ) -> None:
         super().__init__(initial_table, boosting=boosting)
         if window < 10:
@@ -83,23 +105,44 @@ class ReprofilingFMScheduler(FMScheduler):
         self.window = window
         self.rebuild_every_ms = rebuild_every_ms
         self.min_samples = min_samples
+        if drift_cooldown_ms <= 0:
+            raise ConfigurationError(
+                f"drift_cooldown_ms must be positive: {drift_cooldown_ms}"
+            )
+        self.slo_monitor = slo_monitor
+        self.drift_cooldown_ms = drift_cooldown_ms
         self._samples: list[float] = []
         self._last_rebuild_ms = 0.0
         #: Rebuild timestamps, for observability and tests.
         self.rebuilds: list[float] = []
+        #: Subset of ``rebuilds`` that the SLO monitor's drift signal
+        #: triggered ahead of the timer.
+        self.drift_rebuilds: list[float] = []
 
     def reset(self) -> None:
         self.table = self._initial_table
         self._samples = []
         self._last_rebuild_ms = 0.0
         self.rebuilds = []
+        self.drift_rebuilds = []
+        if self.slo_monitor is not None:
+            self.slo_monitor.reset()
 
     def on_exit(self, ctx: SchedulerContext, request: SimRequest) -> None:
         self._samples.append(request.seq_ms)
         if len(self._samples) > self.window:
             del self._samples[: len(self._samples) - self.window]
+        enough = len(self._samples) >= self.min_samples
         due = ctx.now_ms - self._last_rebuild_ms >= self.rebuild_every_ms
-        if due and len(self._samples) >= self.min_samples:
+        monitor = self.slo_monitor
+        if monitor is not None:
+            monitor.observe(request.latency_ms, at_ms=ctx.now_ms)
+            cooled = ctx.now_ms - self._last_rebuild_ms >= self.drift_cooldown_ms
+            if enough and cooled and not due and monitor.drifted():
+                self._rebuild(ctx.now_ms)
+                self.drift_rebuilds.append(ctx.now_ms)
+                return
+        if due and enough:
             self._rebuild(ctx.now_ms)
 
     def _rebuild(self, now_ms: float) -> None:

@@ -79,6 +79,15 @@ class Engine:
         rejected requests — plus counters and a latency histogram,
         all timestamped in *virtual* milliseconds.  When absent (the
         default) no telemetry code runs at all.
+    attribution:
+        The per-request flight recorder (on by default): every
+        committed interval is charged to one of the additive latency
+        components — queue wait, full-speed-equivalent service,
+        contention inflation, boost wait, stall — which surface on
+        :class:`~repro.sim.metrics.RequestRecord`, as ``sim.attr.*``
+        histograms, and as attrs on the ``run`` span.  Disable to shave
+        the accounting from the hot loop (``BENCH_observe.json``
+        quantifies the cost).
     """
 
     def __init__(
@@ -89,6 +98,7 @@ class Engine:
         spin_fraction: float = 0.25,
         fault_plan: FaultPlan | None = None,
         telemetry: Telemetry | None = None,
+        attribution: bool = True,
     ) -> None:
         if cores < 1:
             raise SimulationError(f"cores must be >= 1, got {cores}")
@@ -117,6 +127,7 @@ class Engine:
         self._completed = 0
         self._shed = 0
         self.telemetry = resolve_telemetry(telemetry)
+        self.attribution = attribution
         self._run_spans: dict[int, Span] = {}
 
     # ------------------------------------------------------------------
@@ -272,10 +283,10 @@ class Engine:
             request.finish(self.now_ms)
             del self._running[request.rid]
             self._metrics.record(request)  # snapshot before boost release
+            if self.telemetry is not None:
+                self._finish_telemetry(request)  # span needs boosted flag too
             self.boost.release(request)
             self._completed += 1
-            if self.telemetry is not None:
-                self._finish_telemetry(request)
             self.scheduler.on_exit(self._ctx, request)
         self._rates_dirty = True
         self._wake_waiters(exits=len(finished))
@@ -407,6 +418,29 @@ class Engine:
         telemetry = self.telemetry
         telemetry.metrics.counter("sim.completions").inc()
         telemetry.metrics.histogram("sim.latency_ms").record(request.latency_ms)
+        attrs: dict[str, object] = {}
+        if self.attribution:
+            metrics = telemetry.metrics
+            queue_ms = (request.start_ms or request.arrival_ms) - request.arrival_ms
+            metrics.histogram("sim.attr.queue_ms").record(queue_ms)
+            metrics.histogram("sim.attr.service_ms").record(request.attr_service_ms)
+            metrics.histogram("sim.attr.contention_ms").record(
+                request.attr_contention_ms
+            )
+            metrics.histogram("sim.attr.boost_wait_ms").record(
+                request.attr_boost_wait_ms
+            )
+            metrics.histogram("sim.attr.stall_ms").record(request.attr_stall_ms)
+            # The run span carries the full decomposition so offline
+            # trace analysis (`repro analyze`) can attribute the tail
+            # without the RequestRecords.
+            attrs = {
+                "queue_ms": queue_ms,
+                "service_ms": request.attr_service_ms,
+                "contention_ms": request.attr_contention_ms,
+                "boost_wait_ms": request.attr_boost_wait_ms,
+                "stall_ms": request.attr_stall_ms,
+            }
         span = self._run_spans.pop(request.rid, None)
         if span is not None:
             telemetry.tracer.end(
@@ -414,6 +448,7 @@ class Engine:
                 latency_ms=request.latency_ms,
                 degree=request.degree,
                 boosted=request.boosted,
+                **attrs,
             )
 
     def _wake_waiters(self, exits: int) -> None:
@@ -473,7 +508,16 @@ class Engine:
                 alloc = self._shares.get(request.rid)
                 core_alloc = alloc.core_alloc if alloc is not None else 0.0
                 factor = alloc.progress_factor if alloc is not None else 0.0
-                request.advance(dt, core_alloc, factor)
+                # Stall boundaries coincide with commit boundaries (the
+                # STALL / STALL_END events force commits), so stalledness
+                # is constant across [now, t).
+                request.advance(
+                    dt,
+                    core_alloc,
+                    factor,
+                    stalled=request.is_stalled(self.now_ms),
+                    attribution=self.attribution,
+                )
                 busy_cores += core_alloc
                 total_threads += request.degree
             in_system = (
@@ -518,6 +562,7 @@ def simulate(
     spin_fraction: float = 0.25,
     fault_plan: FaultPlan | None = None,
     telemetry: Telemetry | None = None,
+    attribution: bool = True,
 ) -> SimulationResult:
     """Convenience wrapper: build an :class:`Engine` and run it."""
     engine = Engine(
@@ -527,5 +572,6 @@ def simulate(
         spin_fraction=spin_fraction,
         fault_plan=fault_plan,
         telemetry=telemetry,
+        attribution=attribution,
     )
     return engine.run(arrivals)

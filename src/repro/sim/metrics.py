@@ -7,7 +7,16 @@ Provides everything the paper's evaluation plots need:
 * time-averaged software-thread count and CPU utilization
   (Figures 9(c), 12(c));
 * per-request average parallelism split by demand class (Figure 9(a));
-* final-degree distributions (Figures 9(b), 12(b)).
+* final-degree distributions (Figures 9(b), 12(b));
+* the flight recorder's additive latency attribution (DESIGN.md §9):
+  queue wait + service + contention + boost wait + stall == latency,
+  per request and exactly (to float residue).
+
+Empty-quantile contract (shared with :mod:`repro.telemetry.histogram`):
+*streaming / monitoring* surfaces return ``nan`` on empty data — a
+dashboard must render, not crash — while *completed-run analysis*
+raises: a :class:`SimulationResult` with zero completions is rejected
+at construction, so its quantile views never see an empty sample.
 """
 
 from __future__ import annotations
@@ -22,7 +31,23 @@ from repro.errors import SimulationError
 from repro.faults.plan import FaultStats
 from repro.sim.request import SimRequest
 
-__all__ = ["RequestRecord", "ShedRecord", "MetricsCollector", "SimulationResult"]
+__all__ = [
+    "ATTRIBUTION_COMPONENTS",
+    "RequestRecord",
+    "ShedRecord",
+    "MetricsCollector",
+    "SimulationResult",
+]
+
+#: The additive latency components, in reporting order.  For every
+#: completed request they sum to ``latency_ms`` (within float residue).
+ATTRIBUTION_COMPONENTS = (
+    "queue_ms",
+    "service_ms",
+    "contention_ms",
+    "boost_wait_ms",
+    "stall_ms",
+)
 
 
 @dataclass(frozen=True)
@@ -39,6 +64,14 @@ class RequestRecord:
     thread_time_ms: float
     core_time_ms: float
     boosted: bool
+    #: Flight-recorder components (0.0 when the engine ran with
+    #: ``attribution=False``): full-speed-equivalent service time,
+    #: processor-sharing contention inflation, contention suffered
+    #: while a requested boost was denied, and injected-stall time.
+    service_ms: float = 0.0
+    contention_ms: float = 0.0
+    boost_wait_ms: float = 0.0
+    stall_ms: float = 0.0
     tag: Any = None
 
     @property
@@ -55,6 +88,32 @@ class RequestRecord:
     def queueing_ms(self) -> float:
         """Time spent waiting for admission."""
         return self.start_ms - self.arrival_ms
+
+    def attribution(self) -> dict[str, float]:
+        """The additive latency decomposition, in component order.
+
+        ``sum(attribution().values()) == latency_ms`` to within float
+        residue when the engine's flight recorder was enabled.
+        """
+        return {
+            "queue_ms": self.queueing_ms,
+            "service_ms": self.service_ms,
+            "contention_ms": self.contention_ms,
+            "boost_wait_ms": self.boost_wait_ms,
+            "stall_ms": self.stall_ms,
+        }
+
+    @property
+    def attributed_ms(self) -> float:
+        """Sum of the flight-recorder components (should equal
+        :attr:`latency_ms`; the property test pins the residue)."""
+        return (
+            self.queueing_ms
+            + self.service_ms
+            + self.contention_ms
+            + self.boost_wait_ms
+            + self.stall_ms
+        )
 
 
 @dataclass(frozen=True)
@@ -120,6 +179,10 @@ class MetricsCollector:
                 thread_time_ms=request.thread_time_ms,
                 core_time_ms=request.core_time_ms,
                 boosted=request.boosted,
+                service_ms=request.attr_service_ms,
+                contention_ms=request.attr_contention_ms,
+                boost_wait_ms=request.attr_boost_wait_ms,
+                stall_ms=request.attr_stall_ms,
                 tag=request.tag,
             )
         )
@@ -206,6 +269,35 @@ class SimulationResult:
     def mean_latency_ms(self) -> float:
         """Mean response time."""
         return float(self.latencies_ms().mean())
+
+    # ------------------------------------------------------------------
+    # Tail attribution views (DESIGN.md §9)
+    # ------------------------------------------------------------------
+    def tail_records(self, phi: float = 0.99) -> list[RequestRecord]:
+        """The requests composing the φ-tail: every completion whose
+        latency is at least the φ-percentile order statistic."""
+        threshold = self.tail_latency_ms(phi)
+        return [r for r in self.records if r.latency_ms >= threshold]
+
+    def attribution_summary(self, phi: float = 0.99) -> dict[str, dict[str, float]]:
+        """Mean additive latency components, overall and over the φ-tail.
+
+        Returns ``{"overall": {...}, "tail": {...}}`` where each inner
+        dict maps component name to its mean milliseconds plus
+        ``latency_ms`` (the mean total) — the numbers behind the
+        ``tail-attribution`` experiment's table.
+        """
+
+        def means(records: list[RequestRecord]) -> dict[str, float]:
+            n = len(records)
+            out = {
+                name: float(np.sum([r.attribution()[name] for r in records]) / n)
+                for name in ATTRIBUTION_COMPONENTS
+            }
+            out["latency_ms"] = float(np.mean([r.latency_ms for r in records]))
+            return out
+
+        return {"overall": means(self.records), "tail": means(self.tail_records(phi))}
 
     # ------------------------------------------------------------------
     # Robustness views (load shedding / fault injection)

@@ -119,10 +119,15 @@ class BoostController:
         if degree < 1:
             raise SimulationError(f"boost degree must be >= 1, got {degree}")
         if self.boosted_threads + degree >= self.cores:
+            # Denied: mark the request so the flight recorder charges
+            # subsequent contention slowdown to boost wait — the
+            # latency component this denial creates.
+            request.boost_pending = True
             return False
         self.boosted_threads += degree
         self._held[request.rid] = degree
         request.boosted = True
+        request.boost_pending = False
         return True
 
     def release(self, request: "SimRequest") -> None:

@@ -5,6 +5,16 @@ its remaining *sequential work* (milliseconds of single-core compute),
 its current parallelism degree, boost status, and the accounting needed
 for the paper's metrics (thread-time for average parallelism, Figure 9;
 per-degree residency for the degree distributions, Figures 9(b)/12(b)).
+
+It also carries the *flight recorder*: an additive decomposition of the
+request's eventual latency into queue wait, full-speed-equivalent
+service, processor-sharing contention inflation, boost wait (contention
+suffered while a requested boost was denied), and injected-stall time.
+Within each constant-rate interval the engine commits, the wall time
+``dt`` splits exactly — stalled intervals are all stall, and running
+intervals split into ``factor*dt`` service plus ``(1-factor)*dt``
+slowdown — so the components telescope to the measured latency (see
+DESIGN.md §9).
 """
 
 from __future__ import annotations
@@ -52,6 +62,11 @@ class SimRequest:
         "stalled_until_ms",
         "impaired",
         "shed_ms",
+        "boost_pending",
+        "attr_service_ms",
+        "attr_contention_ms",
+        "attr_boost_wait_ms",
+        "attr_stall_ms",
     )
 
     def __init__(
@@ -92,6 +107,19 @@ class SimRequest:
         self.impaired = False
         #: When load shedding rejected this request (None = not shed).
         self.shed_ms: float | None = None
+        #: True between a denied boost attempt and the eventual grant —
+        #: contention suffered in this state is attributed to boost
+        #: wait (the slowdown a granted boost would have eliminated).
+        self.boost_pending = False
+        #: Flight-recorder integrals (additive latency attribution):
+        #: full-speed-equivalent execution time while not stalled.
+        self.attr_service_ms = 0.0
+        #: Processor-sharing slowdown while not stalled or boost-denied.
+        self.attr_contention_ms = 0.0
+        #: Processor-sharing slowdown while a requested boost was denied.
+        self.attr_boost_wait_ms = 0.0
+        #: Wall time frozen by injected worker stalls.
+        self.attr_stall_ms = 0.0
 
     # ------------------------------------------------------------------
     def start(self, now_ms: float, degree: int) -> None:
@@ -141,16 +169,40 @@ class SimRequest:
         oversubscribed (wall time keeps passing while work stalls)."""
         return self.effective_ms
 
-    def advance(self, dt_ms: float, core_alloc: float, progress_factor: float = 1.0) -> None:
+    def advance(
+        self,
+        dt_ms: float,
+        core_alloc: float,
+        progress_factor: float = 1.0,
+        stalled: bool = False,
+        attribution: bool = True,
+    ) -> None:
         """Deplete work for ``dt_ms`` of wall time at the current rate
         and accumulate the metric integrals.
 
         ``core_alloc`` is the total physical-core share this request's
         threads are consuming and ``progress_factor`` the contention
-        slowdown (both from the allocator).
+        slowdown (both from the allocator).  ``stalled`` marks an
+        interval frozen by an injected worker stall (the engine knows;
+        stall boundaries always coincide with commit boundaries).  With
+        ``attribution`` enabled the interval is also charged to the
+        flight-recorder components, which stay exactly additive: every
+        committed ``dt_ms`` lands in stall, service, contention, or
+        boost wait.
         """
         if self.state is not RequestState.RUNNING or dt_ms <= 0:
             return
+        if attribution:
+            if stalled:
+                self.attr_stall_ms += dt_ms
+            else:
+                useful = progress_factor * dt_ms
+                self.attr_service_ms += useful
+                slowdown = dt_ms - useful
+                if self.boost_pending and not self.boosted:
+                    self.attr_boost_wait_ms += slowdown
+                else:
+                    self.attr_contention_ms += slowdown
         self.effective_ms += progress_factor * dt_ms
         self.remaining_work -= self.rate * dt_ms
         if self.remaining_work < -1e-6:

@@ -58,6 +58,13 @@ def to_chrome_trace(
 
     ``metrics`` (a :meth:`MetricsRegistry.as_dict` snapshot) rides along
     under ``otherData`` so one file carries the whole story.
+
+    The document is fully deterministic: all metadata ("M") events come
+    first — ``process_name`` per track in sorted-track order, then
+    ``thread_name`` per (track, lane) in (track, lane) order — followed
+    by the span events in (pid, tid, start, -duration) order.  Stable
+    output diffs cleanly across runs and lets the analyzer rely on
+    metadata preceding the events it describes.
     """
     pids = {track: pid for pid, track in enumerate(sorted({s.track for s in spans}), 1)}
     events: list[dict] = []
@@ -69,6 +76,17 @@ def to_chrome_trace(
                 "pid": pid,
                 "tid": 0,
                 "args": {"name": track},
+            }
+        )
+    lanes = sorted({(pids[s.track], s.lane) for s in spans})
+    for pid, lane in lanes:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": lane,
+                "args": {"name": f"lane {lane}"},
             }
         )
     # Viewer-friendly order: per lane, by start time, longest first on

@@ -24,6 +24,19 @@ Properties the rest of the system relies on:
 Percentiles use the order-statistic rank ``ceil(q * n)`` — the same
 convention as :func:`repro.core.formulas.weighted_order_statistic` and
 the paper's tail-latency definition.
+
+**Empty-quantile contract.** Monitoring surfaces — this class,
+:class:`repro.runtime.server.LiveServerStats`, and
+:class:`repro.observe.slo.SLOMonitor` — return ``math.nan`` from
+quantile/mean queries over zero samples: dashboards poll them mid-run
+(possibly before the first completion, or after an all-shed drain) and
+must render "no data" rather than crash.  *Completed-run analysis*
+surfaces — :meth:`repro.sim.metrics.SimulationResult.tail_latency_ms`
+and :func:`repro.core.formulas.weighted_order_statistic` — raise
+instead: a finished experiment with zero completions is a broken
+experiment, and a silent ``nan`` would propagate into tables and
+benchmark JSON as a mysterious blank.  When adding a quantile surface,
+pick the side that matches how it is read, and say so in its docstring.
 """
 
 from __future__ import annotations

@@ -141,6 +141,72 @@ class TestEmptyDrain:
         assert math.isnan(stats.tail_latency_ms(0.99))
         assert math.isnan(stats.mean_latency_ms())
 
+    def test_all_shed_drain_returns_nan_stats(self):
+        """The empty-drain path with *activity*: every arrival shed,
+        zero completions.  Stats must follow the monitoring-surface
+        contract (nan, never raise) — see telemetry/histogram.py."""
+        import math
+
+        from repro.errors import RequestShedError
+
+        table = _table(capacity_rows=0)  # lone e1 row: everyone queues
+        server = LiveFMServer(table, workers=2, max_queue=0)
+        for rid in range(3):
+            with pytest.raises(RequestShedError):
+                server.submit(_request(rid, 20.0))
+        stats = server.drain(timeout_s=5.0)
+        assert stats.completed == 0
+        assert stats.shed == 3
+        assert math.isnan(stats.tail_latency_ms(0.99))
+        assert math.isnan(stats.mean_latency_ms())
+
+
+class TestLiveSLO:
+    def _slo(self, threshold_ms: float):
+        from repro.observe import SLOMonitor, SLOTarget
+
+        return SLOMonitor(
+            SLOTarget(percentile=0.5, threshold_ms=threshold_ms),
+            short_window_ms=60_000.0,
+            long_window_ms=600_000.0,
+            min_samples=3,
+        )
+
+    def test_sustained_violations_degrade_server(self):
+        """Every completion blows a 1 ms target: the monitor breaches,
+        the server reports degraded and counts one breach onset."""
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        server = LiveFMServer(
+            _table(), workers=2, telemetry=telemetry, slo=self._slo(1.0)
+        )
+        for rid in range(6):
+            server.submit(_request(rid, 30.0))
+        server.drain(timeout_s=10.0)
+        assert server.degraded
+        assert server.slo_breaches == 1  # onsets, not per-completion
+        gauges = telemetry.metrics.gauges
+        assert gauges["slo.breached"].value == 1.0
+        assert gauges["slo.percentile_ms"].value > 1.0
+        assert telemetry.metrics.counter("runtime.slo_breaches").value == 1
+
+    def test_healthy_server_is_not_degraded(self):
+        server = LiveFMServer(_table(), workers=2, slo=self._slo(10_000.0))
+        for rid in range(4):
+            server.submit(_request(rid, 20.0))
+        server.drain(timeout_s=10.0)
+        assert not server.degraded
+        assert server.slo_breaches == 0
+
+    def test_slo_without_telemetry_uses_wall_clock(self):
+        """The monitor works without a tracer clock (perf_counter ms)."""
+        server = LiveFMServer(_table(), workers=2, slo=self._slo(1.0))
+        for rid in range(4):
+            server.submit(_request(rid, 25.0))
+        server.drain(timeout_s=10.0)
+        assert server.degraded
+
 
 class TestLiveShedding:
     def test_max_queue_sheds_with_fail_fast_error(self):

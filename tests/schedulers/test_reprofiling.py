@@ -97,3 +97,117 @@ class TestRebuilding:
         old_steps = initial.lookup(load).steps
         new_steps = scheduler.table.lookup(load).steps
         assert new_steps[-1].time_ms >= old_steps[-1].time_ms
+
+
+class TestDriftTriggeredRebuilds:
+    """The SLO monitor closes the loop on latency, not just the timer."""
+
+    @staticmethod
+    def _shifted_arrivals(seed: int):
+        """A trace whose demand mix triples mid-run."""
+        from repro.sim.engine import ArrivalSpec
+        from repro.workloads.arrivals import PoissonProcess
+
+        rng = np.random.default_rng(seed)
+        calm = _workload(1.0).arrivals(250, PoissonProcess(40.0), rng)
+        heavy = _workload(3.0).arrivals(250, PoissonProcess(40.0), rng)
+        offset = calm[-1].time_ms
+        return list(calm) + [
+            ArrivalSpec(
+                time_ms=a.time_ms + offset, seq_ms=a.seq_ms, speedup=a.speedup
+            )
+            for a in heavy
+        ]
+
+    @staticmethod
+    def _monitor():
+        from repro.observe import SLOMonitor, SLOTarget
+
+        return SLOMonitor(
+            SLOTarget(percentile=0.9, threshold_ms=400.0),
+            short_window_ms=1_500.0,
+            long_window_ms=8_000.0,
+            drift_factor=1.4,
+            min_samples=25,
+        )
+
+    def test_drift_rebuild_fires_ahead_of_timer(self):
+        """With the timer effectively off, only drift can rebuild —
+        and the mid-run mix shift makes it fire."""
+        from repro.sim.engine import simulate
+
+        arrivals = self._shifted_arrivals(seed=11)
+        shift_ms = arrivals[250].time_ms
+        scheduler = ReprofilingFMScheduler(
+            _initial_table(), _MODEL, _SEARCH,
+            window=200, rebuild_every_ms=10_000_000.0, min_samples=50,
+            slo_monitor=self._monitor(), drift_cooldown_ms=500.0,
+        )
+        simulate(arrivals, scheduler, cores=4)
+        assert scheduler.drift_rebuilds, "mix shift never triggered a rebuild"
+        assert scheduler.rebuilds == scheduler.drift_rebuilds
+        assert all(t > shift_ms for t in scheduler.drift_rebuilds)
+
+    def test_rebuilt_table_tracks_the_new_mix(self):
+        """After the drift rebuild the table reflects 3x demand: the
+        final degree step of a mid-load row comes later."""
+        from repro.sim.engine import simulate
+
+        initial = _initial_table()
+        scheduler = ReprofilingFMScheduler(
+            initial, _MODEL, _SEARCH,
+            window=200, rebuild_every_ms=10_000_000.0, min_samples=50,
+            slo_monitor=self._monitor(), drift_cooldown_ms=500.0,
+        )
+        simulate(self._shifted_arrivals(seed=11), scheduler, cores=4)
+        assert scheduler.drift_rebuilds
+        load = min(4, len(initial))
+        old_steps = initial.lookup(load).steps
+        new_steps = scheduler.table.lookup(load).steps
+        assert new_steps[-1].time_ms >= old_steps[-1].time_ms
+
+    def test_p99_recovers_within_one_cooldown(self):
+        """Post-rebuild completions beat the stale static table's p99
+        over the same trace suffix."""
+        from repro.sim.engine import simulate
+        from repro.schedulers import FMScheduler
+
+        arrivals = self._shifted_arrivals(seed=11)
+        reprofiling = ReprofilingFMScheduler(
+            _initial_table(), _MODEL, _SEARCH,
+            window=200, rebuild_every_ms=10_000_000.0, min_samples=50,
+            slo_monitor=self._monitor(), drift_cooldown_ms=500.0,
+        )
+        adaptive = simulate(arrivals, reprofiling, cores=4)
+        static = simulate(arrivals, FMScheduler(_initial_table()), cores=4)
+        assert reprofiling.drift_rebuilds
+        settle_ms = reprofiling.drift_rebuilds[0] + 500.0
+
+        def suffix_p99(result):
+            lats = sorted(
+                r.latency_ms for r in result.records if r.finish_ms >= settle_ms
+            )
+            assert lats
+            return lats[max(0, int(np.ceil(0.99 * len(lats))) - 1)]
+
+        assert suffix_p99(adaptive) <= suffix_p99(static)
+
+    def test_reset_resets_monitor(self):
+        monitor = self._monitor()
+        scheduler = ReprofilingFMScheduler(
+            _initial_table(), _MODEL, _SEARCH,
+            window=200, rebuild_every_ms=1_000.0, min_samples=50,
+            slo_monitor=monitor, drift_cooldown_ms=500.0,
+        )
+        run_policy(scheduler, _workload(), rps=40.0, cores=4,
+                   num_requests=200, seed=6)
+        assert monitor.observed > 0
+        scheduler.reset()
+        assert monitor.observed == 0
+        assert scheduler.drift_rebuilds == []
+
+    def test_drift_cooldown_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReprofilingFMScheduler(
+                _initial_table(), _MODEL, _SEARCH, drift_cooldown_ms=0.0
+            )

@@ -44,10 +44,19 @@ class TestChromeTrace:
     def test_tracks_become_processes_with_metadata(self):
         document = to_chrome_trace(_sample_tracer().spans)
         meta = [e for e in document["traceEvents"] if e["ph"] == "M"]
-        names = {e["args"]["name"] for e in meta}
+        processes = [e for e in meta if e["name"] == "process_name"]
+        names = {e["args"]["name"] for e in processes}
         assert names == {"search", "sim", "cluster"}
         # distinct pids per track
-        assert len({e["pid"] for e in meta}) == 3
+        assert len({e["pid"] for e in processes}) == 3
+        # every (pid, tid) lane carries a thread_name label
+        threads = [e for e in meta if e["name"] == "thread_name"]
+        span_lanes = {
+            (e["pid"], e["tid"])
+            for e in document["traceEvents"]
+            if e["ph"] != "M"
+        }
+        assert {(e["pid"], e["tid"]) for e in threads} >= span_lanes
 
     def test_events_have_consistent_ts_dur(self):
         document = to_chrome_trace(_sample_tracer().spans)
