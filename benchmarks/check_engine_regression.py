@@ -1,0 +1,113 @@
+"""CI gate: fail when engine events/sec regresses vs the committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py --quick --only engine \
+        --engine-output bench_engine_new.json
+    python benchmarks/check_engine_regression.py bench_engine_new.json
+
+Two checks, two purposes:
+
+1. **Cross-run**: the fresh report's single-process ``events_per_s``
+   must be within ``--threshold`` (default 25%) of the committed
+   ``BENCH_engine.json``.  Catches hot-path regressions, with enough
+   slack to absorb runner-to-runner hardware variance.
+2. **Same-machine**: the fresh report's ``speedup_vs_reference`` (the
+   optimized engine vs the frozen ``repro.sim._baseline`` on the *same*
+   host, same run) must stay >= ``--min-speedup`` (default 1.5).  This
+   one is hardware-independent — if it decays, someone slowed the hot
+   path relative to the vendored reference.
+
+Exit code 0 = pass, 1 = regression, 2 = bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _events_per_s(report: dict, path: Path) -> float:
+    try:
+        return float(report["single_process"]["events_per_s"])
+    except (KeyError, TypeError, ValueError):
+        print(f"error: {path} has no single_process.events_per_s", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "report", type=Path, help="fresh BENCH_engine.json to validate"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_engine.json",
+        help="committed baseline report (default: repo-root BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="max tolerated fractional events/sec drop vs baseline (default 0.25)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.5,
+        help="min same-machine speedup vs the frozen reference engine",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        report = json.loads(args.report.read_text())
+        baseline = json.loads(args.baseline.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    fresh = _events_per_s(report, args.report)
+    committed = _events_per_s(baseline, args.baseline)
+    floor = committed * (1.0 - args.threshold)
+    drop = 1.0 - fresh / committed
+    print(
+        f"events/sec: fresh={fresh:,.0f} committed={committed:,.0f} "
+        f"({'-' if drop > 0 else '+'}{abs(drop):.1%}; floor at "
+        f"-{args.threshold:.0%} = {floor:,.0f})"
+    )
+    failed = False
+    if fresh < floor:
+        print(
+            f"FAIL: events/sec regressed {drop:.1%} "
+            f"(> {args.threshold:.0%} threshold)",
+            file=sys.stderr,
+        )
+        failed = True
+
+    speedup = float(report["single_process"].get("speedup_vs_reference", 0.0))
+    print(f"same-machine speedup vs frozen reference: {speedup:.2f}x")
+    if speedup < args.min_speedup:
+        print(
+            f"FAIL: speedup vs repro.sim._baseline fell to {speedup:.2f}x "
+            f"(< {args.min_speedup:.2f}x)",
+            file=sys.stderr,
+        )
+        failed = True
+
+    if not report["single_process"].get("bit_identical_to_reference", False):
+        print("FAIL: report does not attest bit-identity", file=sys.stderr)
+        failed = True
+
+    if failed:
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

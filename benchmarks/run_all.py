@@ -1,4 +1,4 @@
-"""Telemetry perf trajectory: off-vs-on benches -> BENCH_telemetry.json.
+"""Perf trajectory benches -> BENCH_telemetry / BENCH_observe / BENCH_engine.
 
 Runs the simulator, search-executor, and cluster benches twice each —
 telemetry explicitly disabled vs enabled — plus microbenchmarks of the
@@ -6,18 +6,22 @@ telemetry primitives themselves, and writes the headline numbers
 (events/sec, p50/p99, overhead %) to ``BENCH_telemetry.json`` at the
 repo root so future PRs have a baseline to regress against.
 
-Also writes ``BENCH_observe.json`` for the observability layer: trace
-analyzer throughput on a synthetic 100k-span trace, and the simulator
-overhead of the per-request attribution flight recorder (on vs. off).
+Also writes ``BENCH_observe.json`` for the observability layer (trace
+analyzer throughput, attribution flight-recorder overhead) and
+``BENCH_engine.json`` for the engine hot path: single-process
+events/sec on a saturated run, an A/B against the frozen reference
+engine in ``repro.sim._baseline`` (which must be *bit-identical*, not
+just close), and serial-vs-parallel sweep wall clock at 4 workers.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_all.py [--scale quick] [--output PATH]
+    PYTHONPATH=src python benchmarks/run_all.py --quick --only engine
 
-The acceptance bound for this trajectory is a <3% simulator slowdown
-with telemetry disabled (the "off" run *is* the instrumented build with
-its pipeline resolved to None, so the delta vs the pre-telemetry
-baseline is the cost of the ``is None`` guards).
+The acceptance bound for the telemetry trajectory is a <3% simulator
+slowdown with telemetry disabled; for the engine trajectory, >= 25%
+events/sec regressions vs the committed ``BENCH_engine.json`` fail CI
+(see ``benchmarks/check_engine_regression.py``).
 """
 
 from __future__ import annotations
@@ -265,6 +269,133 @@ def bench_attribution(scale: Scale) -> dict:
     }
 
 
+def bench_engine(scale: Scale) -> dict:
+    """Engine hot-path trajectory: events/sec, reference A/B, sweep scaling.
+
+    The A/B against :mod:`repro.sim._baseline` asserts bit-identical
+    results before reporting any speedup — a fast engine that drifts is
+    a broken engine.  The sweep cell fans a small policy x load grid
+    across 4 worker processes; ``cpu_count`` is recorded because the
+    achievable speedup is bounded by the host (a single-core CI runner
+    will — correctly — report ~1x).
+    """
+    import os
+
+    import numpy as np
+
+    from repro.experiments.runner import run_sweep
+    from repro.parallel import run_sweep_parallel
+    from repro.schedulers import FixedScheduler
+    from repro.sim._baseline import simulate_baseline
+    from repro.sim.engine import Engine
+
+    table = bing_table(scale)
+    workload = bing_mod.bing_workload(profile_size=scale.profile_size)
+    num_requests = scale.num_requests * 2
+    # Saturating load: deep backlogs and large running sets are where
+    # the hot path earns (or loses) its keep.
+    rps = 600.0
+    arrivals = workload.arrivals(
+        num_requests, PoissonProcess(rps), np.random.default_rng(42)
+    )
+
+    state: dict = {}
+
+    def run_optimized():
+        engine = Engine(
+            cores=bing_mod.CORES,
+            scheduler=FMScheduler(table),
+            quantum_ms=bing_mod.QUANTUM_MS,
+            spin_fraction=bing_mod.SPIN_FRACTION,
+        )
+        state["result"] = engine.run(arrivals)
+        state["events"] = engine.events_processed
+
+    def run_reference():
+        state["reference"] = simulate_baseline(
+            arrivals,
+            FMScheduler(table),
+            cores=bing_mod.CORES,
+            quantum_ms=bing_mod.QUANTUM_MS,
+            spin_fraction=bing_mod.SPIN_FRACTION,
+        )
+
+    new_s = best_of(run_optimized)
+    old_s = best_of(run_reference)
+    result, reference = state["result"], state["reference"]
+    bit_identical = (
+        len(result.records) == len(reference.records)
+        and all(
+            a.finish_ms == b.finish_ms and a.core_time_ms == b.core_time_ms
+            for a, b in zip(result.records, reference.records)
+        )
+        and result.tail_latency_ms(0.99) == reference.tail_latency_ms(0.99)
+        and result.mean_latency_ms() == reference.mean_latency_ms()
+    )
+    if not bit_identical:
+        raise AssertionError(
+            "optimized engine diverged from repro.sim._baseline — "
+            "speedups are meaningless until results match bit for bit"
+        )
+
+    sweep_schedulers = {"FIX-4": FixedScheduler(4), "FM": FMScheduler(table)}
+    sweep_rps = [120.0, 240.0, 420.0, 600.0]
+    sweep_workers = 4
+    sweep_kwargs = dict(
+        cores=bing_mod.CORES,
+        num_requests=scale.num_requests,
+        quantum_ms=bing_mod.QUANTUM_MS,
+        spin_fraction=bing_mod.SPIN_FRACTION,
+        seed=42,
+        repeats=2,
+    )
+    started = time.perf_counter()
+    serial = run_sweep(sweep_schedulers, workload, sweep_rps, **sweep_kwargs)
+    serial_s = time.perf_counter() - started
+    started = time.perf_counter()
+    parallel = run_sweep_parallel(
+        sweep_schedulers, workload, sweep_rps, workers=sweep_workers, **sweep_kwargs
+    )
+    parallel_s = time.perf_counter() - started
+    sweep_identical = all(
+        serial[name].tail_ms == parallel[name].tail_ms
+        and serial[name].mean_ms == parallel[name].mean_ms
+        and [h._buckets for h in serial[name].histograms]
+        == [h._buckets for h in parallel[name].histograms]
+        for name in serial.policies()
+    )
+    if not sweep_identical:
+        raise AssertionError("parallel sweep diverged from the serial runner")
+
+    return {
+        "num_requests": num_requests,
+        "rps": rps,
+        "cores": bing_mod.CORES,
+        "cpu_count": os.cpu_count(),
+        "single_process": {
+            "events_processed": state["events"],
+            "wall_s": round(new_s, 6),
+            "events_per_s": round(state["events"] / new_s, 1),
+            "requests_per_s": round(num_requests / new_s, 1),
+            "reference_wall_s": round(old_s, 6),
+            "reference_events_per_s": round(state["events"] / old_s, 1),
+            "speedup_vs_reference": round(old_s / new_s, 3),
+            "bit_identical_to_reference": bit_identical,
+        },
+        "sweep": {
+            "policies": sorted(sweep_schedulers),
+            "rps_values": sweep_rps,
+            "repeats": sweep_kwargs["repeats"],
+            "cells": len(sweep_schedulers) * len(sweep_rps) * sweep_kwargs["repeats"],
+            "workers": sweep_workers,
+            "serial_wall_s": round(serial_s, 6),
+            "parallel_wall_s": round(parallel_s, 6),
+            "parallel_speedup": round(serial_s / parallel_s, 3),
+            "results_identical": sweep_identical,
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -280,7 +411,25 @@ def main(argv: list[str] | None = None) -> int:
         default=REPO_ROOT / "BENCH_observe.json",
         help="where to write the observe-layer JSON report",
     )
+    parser.add_argument(
+        "--engine-output", type=Path,
+        default=REPO_ROOT / "BENCH_engine.json",
+        help="where to write the engine hot-path JSON report",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="shorthand for --scale quick (the CI perf-smoke preset)",
+    )
+    parser.add_argument(
+        "--only", choices=["telemetry", "observe", "engine", "all"],
+        default="all",
+        help="run a single bench family (default: all)",
+    )
     args = parser.parse_args(argv)
+    if args.quick and args.scale and args.scale != "quick":
+        parser.error("--quick conflicts with --scale " + args.scale)
+    if args.quick:
+        args.scale = "quick"
     if args.scale:
         from repro.experiments.config import FULL, QUICK, TINY
 
@@ -288,26 +437,54 @@ def main(argv: list[str] | None = None) -> int:
     else:
         scale = default_scale()
 
-    print(f"running telemetry benches at scale={scale.name} ...")
-    report = {
-        "benchmark": "telemetry",
-        "scale": scale.name,
-        "python": platform.python_version(),
-        "timing_repeats": TIMING_REPEATS,
-        "sim": bench_sim(scale),
-        "search": bench_search(scale),
-        "cluster": bench_cluster(scale),
-        "primitives": bench_primitives(),
-    }
-    report["notes"] = (
-        "off runs pass an explicit Telemetry(enabled=False): the disabled "
-        "path is the instrumented build with every pipeline resolved to "
-        "None. Acceptance bound: sim off_units_per_s within 3% of the "
-        "pre-telemetry baseline."
-    )
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
-    print(json.dumps(report, indent=2))
-    print(f"\nwrote {args.output}")
+    if args.only in ("engine", "all"):
+        print(f"running engine benches at scale={scale.name} ...")
+        engine_report = {
+            "benchmark": "engine",
+            "scale": scale.name,
+            "python": platform.python_version(),
+            "timing_repeats": TIMING_REPEATS,
+            **bench_engine(scale),
+            "notes": (
+                "single_process is a saturated FM/Bing run; events_per_s "
+                "counts events drained from the queue (incl. stale "
+                "tentative completions). reference is the frozen pre-"
+                "optimization engine (repro.sim._baseline) run on the "
+                "same trace — results are asserted bit-identical before "
+                "any speedup is reported. sweep compares run_sweep vs "
+                "run_sweep_parallel on the same grid; achievable "
+                "parallel_speedup is capped by cpu_count."
+            ),
+        }
+        args.engine_output.write_text(json.dumps(engine_report, indent=2) + "\n")
+        print(json.dumps(engine_report, indent=2))
+        print(f"\nwrote {args.engine_output}")
+    if args.only == "engine":
+        return 0
+
+    if args.only in ("telemetry", "all"):
+        print(f"\nrunning telemetry benches at scale={scale.name} ...")
+        report = {
+            "benchmark": "telemetry",
+            "scale": scale.name,
+            "python": platform.python_version(),
+            "timing_repeats": TIMING_REPEATS,
+            "sim": bench_sim(scale),
+            "search": bench_search(scale),
+            "cluster": bench_cluster(scale),
+            "primitives": bench_primitives(),
+        }
+        report["notes"] = (
+            "off runs pass an explicit Telemetry(enabled=False): the disabled "
+            "path is the instrumented build with every pipeline resolved to "
+            "None. Acceptance bound: sim off_units_per_s within 3% of the "
+            "pre-telemetry baseline."
+        )
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(json.dumps(report, indent=2))
+        print(f"\nwrote {args.output}")
+    if args.only == "telemetry":
+        return 0
 
     print(f"\nrunning observe benches at scale={scale.name} ...")
     observe = {

@@ -83,6 +83,18 @@ def build_parser() -> argparse.ArgumentParser:
             "chrome://tracing or ui.perfetto.dev)"
         ),
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        default=1,
+        help=(
+            "fan every load sweep across N worker processes "
+            "(0 = all CPUs; results are identical to serial runs — "
+            "see repro.parallel). Incompatible with --trace: sweep "
+            "telemetry cannot cross process boundaries."
+        ),
+    )
     return parser
 
 
@@ -101,8 +113,17 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     scale = _SCALES[args.scale] if args.scale else default_scale()
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.trace and args.workers != 1:
+        print(
+            "error: --trace requires --workers 1 (worker processes "
+            "cannot feed the parent's telemetry pipeline)",
+            file=sys.stderr,
+        )
+        return 2
     telemetry = Telemetry() if args.trace else None
-    with install(telemetry):
+    from repro.parallel import default_workers
+
+    with install(telemetry), default_workers(args.workers):
         for name in names:
             started = time.perf_counter()
             result = EXPERIMENTS[name](scale)

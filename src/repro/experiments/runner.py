@@ -18,10 +18,55 @@ from repro.sim.api import Scheduler
 from repro.sim.engine import simulate
 from repro.sim.metrics import SimulationResult
 from repro.telemetry import Telemetry
+from repro.telemetry.histogram import LogHistogram
 from repro.workloads.arrivals import ArrivalProcess, PoissonProcess
 from repro.workloads.workload import Workload
 
-__all__ = ["run_policy", "run_sweep", "SweepResult", "PolicySeries"]
+__all__ = [
+    "run_policy",
+    "run_sweep",
+    "SweepResult",
+    "PolicySeries",
+    "cell_seed",
+    "latency_histogram",
+]
+
+
+def cell_seed(seed: int, rps_index: int, repeat: int) -> int:
+    """The RNG seed for one ``(rps, repeat)`` sweep cell.
+
+    Depends only on the base seed and the cell coordinates — *not* on
+    the policy — so every policy sees identical traces at each load
+    point (the paired-comparison discipline), and so the serial and
+    parallel sweep paths reproduce each other's runs exactly.
+    """
+    return seed + 7919 * rps_index + 104729 * repeat
+
+
+def latency_histogram(result: SimulationResult) -> LogHistogram:
+    """One run's completion latencies as a mergeable log histogram.
+
+    Built per run and merged across repeats (rather than recorded
+    straight into an accumulating histogram) so the serial and parallel
+    sweep paths perform the identical sequence of float operations.
+    """
+    histogram = LogHistogram()
+    for record in result.records:
+        histogram.record(record.latency_ms)
+    return histogram
+
+
+def _named_schedulers(
+    schedulers: Sequence[Scheduler] | dict[str, Scheduler],
+) -> list[tuple[str, Scheduler]]:
+    """Normalize a scheduler collection to unique ``(name, scheduler)``."""
+    if isinstance(schedulers, dict):
+        named = list(schedulers.items())
+    else:
+        named = [(s.name, s) for s in schedulers]
+    if len({name for name, _ in named}) != len(named):
+        raise ConfigurationError("duplicate policy names in sweep")
+    return named
 
 
 def run_policy(
@@ -59,6 +104,10 @@ class PolicySeries:
     tail_ms: list[float]
     mean_ms: list[float]
     results: list[list[SimulationResult]] = field(default_factory=list)
+    #: Per-load-point completion-latency histograms, merged across
+    #: repeats — the mergeable summary that lets the parallel sweep
+    #: runner combine worker results without shipping full records.
+    histograms: list[LogHistogram] = field(default_factory=list)
 
     def tail_points(self) -> list[tuple[float, float]]:
         """``(rps, 99th-percentile latency)`` pairs."""
@@ -101,6 +150,7 @@ def run_sweep(
     phi: float = 0.99,
     keep_results: bool = False,
     spin_fraction: float = 0.25,
+    workers: int | None = None,
 ) -> SweepResult:
     """Sweep load for every policy.
 
@@ -108,13 +158,36 @@ def run_sweep(
     depends only on ``(seed, rps, repeat)`` — all policies see
     *identical traces* at each point, the paired-comparison discipline
     that makes relative improvements meaningful at small run counts.
+
+    ``workers`` fans the policy x load grid across a process pool (see
+    :mod:`repro.parallel`); ``None`` uses the ambient default installed
+    by :func:`repro.parallel.default_workers` (1 — in-process serial —
+    unless something like the CLI's ``--workers`` raised it).  Both
+    paths produce identical results for the same seed.
     """
-    if isinstance(schedulers, dict):
-        named = list(schedulers.items())
-    else:
-        named = [(s.name, s) for s in schedulers]
-    if len({name for name, _ in named}) != len(named):
-        raise ConfigurationError("duplicate policy names in sweep")
+    if workers is None:
+        from repro.parallel import get_default_workers
+
+        workers = get_default_workers()
+    if workers != 1:
+        from repro.parallel import run_sweep_parallel
+
+        return run_sweep_parallel(
+            schedulers,
+            workload,
+            rps_values,
+            cores,
+            num_requests=num_requests,
+            quantum_ms=quantum_ms,
+            seed=seed,
+            repeats=repeats,
+            phi=phi,
+            keep_results=keep_results,
+            spin_fraction=spin_fraction,
+            workers=workers,
+        )
+
+    named = _named_schedulers(schedulers)
     if repeats < 1:
         raise ConfigurationError(f"repeats must be >= 1: {repeats}")
 
@@ -123,12 +196,13 @@ def run_sweep(
         tails: list[float] = []
         means: list[float] = []
         kept: list[list[SimulationResult]] = []
+        histograms: list[LogHistogram] = []
         for rps_index, rps in enumerate(rps_values):
             run_tails: list[float] = []
             run_means: list[float] = []
             point_results: list[SimulationResult] = []
+            point_histogram = LogHistogram()
             for repeat in range(repeats):
-                run_seed = seed + 7919 * rps_index + 104729 * repeat
                 result = run_policy(
                     scheduler,
                     workload,
@@ -136,15 +210,17 @@ def run_sweep(
                     cores=cores,
                     num_requests=num_requests,
                     quantum_ms=quantum_ms,
-                    seed=run_seed,
+                    seed=cell_seed(seed, rps_index, repeat),
                     spin_fraction=spin_fraction,
                 )
                 run_tails.append(result.tail_latency_ms(phi))
                 run_means.append(result.mean_latency_ms())
+                point_histogram.update(latency_histogram(result))
                 if keep_results:
                     point_results.append(result)
             tails.append(float(np.mean(run_tails)))
             means.append(float(np.mean(run_means)))
+            histograms.append(point_histogram)
             if keep_results:
                 kept.append(point_results)
         series[name] = PolicySeries(
@@ -153,5 +229,6 @@ def run_sweep(
             tail_ms=tails,
             mean_ms=means,
             results=kept,
+            histograms=histograms,
         )
     return SweepResult(series=series)

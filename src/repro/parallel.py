@@ -1,0 +1,273 @@
+"""Parallel load-sweep execution across a multiprocessing pool.
+
+A load sweep is embarrassingly parallel: every ``(policy, rps, repeat)``
+cell is an independent simulation whose trace is fully determined by
+:func:`repro.experiments.runner.cell_seed`.  This module fans the grid
+across worker processes and reassembles a
+:class:`~repro.experiments.runner.SweepResult` that is **identical** to
+the serial one — same seeds, same per-cell tail/mean floats, same
+merge order for the per-load-point latency histograms — so ``--workers``
+is purely a wall-clock knob, never a results knob.
+
+What crosses the process boundary:
+
+* *once per worker, at pool start*: the sweep spec (schedulers,
+  workload, grid) via the pool initializer — not per cell;
+* *once per cell, back to the parent*: the cell's tail/mean floats and
+  its mergeable :class:`~repro.telemetry.histogram.LogHistogram` of
+  completion latencies (plus the full
+  :class:`~repro.sim.metrics.SimulationResult` only under
+  ``keep_results=True``).
+
+Caveats: schedulers and workloads must be picklable under the ``spawn``
+start method (``fork``, the default where available, only needs the
+*returned* values to pickle); and ambient telemetry pipelines are
+deliberately not propagated into workers — per-run spans recorded in a
+child process could never reach the parent's exporter, so workers run
+with telemetry uninstalled rather than silently dropping data.
+
+The ambient-default machinery (:func:`default_workers`,
+:func:`set_default_workers`) lets an entry point such as the experiment
+CLI's ``--workers N`` parallelize *every* sweep an experiment performs
+without threading a parameter through each figure function.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import (
+    PolicySeries,
+    SweepResult,
+    _named_schedulers,
+    cell_seed,
+    latency_histogram,
+    run_policy,
+)
+from repro.sim.api import Scheduler
+from repro.sim.metrics import SimulationResult
+from repro.telemetry import install
+from repro.telemetry.histogram import LogHistogram
+from repro.workloads.workload import Workload
+
+__all__ = [
+    "run_sweep_parallel",
+    "default_workers",
+    "get_default_workers",
+    "set_default_workers",
+    "resolve_workers",
+]
+
+_DEFAULT_WORKERS = 1
+
+
+def get_default_workers() -> int:
+    """The ambient worker count :func:`run_sweep` consults (default 1)."""
+    return _DEFAULT_WORKERS
+
+
+def set_default_workers(workers: int) -> None:
+    """Set the ambient worker count for subsequent sweeps.
+
+    ``workers=0`` means "all CPUs".  Prefer the scoped
+    :func:`default_workers` context manager unless the process is
+    single-purpose (like the CLI).
+    """
+    global _DEFAULT_WORKERS
+    _DEFAULT_WORKERS = resolve_workers(workers)
+
+
+@contextlib.contextmanager
+def default_workers(workers: int) -> Iterator[int]:
+    """Scoped :func:`set_default_workers`: every sweep in the block runs
+    with ``workers`` processes unless it passes an explicit count."""
+    previous = _DEFAULT_WORKERS
+    set_default_workers(workers)
+    try:
+        yield _DEFAULT_WORKERS
+    finally:
+        set_default_workers(previous)
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker count: ``None`` -> the ambient default,
+    ``0`` -> all CPUs, otherwise the (positive) count itself."""
+    if workers is None:
+        return _DEFAULT_WORKERS
+    if workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ConfigurationError(f"workers must be >= 0: {workers}")
+    return workers
+
+
+@dataclass
+class _SweepSpec:
+    """Everything a worker needs, shipped once via the pool initializer."""
+
+    named: list[tuple[str, Scheduler]]
+    workload: Workload
+    rps_values: list[float]
+    cores: int
+    num_requests: int
+    quantum_ms: float
+    seed: int
+    phi: float
+    keep_results: bool
+    spin_fraction: float
+
+
+# Per-worker-process sweep spec, set by the pool initializer.
+_SPEC: _SweepSpec | None = None
+
+
+def _init_worker(spec: _SweepSpec) -> None:
+    global _SPEC
+    _SPEC = spec
+
+
+def _run_cell(
+    cell: tuple[int, int, int],
+) -> tuple[float, float, LogHistogram, SimulationResult | None]:
+    """Run one ``(policy, rps, repeat)`` cell and summarize it."""
+    policy_index, rps_index, repeat = cell
+    spec = _SPEC
+    assert spec is not None, "worker used before initialization"
+    _, scheduler = spec.named[policy_index]
+    # Telemetry recorded in a worker could never reach the parent's
+    # pipeline; run with none installed instead of dropping data
+    # silently (an inherited ambient pipeline would otherwise resolve).
+    with install(None):
+        result = run_policy(
+            scheduler,
+            spec.workload,
+            rps=spec.rps_values[rps_index],
+            cores=spec.cores,
+            num_requests=spec.num_requests,
+            quantum_ms=spec.quantum_ms,
+            seed=cell_seed(spec.seed, rps_index, repeat),
+            spin_fraction=spec.spin_fraction,
+        )
+    return (
+        result.tail_latency_ms(spec.phi),
+        result.mean_latency_ms(),
+        latency_histogram(result),
+        result if spec.keep_results else None,
+    )
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """``fork`` where available (cheap, no pickling of the spec's
+    schedulers/workload), ``spawn`` otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_sweep_parallel(
+    schedulers: Sequence[Scheduler] | dict[str, Scheduler],
+    workload: Workload,
+    rps_values: Sequence[float],
+    cores: int,
+    num_requests: int = 2000,
+    quantum_ms: float = 5.0,
+    seed: int = 42,
+    repeats: int = 1,
+    phi: float = 0.99,
+    keep_results: bool = False,
+    spin_fraction: float = 0.25,
+    workers: int | None = None,
+) -> SweepResult:
+    """:func:`repro.experiments.runner.run_sweep`, fanned across a
+    process pool.
+
+    Accepts the same arguments plus ``workers`` (``None`` -> ambient
+    default, ``0`` -> all CPUs) and returns an identical
+    :class:`~repro.experiments.runner.SweepResult`: each cell runs with
+    the seed :func:`cell_seed` assigns it, and per-load-point
+    histograms merge in repeat order, exactly as the serial loop does.
+    """
+    named = _named_schedulers(schedulers)
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1: {repeats}")
+    workers = resolve_workers(workers)
+
+    cells = [
+        (policy_index, rps_index, repeat)
+        for policy_index in range(len(named))
+        for rps_index in range(len(rps_values))
+        for repeat in range(repeats)
+    ]
+    spec = _SweepSpec(
+        named=named,
+        workload=workload,
+        rps_values=[float(r) for r in rps_values],
+        cores=cores,
+        num_requests=num_requests,
+        quantum_ms=quantum_ms,
+        seed=seed,
+        phi=phi,
+        keep_results=keep_results,
+        spin_fraction=spin_fraction,
+    )
+    if workers <= 1 or len(cells) == 1:
+        # Not worth a pool; run the cells in-process through the same
+        # code path (so workers=1 still exercises _run_cell).
+        _init_worker(spec)
+        try:
+            summaries = [_run_cell(cell) for cell in cells]
+        finally:
+            _init_worker(None)  # type: ignore[arg-type]
+    else:
+        context = _pool_context()
+        with context.Pool(
+            processes=min(workers, len(cells)),
+            initializer=_init_worker,
+            initargs=(spec,),
+        ) as pool:
+            # chunksize=1: cells are heterogeneous (high-RPS cells
+            # simulate far more events), so fine-grained dispatch is
+            # what makes the speedup near-linear.
+            summaries = pool.map(_run_cell, cells, chunksize=1)
+
+    by_cell = dict(zip(cells, summaries))
+    series: dict[str, PolicySeries] = {}
+    for policy_index, (name, _) in enumerate(named):
+        tails: list[float] = []
+        means: list[float] = []
+        kept: list[list[SimulationResult]] = []
+        histograms: list[LogHistogram] = []
+        for rps_index in range(len(rps_values)):
+            run_tails: list[float] = []
+            run_means: list[float] = []
+            point_results: list[SimulationResult] = []
+            point_histogram = LogHistogram()
+            for repeat in range(repeats):
+                tail, mean, histogram, result = by_cell[
+                    (policy_index, rps_index, repeat)
+                ]
+                run_tails.append(tail)
+                run_means.append(mean)
+                point_histogram.update(histogram)
+                if keep_results:
+                    point_results.append(result)
+            tails.append(float(np.mean(run_tails)))
+            means.append(float(np.mean(run_means)))
+            histograms.append(point_histogram)
+            if keep_results:
+                kept.append(point_results)
+        series[name] = PolicySeries(
+            policy=name,
+            rps_values=list(spec.rps_values),
+            tail_ms=tails,
+            mean_ms=means,
+            results=kept,
+            histograms=histograms,
+        )
+    return SweepResult(series=series)

@@ -11,10 +11,28 @@ invalidating stale completions still in the heap.
 Determinism: given identical arrival specs and scheduler state the run
 is bit-for-bit reproducible — the event queue breaks time ties by
 insertion order and no wall-clock or randomness enters the engine.
+
+Hot-path structure (DESIGN.md §10): the engine is the inner loop of
+every load sweep, so the per-event work is kept incremental.  Per-degree
+speedup and occupancy are cached on the request and refreshed only when
+the degree changes; each rate refresh is two tight passes over the
+running set (re-accumulate the two demand sums, then rescale factors,
+rates, and the earliest tentative completion in one sweep) with no dict
+or allocation churn; the commit loop inlines
+:meth:`~repro.sim.request.SimRequest.advance`; the backlog is a
+``deque`` and delayed ids a sorted list.  Every optimization preserves
+bit-for-bit identity with the frozen reference implementation in
+:mod:`repro.sim._baseline` — in particular the demand sums are
+re-accumulated in running-set order rather than maintained by
+add/subtract, because float addition is non-associative and
+incrementally-maintained sums would drift from the reference.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
+from collections import deque
+from heapq import heappop
 from dataclasses import dataclass
 from typing import Any, Sequence
 
@@ -24,7 +42,7 @@ from repro.faults.plan import CoreFault, FaultPlan, StallFault
 from repro.sim.api import Admission, AdmissionAction, Scheduler, SchedulerContext
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.metrics import MetricsCollector, SimulationResult
-from repro.sim.processor import BoostController, compute_shares
+from repro.sim.processor import BoostController, occupancy
 from repro.sim.request import RequestState, SimRequest
 from repro.telemetry import Telemetry, resolve_telemetry
 from repro.telemetry.spans import Span
@@ -38,6 +56,7 @@ _STALL = "stall"
 _STALL_END = "stall_end"
 
 _FINISH_EPS = 1e-6  # ms — one nanosecond of slack for float residue
+_INF = float("inf")
 
 
 @dataclass(frozen=True)
@@ -52,6 +71,11 @@ class ArrivalSpec:
 
 class Engine:
     """Simulates one multicore server under a scheduling policy.
+
+    An engine runs **once**: :meth:`run` raises on a second call rather
+    than silently mixing stale clocks, requests, and metrics into a new
+    simulation — construct a fresh engine (or use :func:`simulate`) per
+    run.
 
     Parameters
     ----------
@@ -104,6 +128,8 @@ class Engine:
             raise SimulationError(f"cores must be >= 1, got {cores}")
         if quantum_ms <= 0:
             raise SimulationError(f"quantum_ms must be positive, got {quantum_ms}")
+        if not 0.0 <= spin_fraction <= 1.0:
+            raise SimulationError(f"spin_fraction must be in [0, 1]: {spin_fraction}")
         self.cores = cores
         self.scheduler = scheduler
         self.quantum_ms = quantum_ms
@@ -116,16 +142,19 @@ class Engine:
         self._queue = EventQueue()
         self._requests: dict[int, SimRequest] = {}
         self._running: dict[int, SimRequest] = {}
-        self._waiting_fifo: list[int] = []  # e1-queued request ids, FIFO
-        self._delayed: set[int] = set()
+        self._waiting_fifo: deque[int] = deque()  # e1-queued request ids, FIFO
+        self._delayed: list[int] = []  # mid-delay request ids, sorted (= arrival order)
         self._candidate = 0  # requests mid-admission (counted in the load)
-        self._shares: dict[int, "object"] = {}
         self._generation = 0
         self._rates_dirty = False
         self._metrics = MetricsCollector(cores)
         self._ctx = SchedulerContext(self)
         self._completed = 0
         self._shed = 0
+        self._ran = False
+        #: Events drained from the queue by :meth:`run` (including stale
+        #: tentative completions) — the numerator of events/sec benches.
+        self.events_processed = 0
         self.telemetry = resolve_telemetry(telemetry)
         self.attribution = attribution
         self._run_spans: dict[int, Span] = {}
@@ -168,7 +197,17 @@ class Engine:
     # Public API
     # ------------------------------------------------------------------
     def run(self, arrivals: Sequence[ArrivalSpec]) -> SimulationResult:
-        """Execute all arrivals to completion and return the metrics."""
+        """Execute all arrivals to completion and return the metrics.
+
+        Engines are single-shot: a second call raises
+        :class:`~repro.errors.SimulationError` instead of reusing the
+        first run's clock, request table, and metric integrals.
+        """
+        if self._ran:
+            raise SimulationError(
+                "engine already ran; construct a new Engine per simulation"
+            )
+        self._ran = True
         if not arrivals:
             raise SimulationError("no arrivals to simulate")
         self.scheduler.reset()
@@ -188,18 +227,44 @@ class Engine:
                     stall.time_ms, Event(EventKind.FAULT, payload=(_STALL, stall))
                 )
 
-        while self._queue:
-            time_ms, event = self._queue.pop()
-            if event.kind is EventKind.COMPLETION and event.generation != self._generation:
+        # The run loop: hot enough that the queue pop and the kind
+        # dispatch are inlined here, with enum members and the heap
+        # hoisted to locals (a few % per lookup at this call count).
+        # Branches are ordered by event frequency: quantum ticks
+        # dominate, then completions, then arrivals.
+        heap = self._queue.heap
+        requests = self._requests
+        quantum_kind = EventKind.QUANTUM
+        completion_kind = EventKind.COMPLETION
+        arrival_kind = EventKind.ARRIVAL
+        delay_kind = EventKind.DELAY_EXPIRED
+        finish_eps = _FINISH_EPS
+        events = 0
+        while heap:
+            time_ms, _, event = heappop(heap)
+            events += 1
+            kind = event.kind
+            if kind is completion_kind and event.generation != self._generation:
                 continue  # stale rate snapshot
-            if time_ms < self.now_ms - _FINISH_EPS:
+            now = self.now_ms
+            if time_ms < now - finish_eps:
                 raise SimulationError(
-                    f"time went backwards: {time_ms} < {self.now_ms}"
+                    f"time went backwards: {time_ms} < {now}"
                 )
-            self._commit(max(time_ms, self.now_ms))
-            self._dispatch(event)
+            self._commit(time_ms if time_ms > now else now)
+            if kind is quantum_kind:
+                self._handle_quantum(requests[event.request_id], event)
+            elif kind is completion_kind:
+                self._handle_completion()
+            elif kind is arrival_kind:
+                self._handle_arrival(requests[event.request_id])
+            elif kind is delay_kind:
+                self._handle_delay_expired(requests[event.request_id])
+            else:  # EventKind.FAULT — the enum is closed
+                self._handle_fault(event.payload)
             if self._rates_dirty:
                 self._recompute_rates()
+        self.events_processed = events
 
         if self._completed + self._shed != len(self._requests):
             stuck = len(self._requests) - self._completed - self._shed
@@ -209,22 +274,8 @@ class Engine:
         return self._metrics.finalize()
 
     # ------------------------------------------------------------------
-    # Event dispatch
+    # Event handlers (dispatched inline by the run loop)
     # ------------------------------------------------------------------
-    def _dispatch(self, event: Event) -> None:
-        if event.kind is EventKind.ARRIVAL:
-            self._handle_arrival(self._requests[event.request_id])
-        elif event.kind is EventKind.DELAY_EXPIRED:
-            self._handle_delay_expired(self._requests[event.request_id])
-        elif event.kind is EventKind.QUANTUM:
-            self._handle_quantum(self._requests[event.request_id])
-        elif event.kind is EventKind.COMPLETION:
-            self._handle_completion()
-        elif event.kind is EventKind.FAULT:
-            self._handle_fault(event.payload)
-        else:  # pragma: no cover - enum is closed
-            raise SimulationError(f"unknown event {event}")
-
     def _handle_arrival(self, request: SimRequest) -> None:
         if self.fault_plan is not None:
             inflation = self.fault_plan.straggler_inflation(request.rid)
@@ -248,32 +299,34 @@ class Engine:
     def _handle_delay_expired(self, request: SimRequest) -> None:
         if request.state is not RequestState.DELAYED:
             return  # already started by a wait-check wake-up
-        self._delayed.discard(request.rid)
+        self._delayed_discard(request.rid)
         self._candidate = 1
         decision = self.scheduler.on_wait_check(self._ctx, request)
         self._candidate = 0
         self._apply_admission(request, decision)
 
-    def _handle_quantum(self, request: SimRequest) -> None:
+    def _handle_quantum(self, request: SimRequest, event: Event) -> None:
         if request.state is not RequestState.RUNNING:
             return
-        was_boosted = request.boosted
+        telemetry = self.telemetry
+        if telemetry is not None:
+            was_boosted = request.boosted
         desired = self.scheduler.on_quantum(self._ctx, request)
-        new_degree = max(desired, request.degree)
-        if request.raise_degree(new_degree):
+        if desired > request.degree:
+            request.raise_degree(desired)
+            self._refresh_degree_cache(request)
             self._rates_dirty = True
-            if self.telemetry is not None:
-                self.telemetry.metrics.counter("sim.degree_raises").inc()
-        if self.telemetry is not None and request.boosted and not was_boosted:
-            self.telemetry.metrics.counter("sim.boosts").inc()
-            self.telemetry.tracer.instant(
+            if telemetry is not None:
+                telemetry.metrics.counter("sim.degree_raises").inc()
+        if telemetry is not None and request.boosted and not was_boosted:
+            telemetry.metrics.counter("sim.boosts").inc()
+            telemetry.tracer.instant(
                 "boost", track="sim", lane=request.rid, at_ms=self.now_ms,
                 degree=request.degree,
             )
-        self._queue.push(
-            self.now_ms + self.quantum_ms,
-            Event(EventKind.QUANTUM, request_id=request.rid),
-        )
+        # Requests have at most one quantum tick in flight, so the event
+        # object just popped is simply re-armed — no allocation per tick.
+        self._queue.push(self.now_ms + self.quantum_ms, event)
 
     def _handle_completion(self) -> None:
         finished = [r for r in self._running.values() if r.is_finished]
@@ -354,7 +407,7 @@ class Engine:
             self._start_request(request, decision.degree)
         elif decision.action is AdmissionAction.DELAY:
             request.state = RequestState.DELAYED
-            self._delayed.add(request.rid)
+            insort(self._delayed, request.rid)
             self._queue.push(
                 self.now_ms + decision.delay_ms,
                 Event(EventKind.DELAY_EXPIRED, request_id=request.rid),
@@ -393,6 +446,7 @@ class Engine:
         transition into the running set)."""
         waited_as = request.state  # pre-start state names the wait kind
         request.start(self.now_ms, max(1, degree))
+        self._refresh_degree_cache(request)
         self._running[request.rid] = request
         self._rates_dirty = True
         if self.scheduler.uses_quantum:
@@ -460,10 +514,13 @@ class Engine:
         as the policy's current row allows; at saturation the ``e1``
         contract applies — "wait until another request exits and then
         start executing sequentially" — one forced admission per exit.
+        The backlog is a deque, so each admission is an O(1)
+        ``popleft`` even when overload has queued thousands.
         """
         forced = 0
-        while self._waiting_fifo:
-            request = self._requests[self._waiting_fifo[0]]
+        waiting = self._waiting_fifo
+        while waiting:
+            request = self._requests[waiting[0]]
             self._candidate = 1
             decision = self.scheduler.on_wait_check(self._ctx, request)
             self._candidate = 0
@@ -472,54 +529,104 @@ class Engine:
                     break
                 decision = Admission.start(1)
                 forced += 1
-            self._waiting_fifo.pop(0)
+            waiting.popleft()
             if self.telemetry is not None:
-                self.telemetry.metrics.gauge("sim.queue_depth").set(
-                    len(self._waiting_fifo)
-                )
+                self.telemetry.metrics.gauge("sim.queue_depth").set(len(waiting))
             self._apply_admission(request, decision)
         # Delayed requests may start early when load drops — or be shed
-        # if their deadline budget expired while they waited.
-        for rid in sorted(self._delayed):
+        # if their deadline budget expired while they waited.  The list
+        # is kept sorted by rid (= arrival order), so the snapshot needs
+        # no per-wake sort.
+        for rid in tuple(self._delayed):
             request = self._requests[rid]
             decision = self.scheduler.on_wait_check(self._ctx, request)
             if decision.action is AdmissionAction.START or (
                 decision.action is AdmissionAction.DELAY and decision.delay_ms <= 0
             ):
-                self._delayed.discard(rid)
+                self._delayed_discard(rid)
                 self._apply_admission(request, Admission.start(decision.degree))
             elif decision.action is AdmissionAction.SHED:
-                self._delayed.discard(rid)
+                self._delayed_discard(rid)
                 self._apply_admission(request, decision)
             # A longer delay keeps the original timer: the pending
             # DELAY_EXPIRED event will re-check anyway.
 
+    def _delayed_discard(self, rid: int) -> None:
+        """Remove ``rid`` from the sorted delayed-id list, if present."""
+        ids = self._delayed
+        i = bisect_left(ids, rid)
+        if i < len(ids) and ids[i] == rid:
+            del ids[i]
+
     # ------------------------------------------------------------------
     # Fluid-rate machinery
     # ------------------------------------------------------------------
+    def _refresh_degree_cache(self, request: SimRequest) -> None:
+        """Refresh the per-degree caches after a degree change.
+
+        ``s(degree)`` and the occupancy ``o(degree)`` depend only on the
+        request's curve, its degree, and the engine's spin fraction —
+        recomputing them here (degree changes are rare) is what lets the
+        per-event rate refresh touch no speedup curves at all.
+        """
+        s = request.speedup.speedup(request.degree)
+        request.degree_speedup = s
+        request.degree_demand = occupancy(s, request.degree, self.spin_fraction)
+
     def _commit(self, t: float) -> None:
         """Advance work and metric integrals from ``now`` to ``t`` under
-        the current (constant) rates."""
+        the current (constant) rates.
+
+        This is the hottest loop in the simulator — it visits every
+        running request on every event — so the body of
+        :meth:`SimRequest.advance` is inlined here (same operations, in
+        the same order, so results stay bit-identical to the method).
+        """
         dt = t - self.now_ms
         if dt > 0:
+            now = self.now_ms
+            attribution = self.attribution
+            have_faults = self.fault_plan is not None
             busy_cores = 0.0
             total_threads = 0
             for request in self._running.values():
-                alloc = self._shares.get(request.rid)
-                core_alloc = alloc.core_alloc if alloc is not None else 0.0
-                factor = alloc.progress_factor if alloc is not None else 0.0
+                factor = request.share_factor
+                core_alloc = request.share_cores
                 # Stall boundaries coincide with commit boundaries (the
                 # STALL / STALL_END events force commits), so stalledness
-                # is constant across [now, t).
-                request.advance(
-                    dt,
-                    core_alloc,
-                    factor,
-                    stalled=request.is_stalled(self.now_ms),
-                    attribution=self.attribution,
-                )
+                # is constant across [now, t).  Without a fault plan no
+                # request is ever stalled — skip the check entirely.
+                stalled = have_faults and request.is_stalled(now)
+                useful = factor * dt
+                if attribution:
+                    if stalled:
+                        request.attr_stall_ms += dt
+                    else:
+                        request.attr_service_ms += useful
+                        slowdown = dt - useful
+                        if request.boost_pending and not request.boosted:
+                            request.attr_boost_wait_ms += slowdown
+                        else:
+                            request.attr_contention_ms += slowdown
+                request.effective_ms += useful
+                remaining = request.remaining_work - request.rate * dt
+                if remaining <= 0.0:
+                    if remaining < -1e-6:
+                        raise SimulationError(
+                            f"request {request.rid}: overshoot {remaining}"
+                        )
+                    remaining = 0.0
+                request.remaining_work = remaining
+                degree = request.degree
+                request.thread_time_ms += degree * dt
+                request.core_time_ms += core_alloc * dt
+                residency = request.degree_residency
+                try:
+                    residency[degree] += dt
+                except KeyError:
+                    residency[degree] = dt
                 busy_cores += core_alloc
-                total_threads += request.degree
+                total_threads += degree
             in_system = (
                 len(self._running) + len(self._delayed) + len(self._waiting_fifo)
             )
@@ -528,28 +635,58 @@ class Engine:
 
     def _recompute_rates(self) -> None:
         """Refresh per-request rates and schedule the next tentative
-        completion; called after any state change."""
+        completion; called after any state change.
+
+        Two tight passes over the running set, no allocations:
+
+        1. re-accumulate the boosted / unboosted occupancy sums from the
+           cached per-degree demands (re-accumulated, not incrementally
+           adjusted: float addition is non-associative, and the sums
+           must stay bit-identical to the reference engine's);
+        2. derive the two contention factors, then store each request's
+           factor, core share, and rate inline and track the earliest
+           tentative completion in the same sweep.
+        """
         self._rates_dirty = False
         self._generation += 1
-        self._shares = compute_shares(
-            self._running.values(), self._cores_online, self.spin_fraction
-        )
-        earliest: float | None = None
-        for request in self._running.values():
-            factor = self._shares[request.rid].progress_factor
-            request.rate = request.speedup.speedup(request.degree) * factor
-            if request.is_stalled(self.now_ms):
+        running = self._running
+        boosted_demand = 0.0
+        unboosted_demand = 0.0
+        for request in running.values():
+            if request.boosted:
+                boosted_demand += request.degree_demand
+            else:
+                unboosted_demand += request.degree_demand
+
+        cores = self._cores_online
+        boosted_factor = min(1.0, cores / boosted_demand) if boosted_demand > 0 else 1.0
+        remaining_cores = cores - boosted_demand * boosted_factor
+        if unboosted_demand > 0:
+            unboosted_factor = min(1.0, max(0.0, remaining_cores) / unboosted_demand)
+        else:
+            unboosted_factor = 1.0
+
+        now = self.now_ms
+        have_faults = self.fault_plan is not None
+        earliest = _INF
+        for request in running.values():
+            factor = boosted_factor if request.boosted else unboosted_factor
+            request.share_factor = factor
+            request.share_cores = request.degree_demand * factor
+            rate = request.degree_speedup * factor
+            if have_faults and request.is_stalled(now):
                 # An injected worker stall: the request's threads keep
                 # their cores (hung workers occupy, not yield) but
                 # retire no work until the stall expires.
-                request.rate = 0.0
-            if request.rate > 0:
-                eta = self.now_ms + request.remaining_work / request.rate
-                if earliest is None or eta < earliest:
+                rate = 0.0
+            request.rate = rate
+            if rate > 0.0:
+                eta = now + request.remaining_work / rate
+                if eta < earliest:
                     earliest = eta
-        if earliest is not None:
+        if earliest < _INF:
             self._queue.push(
-                max(earliest, self.now_ms),
+                max(earliest, now),
                 Event(EventKind.COMPLETION, generation=self._generation),
             )
 

@@ -4,14 +4,18 @@ The engine is a discrete-event simulator: every state change is an
 event drawn from a single min-heap ordered by ``(time, sequence)``.
 The sequence number makes ordering of simultaneous events deterministic
 (FIFO in insertion order), which keeps whole simulations reproducible.
+
+Hot-path notes: heap entries are plain ``(time_ms, sequence, event)``
+tuples — tuple comparison is C-level and the unique sequence number
+guarantees the :class:`Event` payload itself is never compared — and
+:class:`Event` is a ``__slots__`` class rather than a dataclass, since
+the engine allocates one per quantum tick and completion.
 """
 
 from __future__ import annotations
 
 import enum
 import heapq
-import itertools
-from dataclasses import dataclass, field
 
 __all__ = ["EventKind", "Event", "EventQueue"]
 
@@ -31,7 +35,6 @@ class EventKind(enum.Enum):
     FAULT = "fault"
 
 
-@dataclass(frozen=True)
 class Event:
     """One scheduled occurrence.
 
@@ -41,43 +44,60 @@ class Event:
     fault description in ``payload``.
     """
 
-    kind: EventKind
-    request_id: int = -1
-    generation: int = -1
-    payload: object = None
+    __slots__ = ("kind", "request_id", "generation", "payload")
 
+    def __init__(
+        self,
+        kind: EventKind,
+        request_id: int = -1,
+        generation: int = -1,
+        payload: object = None,
+    ) -> None:
+        self.kind = kind
+        self.request_id = request_id
+        self.generation = generation
+        self.payload = payload
 
-@dataclass(order=True)
-class _HeapItem:
-    time_ms: float
-    sequence: int
-    event: Event = field(compare=False)
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Event({self.kind.name}, request_id={self.request_id}, "
+            f"generation={self.generation})"
+        )
 
 
 class EventQueue:
-    """Deterministic min-heap of :class:`Event` keyed by time."""
+    """Deterministic min-heap of :class:`Event` keyed by time.
+
+    The backing heap (:attr:`heap`) holds raw ``(time_ms, sequence,
+    event)`` tuples; the engine's run loop reads it directly to skip a
+    method call per event.
+    """
+
+    __slots__ = ("heap", "_next_seq")
 
     def __init__(self) -> None:
-        self._heap: list[_HeapItem] = []
-        self._counter = itertools.count()
+        self.heap: list[tuple[float, int, Event]] = []
+        self._next_seq = 0
 
     def push(self, time_ms: float, event: Event) -> None:
         """Schedule ``event`` at ``time_ms``."""
         if time_ms < 0:
             raise ValueError(f"event time must be >= 0, got {time_ms}")
-        heapq.heappush(self._heap, _HeapItem(time_ms, next(self._counter), event))
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        heapq.heappush(self.heap, (time_ms, seq, event))
 
     def pop(self) -> tuple[float, Event]:
         """Remove and return the earliest ``(time, event)``."""
-        item = heapq.heappop(self._heap)
-        return item.time_ms, item.event
+        time_ms, _, event = heapq.heappop(self.heap)
+        return time_ms, event
 
     def peek_time(self) -> float | None:
         """Earliest scheduled time, or ``None`` when empty."""
-        return self._heap[0].time_ms if self._heap else None
+        return self.heap[0][0] if self.heap else None
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self.heap)
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return bool(self.heap)

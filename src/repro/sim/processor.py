@@ -36,7 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["ThreadAllocation", "occupancy", "compute_shares", "BoostController"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ThreadAllocation:
     """Per-request outcome of one allocation round.
 

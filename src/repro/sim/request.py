@@ -67,6 +67,10 @@ class SimRequest:
         "attr_contention_ms",
         "attr_boost_wait_ms",
         "attr_stall_ms",
+        "share_factor",
+        "share_cores",
+        "degree_speedup",
+        "degree_demand",
     )
 
     def __init__(
@@ -120,6 +124,18 @@ class SimRequest:
         self.attr_boost_wait_ms = 0.0
         #: Wall time frozen by injected worker stalls.
         self.attr_stall_ms = 0.0
+        #: Engine-managed allocation state, refreshed by the fluid-rate
+        #: machinery: the current contention factor and physical-core
+        #: share (what :class:`~repro.sim.processor.ThreadAllocation`
+        #: carries, stored inline to avoid per-event dict churn) ...
+        self.share_factor = 0.0
+        self.share_cores = 0.0
+        #: ... and the per-degree caches — ``s(degree)`` and occupancy
+        #: ``o(degree)`` are pure in the degree, so the engine
+        #: recomputes them only when the degree changes instead of on
+        #: every allocation round.
+        self.degree_speedup = 0.0
+        self.degree_demand = 0.0
 
     # ------------------------------------------------------------------
     def start(self, now_ms: float, degree: int) -> None:

@@ -1,0 +1,178 @@
+"""Serial/parallel sweep equivalence: ``--workers`` must be a pure
+wall-clock knob.  For any fixed seed the parallel runner has to produce
+the same per-load-point tails, means, p50/p99, and merged latency
+histograms as the serial loop — bucket for bucket."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import cell_seed, latency_histogram, run_sweep
+from repro.parallel import (
+    default_workers,
+    get_default_workers,
+    resolve_workers,
+    run_sweep_parallel,
+    set_default_workers,
+)
+from repro.core.speedup import TabulatedSpeedup, UniformSpeedupModel
+from repro.schedulers import FixedScheduler, SequentialScheduler
+from repro.workloads.synthetic import DemandDistribution
+from repro.workloads.workload import Workload
+
+
+def _workload():
+    return Workload(
+        name="parallel-test",
+        sampler=DemandDistribution([(1.0, 3.0, 0.6)], floor_ms=1.0),
+        speedup_model=UniformSpeedupModel(TabulatedSpeedup([1.0, 1.8, 2.4, 2.9])),
+        max_degree=4,
+    )
+
+
+def _schedulers():
+    return {"SEQ": SequentialScheduler(), "FIX-2": FixedScheduler(2)}
+
+
+def _assert_sweeps_identical(serial, parallel):
+    assert serial.policies() == parallel.policies()
+    for name in serial.policies():
+        ours, theirs = serial[name], parallel[name]
+        assert ours.rps_values == theirs.rps_values
+        assert ours.tail_ms == theirs.tail_ms  # raw float equality
+        assert ours.mean_ms == theirs.mean_ms
+        assert len(ours.histograms) == len(theirs.histograms)
+        for hs, hp in zip(ours.histograms, theirs.histograms):
+            assert hs.count == hp.count
+            assert hs.sum == hp.sum
+            assert hs._buckets == hp._buckets  # identical merged buckets
+            assert hs.percentile(0.50) == hp.percentile(0.50)
+            assert hs.percentile(0.99) == hp.percentile(0.99)
+
+
+class TestSerialParallelEquivalence:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**20),
+        repeats=st.integers(min_value=1, max_value=2),
+        rps_values=st.lists(
+            st.sampled_from([20.0, 60.0, 120.0]),
+            min_size=1,
+            max_size=2,
+            unique=True,
+        ),
+    )
+    def test_property_in_process_path(self, seed, repeats, rps_values):
+        """The cell-based runner (exercised in-process at workers=1)
+        must reproduce the serial loop for arbitrary sweep shapes."""
+        kwargs = dict(
+            num_requests=60,
+            cores=4,
+            seed=seed,
+            repeats=repeats,
+        )
+        serial = run_sweep(_schedulers(), _workload(), rps_values, **kwargs)
+        parallel = run_sweep_parallel(
+            _schedulers(), _workload(), rps_values, workers=1, **kwargs
+        )
+        _assert_sweeps_identical(serial, parallel)
+
+    def test_multiprocess_pool_matches_serial(self):
+        """The real pool: identical results with workers=2."""
+        kwargs = dict(num_requests=150, cores=4, seed=1234, repeats=2)
+        rps_values = [40.0, 100.0]
+        serial = run_sweep(_schedulers(), _workload(), rps_values, **kwargs)
+        parallel = run_sweep_parallel(
+            _schedulers(), _workload(), rps_values, workers=2, **kwargs
+        )
+        _assert_sweeps_identical(serial, parallel)
+
+    def test_keep_results_round_trips_records(self):
+        kwargs = dict(num_requests=40, cores=4, seed=7, repeats=1, keep_results=True)
+        serial = run_sweep(_schedulers(), _workload(), [50.0], **kwargs)
+        parallel = run_sweep_parallel(
+            _schedulers(), _workload(), [50.0], workers=2, **kwargs
+        )
+        for name in serial.policies():
+            for kept_s, kept_p in zip(serial[name].results, parallel[name].results):
+                assert [r.finish_ms for res in kept_s for r in res.records] == [
+                    r.finish_ms for res in kept_p for r in res.records
+                ]
+
+    def test_run_sweep_workers_kwarg_delegates(self):
+        kwargs = dict(num_requests=60, cores=4, seed=3, repeats=1)
+        serial = run_sweep(_schedulers(), _workload(), [30.0], **kwargs)
+        delegated = run_sweep(
+            _schedulers(), _workload(), [30.0], workers=2, **kwargs
+        )
+        _assert_sweeps_identical(serial, delegated)
+
+
+class TestHistogramMergePath:
+    def test_point_histogram_merges_repeats(self):
+        sweep = run_sweep(
+            _schedulers(),
+            _workload(),
+            [40.0],
+            cores=4,
+            num_requests=30,
+            seed=11,
+            repeats=3,
+        )
+        series = sweep["SEQ"]
+        assert len(series.histograms) == 1
+        assert series.histograms[0].count == 3 * 30
+
+    def test_latency_histogram_counts_completions(self):
+        from repro.experiments.runner import run_policy
+
+        result = run_policy(
+            SequentialScheduler(), _workload(), rps=40.0, cores=4, num_requests=25
+        )
+        histogram = latency_histogram(result)
+        assert histogram.count == len(result.records)
+        assert histogram.percentile(0.99) <= max(r.latency_ms for r in result.records)
+
+
+class TestWorkerConfiguration:
+    def test_cell_seed_is_policy_independent(self):
+        assert cell_seed(42, 0, 0) == 42
+        assert cell_seed(42, 1, 0) == 42 + 7919
+        assert cell_seed(42, 0, 1) == 42 + 104729
+        # distinct cells -> distinct seeds within a realistic grid
+        seeds = {cell_seed(42, i, r) for i in range(12) for r in range(5)}
+        assert len(seeds) == 60
+
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) >= 1  # all CPUs
+        assert resolve_workers(None) == get_default_workers()
+        with pytest.raises(ConfigurationError):
+            resolve_workers(-1)
+
+    def test_default_workers_context(self):
+        baseline = get_default_workers()
+        with default_workers(4) as workers:
+            assert workers == 4
+            assert get_default_workers() == 4
+        assert get_default_workers() == baseline
+
+    def test_set_default_workers_validates(self):
+        baseline = get_default_workers()
+        try:
+            with pytest.raises(ConfigurationError):
+                set_default_workers(-2)
+        finally:
+            set_default_workers(baseline)
+
+    def test_repeats_validated(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep_parallel(
+                _schedulers(), _workload(), [30.0], cores=4, repeats=0
+            )
