@@ -13,6 +13,13 @@ events/sec on a saturated run, an A/B against the frozen reference
 engine in ``repro.sim._baseline`` (which must be *bit-identical*, not
 just close), and serial-vs-parallel sweep wall clock at 4 workers.
 
+``--only replication`` (also in ``--only all``) delegates to
+``bench_replication.py`` and writes ``BENCH_replication.json``: the
+adaptive-controller observe-path throughput, controller-vs-static
+overhead, the seeded adaptive-vs-best-static phase-diagram ratios, and
+the deterministic flip-replay attestation (gated by
+``check_replication_regression.py``).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_all.py [--scale quick] [--output PATH]
@@ -417,11 +424,16 @@ def main(argv: list[str] | None = None) -> int:
         help="where to write the engine hot-path JSON report",
     )
     parser.add_argument(
+        "--replication-output", type=Path,
+        default=REPO_ROOT / "BENCH_replication.json",
+        help="where to write the replication-controller JSON report",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="shorthand for --scale quick (the CI perf-smoke preset)",
     )
     parser.add_argument(
-        "--only", choices=["telemetry", "observe", "engine", "all"],
+        "--only", choices=["telemetry", "observe", "engine", "replication", "all"],
         default="all",
         help="run a single bench family (default: all)",
     )
@@ -460,6 +472,21 @@ def main(argv: list[str] | None = None) -> int:
         print(json.dumps(engine_report, indent=2))
         print(f"\nwrote {args.engine_output}")
     if args.only == "engine":
+        return 0
+
+    if args.only in ("replication", "all"):
+        # Local import: the module reuses the replication-phase
+        # experiment helpers, which nothing else here needs.
+        from bench_replication import build_report as replication_report
+
+        print(f"\nrunning replication benches at scale={scale.name} ...")
+        replication = replication_report(scale)
+        args.replication_output.write_text(
+            json.dumps(replication, indent=2) + "\n"
+        )
+        print(json.dumps(replication, indent=2))
+        print(f"\nwrote {args.replication_output}")
+    if args.only == "replication":
         return 0
 
     if args.only in ("telemetry", "all"):

@@ -29,6 +29,7 @@ from repro.experiments.ablations import ABLATIONS
 from repro.experiments.config import FULL, QUICK, TINY, Scale, default_scale
 from repro.experiments.extensions import EXTENSIONS
 from repro.experiments.figures import ALL_EXPERIMENTS
+from repro.experiments.replication_phase import REPLICATION_PHASE
 from repro.experiments.robustness import ROBUSTNESS
 from repro.experiments.tail_attribution import TAIL_ATTRIBUTION
 from repro.experiments.telemetry import TELEMETRY
@@ -36,12 +37,13 @@ from repro.telemetry import Telemetry, install
 from repro.telemetry.export import write_chrome_trace
 
 #: Every runnable experiment: the paper's figures/tables, the ablation
-#: studies, the extension experiments, the robustness study, the
-#: telemetry overhead study, and the tail-attribution study.
+#: studies, the extension experiments, the robustness and replication
+#: studies, the telemetry overhead study, and the tail-attribution study.
 EXPERIMENTS = {
     **ALL_EXPERIMENTS,
     **ABLATIONS,
     **EXTENSIONS,
+    **REPLICATION_PHASE,
     **ROBUSTNESS,
     **TELEMETRY,
     **TAIL_ATTRIBUTION,

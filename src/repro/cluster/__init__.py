@@ -1,5 +1,11 @@
 """Cluster-level fan-out/aggregation analysis (the Section 7 motivation)."""
 
+from repro.cluster.adaptive import (
+    AdaptiveReplicationController,
+    ControllerConfig,
+    ModeTransition,
+    ReplicationDecision,
+)
 from repro.cluster.aggregator import (
     achieved_cluster_percentile,
     aggregate_latencies,
@@ -20,8 +26,12 @@ from repro.cluster.simulation import (
 )
 
 __all__ = [
+    "AdaptiveReplicationController",
     "ClusterResult",
+    "ControllerConfig",
     "HedgePolicy",
+    "ModeTransition",
+    "ReplicationDecision",
     "RetryPolicy",
     "RobustClusterResult",
     "achieved_cluster_percentile",

@@ -26,6 +26,7 @@ per-attempt latencies from real (simulated) server queues.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -69,11 +70,21 @@ class HedgePolicy:
 
     def resolve_delay_ms(self, primary_latencies_ms: Sequence[float]) -> float:
         """The concrete hedge delay for a run: fixed, or the configured
-        percentile of the observed primary latencies."""
+        percentile of the observed primary latencies.
+
+        **Empty-sample contract** (see :mod:`repro.telemetry.histogram`):
+        this is a *control* surface — the adaptive replication
+        controller resolves delays against a rolling latency window
+        that is legitimately empty at cold start — so a percentile
+        over zero samples returns ``math.nan`` rather than raising.
+        Callers must treat ``nan`` as "no delay resolvable: do not
+        hedge yet" (``nan`` comparisons are False, so a
+        ``latency > delay`` hedge trigger is naturally inert).
+        """
         if self.delay_ms is not None:
             return self.delay_ms
         if len(primary_latencies_ms) == 0:
-            raise ConfigurationError("cannot resolve a percentile from no latencies")
+            return math.nan
         return float(
             np.quantile(np.asarray(primary_latencies_ms, dtype=float), self.delay_percentile)
         )
@@ -88,6 +99,12 @@ class RetryPolicy:
     still unanswered when its predecessor's timeout expires.  In-flight
     attempts are never cancelled — the shard answers at the earliest
     completion among issued attempts.
+
+    ``max_retries=0`` is a valid policy: *timeout accounting only*.
+    Timeouts are still tracked (deadline math, metrics) but nothing is
+    ever re-sent — the knob the adaptive replication controller dials
+    to during brownout, when any duplicate would feed an overload, so
+    redundancy can be turned all the way off without a type switch.
     """
 
     timeout_ms: float
@@ -97,8 +114,8 @@ class RetryPolicy:
     def __post_init__(self) -> None:
         if self.timeout_ms <= 0:
             raise ConfigurationError(f"timeout_ms must be positive: {self.timeout_ms}")
-        if self.max_retries < 1:
-            raise ConfigurationError(f"max_retries must be >= 1: {self.max_retries}")
+        if self.max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0: {self.max_retries}")
         if self.backoff < 1.0:
             raise ConfigurationError(f"backoff must be >= 1: {self.backoff}")
 

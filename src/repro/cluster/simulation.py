@@ -18,7 +18,7 @@ tail — an effect the paper's per-server analysis abstracts away.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from repro.sim.metrics import SimulationResult
 from repro.telemetry import Telemetry, resolve_telemetry
 from repro.workloads.arrivals import ArrivalProcess
 from repro.workloads.workload import Workload
+
+if TYPE_CHECKING:  # avoids a cycle: adaptive -> observe -> experiments -> here
+    from repro.cluster.adaptive import AdaptiveReplicationController
 
 __all__ = [
     "ClusterResult",
@@ -201,6 +204,25 @@ class RobustClusterResult:
     query_redundancy_wait_ms: np.ndarray = field(
         default_factory=lambda: np.zeros(0)
     )
+    #: Per-query hedge delay actually in force (``nan`` = hedging off
+    #: for that query).  Constant under a static policy; varies window
+    #: to window under the adaptive controller.
+    query_hedge_delay_ms: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: Shard attempts whose first latency exceeded the applicable retry
+    #: timeout (counted even under ``max_retries=0``: timeout
+    #: accounting survives brownout, re-sends do not).
+    timeouts: int = 0
+    #: The adaptive controller that drove this run (``None`` under
+    #: static policies); inspect ``controller.transitions`` for the
+    #: mode sequence.
+    controller: AdaptiveReplicationController | None = None
+
+    @property
+    def mode_transitions(self) -> tuple[tuple, ...]:
+        """The controller's transition signature (empty when static)."""
+        if self.controller is None:
+            return ()
+        return self.controller.transition_signature()
 
     def mean_redundancy_wait_ms(self) -> float:
         """Average per-query redundancy wait (0.0 with no mitigations)."""
@@ -222,6 +244,69 @@ class RobustClusterResult:
         return float(np.mean(self.quality >= 1.0))
 
 
+def _drive_controller(
+    controller: AdaptiveReplicationController,
+    times: np.ndarray,
+    per_server: list[np.ndarray],
+    core_time: np.ndarray,
+    delays: np.ndarray,
+    retry_policies: list[RetryPolicy | None],
+    cores: int,
+) -> None:
+    """Walk queries in arrival order under the controller's windows.
+
+    Each query takes the knobs of the controller's current decision
+    (recorded into ``delays``/``retry_policies`` in place); the
+    controller then observes the query's *shard* completions — one
+    observation per server, so its rolling buffer holds the per-shard
+    latency marginal hedge delays and retry timeouts must be resolved
+    against (a p80 hedge delay means "duplicate the slowest 20% of
+    shard requests", exactly like a static p80 policy) — along with
+    the busy core-time each shard offered (primary work plus the
+    duplicate the current decision just committed it to, so hedge load
+    feeds the utilization signal *before* the fleet melts) and the
+    mean in-system depth at its arrival.
+    """
+    num_servers = len(per_server)
+    num_queries = len(times)
+    if controller.config.cores != cores:
+        raise ConfigurationError(
+            f"controller capacity ({controller.config.cores} cores) must "
+            f"match the simulated servers ({cores} cores)"
+        )
+    stacked = np.stack(per_server)
+    # Mean in-system count at each arrival: arrivals so far minus
+    # finishes so far, averaged over servers.
+    depth = np.zeros(num_queries)
+    arrived = np.arange(1, num_queries + 1, dtype=float)
+    for server in range(num_servers):
+        finishes = np.sort(times + per_server[server])
+        depth += arrived - np.searchsorted(finishes, times, side="right")
+    depth /= num_servers
+    for q in range(num_queries):
+        decision = controller.decision
+        retry_policies[q] = decision.retry
+        if decision.hedge_delay_ms is not None:
+            delays[q] = decision.hedge_delay_ms
+        at_ms = float(times[q])
+        for server in range(num_servers):
+            # Per-server offered work, normalized to a fleet-average
+            # signal (divide by num_servers: the controller's capacity
+            # model is one server of `cores`).  A shard the current
+            # decision just committed to hedging re-runs its work on a
+            # peer, so the duplicate counts too.
+            busy = core_time[server][q] / num_servers
+            if not np.isnan(delays[q]) and stacked[server][q] > delays[q]:
+                busy *= 2.0
+            controller.observe(
+                float(stacked[server][q]),
+                at_ms=at_ms,
+                busy_ms=float(busy),
+                queue_depth=float(depth[q]),
+            )
+    controller.flush(float(times[-1]))
+
+
 def simulate_cluster_robust(
     scheduler_factory,
     workload: Workload,
@@ -236,6 +321,8 @@ def simulate_cluster_robust(
     hedge: HedgePolicy | None = None,
     retry: RetryPolicy | None = None,
     deadline_ms: float | None = None,
+    controller: AdaptiveReplicationController | None = None,
+    replica_mode: str = "spare",
     telemetry: Telemetry | None = None,
 ) -> RobustClusterResult:
     """A fan-out experiment with faults and tail-taming mitigations.
@@ -244,16 +331,31 @@ def simulate_cluster_robust(
 
     1. **Faults** — ``fault_plan_factory(i)`` supplies a deterministic
        :class:`~repro.faults.plan.FaultPlan` per server (primaries get
-       indices ``0..num_servers-1``, replicas ``num_servers..2N-1``),
+       indices ``0..num_servers-1``, spare replicas ``num_servers..2N-1``),
        so stragglers and stalls differ across shards but reproduce
        bit-for-bit under the same seed.
     2. **Hedging** — after the resolved delay, every still-unanswered
-       shard request is duplicated to a *replica server*, simulated
-       with the real correlated arrival process of the hedges it
-       receives; the first response wins (Vulimiri et al.).  Replica
-       load is therefore honest: a delay low enough to duplicate most
-       traffic congests the replicas, which is exactly the
-       Poloczek/Ciucu overload regime.
+       shard request is duplicated and the first response wins
+       (Vulimiri et al.).  Where the duplicate lands is
+       ``replica_mode``:
+
+       * ``"spare"`` (default) — a dedicated replica server per shard,
+         simulated with the real correlated arrival process of the
+         hedges it receives.  Spares congest under a hedge storm, but
+         primary traffic never pays for redundancy.
+       * ``"shared"`` — the duplicate goes to the *next primary*
+         (shard ``s`` hedges to server ``(s+1) % num_servers``), and
+         every server is re-simulated with its primaries plus the
+         hedges it receives.  Now redundancy taxes the very capacity
+         serving foreground traffic — the Poloczek/Ciucu regime where
+         a static hedge helps at low load and destabilizes the fleet
+         past the utilization threshold.  The hedge trigger is
+         evaluated against the uncontended first pass (the duplicate
+         decision a real client makes from its timer), the duplicate
+         re-executes the *same* demand (it escapes straggler and queue
+         luck, never the work itself), and *non-hedged* queries also
+         feel the added load: collateral damage is part of the model.
+         Requires ``num_servers >= 2``.
     3. **Timeout + retry** — shards still unanswered at the timeout
        re-send under exponential backoff.  Retry attempt latencies are
        resampled deterministically from that server's observed latency
@@ -264,10 +366,23 @@ def simulate_cluster_robust(
        answers from the shards that made it; quality is the fraction
        that did.
 
+    ``controller`` replaces the static ``hedge``/``retry`` knobs with an
+    :class:`~repro.cluster.adaptive.AdaptiveReplicationController`:
+    queries are walked in arrival order, each taking the hedge delay and
+    retry policy of the controller's current window, and the controller
+    observes each window's latencies, busy core-time (primary work plus
+    the duplicates its own decision just triggered — so hedge load
+    feeds back into the utilization signal before the system melts),
+    and queue depth.  The controller sees each query's completion
+    latency at its arrival window (a look-ahead that keeps the control
+    loop single-pass and deterministic); its transition history is
+    returned on the result.  Mutually exclusive with ``hedge``/``retry``.
+
     With a resolved :class:`~repro.telemetry.Telemetry` pipeline the
     run emits primary-shard spans on the ``"cluster"`` track, hedge
-    spans on ``"cluster.hedge"``, hedge/retry/deadline-miss counters,
-    and latency + quality histograms.
+    spans on ``"cluster.hedge"``, hedge/retry/timeout/deadline-miss
+    counters, latency + quality histograms, and — under a controller —
+    the ``cluster.adaptive.*`` mode/utilization/budget series.
     """
     if num_servers < 1:
         raise ConfigurationError(f"num_servers must be >= 1: {num_servers}")
@@ -275,6 +390,19 @@ def simulate_cluster_robust(
         raise ConfigurationError(f"num_queries must be >= 1: {num_queries}")
     if deadline_ms is not None and deadline_ms <= 0:
         raise ConfigurationError(f"deadline_ms must be positive: {deadline_ms}")
+    if replica_mode not in ("spare", "shared"):
+        raise ConfigurationError(
+            f"replica_mode must be 'spare' or 'shared': {replica_mode!r}"
+        )
+    if replica_mode == "shared" and num_servers < 2:
+        raise ConfigurationError(
+            "replica_mode='shared' needs num_servers >= 2 (hedges land on peers)"
+        )
+    if controller is not None and (hedge is not None or retry is not None):
+        raise ConfigurationError(
+            "pass either static hedge/retry policies or an adaptive "
+            "controller, not both"
+        )
     telemetry = resolve_telemetry(telemetry)
     rng = np.random.default_rng(seed)
     times = process.times_ms(num_queries, rng)
@@ -293,9 +421,13 @@ def simulate_cluster_robust(
 
     # --- primaries: every server sees every query at its arrival time.
     per_server: list[np.ndarray] = []
+    core_time = np.zeros((num_servers, num_queries))
+    primary_arrivals: list[list[ArrivalSpec]] = []
+    server_demands: list[np.ndarray] = []
     fault_stats: list[dict] = []
     for server in range(num_servers):
         demands = workload.sampler(rng, num_queries)
+        server_demands.append(demands)
         arrivals = [
             ArrivalSpec(
                 time_ms=float(t),
@@ -305,14 +437,33 @@ def simulate_cluster_robust(
             )
             for query_index, (t, d) in enumerate(zip(times, demands))
         ]
+        primary_arrivals.append(arrivals)
         result = run_server(arrivals, server)
         latencies = np.empty(num_queries)
         for record in result.records:
             latencies[record.tag] = record.latency_ms
+            core_time[server][record.tag] = record.core_time_ms
         per_server.append(latencies)
         fault_stats.append(result.fault_stats.as_dict())
         if telemetry is not None:
             _record_shard_spans(telemetry, server, result)
+
+    # --- redundancy knobs per query: static (one delay/policy for the
+    # whole run) or adaptive (the controller's windowed decisions).
+    hedge_delay: float | None = None
+    delays = np.full(num_queries, np.nan)  # nan = no hedge for that query
+    retry_policies: list[RetryPolicy | None] = [retry] * num_queries
+    if hedge is not None:
+        hedge_delay = hedge.resolve_delay_ms(np.concatenate(per_server))
+        delays.fill(hedge_delay)
+    if controller is not None:
+        if controller.telemetry is None:
+            controller.telemetry = telemetry
+        controller.reset()
+        _drive_controller(
+            controller, times, per_server, core_time, delays,
+            retry_policies, cores,
+        )
 
     effective = np.stack(per_server).copy()  # (servers, queries)
     # Redundancy wait per (server, query): the winning attempt's issue
@@ -320,21 +471,23 @@ def simulate_cluster_robust(
     # machinery before the duplicate that won was even sent.
     redundancy = np.zeros_like(effective)
 
-    # --- hedging: late shards duplicate to a per-shard replica server.
-    hedge_delay: float | None = None
-    hedges_sent = 0
-    if hedge is not None:
-        hedge_delay = hedge.resolve_delay_ms(np.concatenate(per_server))
+    # --- hedging: late shard requests duplicate per replica_mode.
+    # The trigger is primary-latency > delay on the *first-pass* run
+    # (nan delays compare False, so unhedged queries fall out here).
+    hedge_sets = [
+        [q for q in range(num_queries) if per_server[server][q] > delays[q]]
+        for server in range(num_servers)
+    ]
+    hedges_sent = sum(len(hedged) for hedged in hedge_sets)
+    if hedges_sent and replica_mode == "spare":
         for server in range(num_servers):
-            hedged = [
-                q for q in range(num_queries) if per_server[server][q] > hedge_delay
-            ]
+            hedged = hedge_sets[server]
             if not hedged:
                 continue
             replica_demands = workload.sampler(rng, len(hedged))
             replica_arrivals = [
                 ArrivalSpec(
-                    time_ms=float(times[q]) + hedge_delay,
+                    time_ms=float(times[q]) + float(delays[q]),
                     seq_ms=float(d),
                     speedup=workload.speedup_model.curve_for(float(d)),
                     tag=q,
@@ -342,41 +495,113 @@ def simulate_cluster_robust(
                 for q, d in zip(hedged, replica_demands)
             ]
             replica = run_server(replica_arrivals, num_servers + server)
-            hedges_sent += len(hedged)
             for record in replica.records:
                 q = record.tag
-                hedged_total = hedge_delay + record.latency_ms
+                delay_q = float(delays[q])
+                hedged_total = delay_q + record.latency_ms
                 if hedged_total < effective[server][q]:
                     effective[server][q] = hedged_total
-                    redundancy[server][q] = hedge_delay
+                    redundancy[server][q] = delay_q
                 if telemetry is not None:
                     # Hedges get their own track: they start mid-query,
                     # so nesting them under the primary shard span would
                     # be an improper partial overlap.
                     telemetry.tracer.complete(
                         f"hedge{server}",
-                        float(times[q]) + hedge_delay,
-                        float(times[q]) + hedge_delay + record.latency_ms,
+                        float(times[q]) + delay_q,
+                        float(times[q]) + delay_q + record.latency_ms,
                         track="cluster.hedge",
                         lane=int(q),
                         server=server,
                         won=bool(
-                            hedge_delay + record.latency_ms < per_server[server][q]
+                            delay_q + record.latency_ms < per_server[server][q]
                         ),
                     )
+    elif hedges_sent:  # replica_mode == "shared"
+        # Second pass: each server re-runs its primaries plus the
+        # hedges addressed to it (those of the previous shard).  Hedge
+        # arrivals are tagged num_queries + q to stay distinguishable.
+        # All loaded runs complete before any hedge resolves, because a
+        # shard's hedged answer combines *its* loaded primary latency
+        # with its successor's loaded hedge latency.  A hedge re-executes
+        # the same shard request, so it carries the *original* demand:
+        # what it escapes is the source's straggler/queueing luck, not
+        # the work itself — and what it costs the peer is exactly that
+        # tail demand.  (This is why static hedging melts down past the
+        # knee: the duplicated work is the heaviest quantile.)
+        hedge_latency: list[dict[int, float]] = [{} for _ in range(num_servers)]
+        for target in range(num_servers):
+            source = (target - 1) % num_servers
+            incoming = [
+                ArrivalSpec(
+                    time_ms=float(times[q]) + float(delays[q]),
+                    seq_ms=float(server_demands[source][q]),
+                    speedup=workload.speedup_model.curve_for(
+                        float(server_demands[source][q])
+                    ),
+                    tag=num_queries + q,
+                )
+                for q in hedge_sets[source]
+            ]
+            loaded = run_server(primary_arrivals[target] + incoming, target)
+            for record in loaded.records:
+                tag = int(record.tag)
+                if tag < num_queries:
+                    effective[target][tag] = record.latency_ms
+                else:
+                    hedge_latency[source][tag - num_queries] = record.latency_ms
+            # The loaded run is the honest one: its fault stats replace
+            # the first pass's for this server.
+            fault_stats[target] = loaded.fault_stats.as_dict()
+        for source in range(num_servers):
+            target = (source + 1) % num_servers
+            for q in hedge_sets[source]:
+                delay_q = float(delays[q])
+                hedged_total = delay_q + hedge_latency[source][q]
+                won = hedged_total < effective[source][q]
+                if won:
+                    effective[source][q] = hedged_total
+                    redundancy[source][q] = delay_q
+                if telemetry is not None:
+                    telemetry.tracer.complete(
+                        f"hedge{source}",
+                        float(times[q]) + delay_q,
+                        float(times[q]) + delay_q + hedge_latency[source][q],
+                        track="cluster.hedge",
+                        lane=int(q),
+                        server=source,
+                        target=target,
+                        won=bool(won),
+                    )
 
-    # --- timeout + retry with exponential backoff.
+    # --- timeout + retry with exponential backoff (and, under
+    # max_retries=0, timeout accounting with no re-send).
     retries_sent = 0
-    if retry is not None:
+    timeouts = 0
+    if any(policy is not None for policy in retry_policies):
         retry_rng = np.random.default_rng([seed, 0x5E771E5])
         for server in range(num_servers):
-            marginal = per_server[server]
+            # Retries re-roll against the server's observed primary
+            # marginal: first pass under "spare" (replica luck is
+            # drawn, not queued), the loaded second pass under
+            # "shared" (the honest congested distribution).
+            marginal = (
+                effective[server].copy()
+                if replica_mode == "shared"
+                else per_server[server]
+            )
             for q in range(num_queries):
-                first = float(effective[server][q])
-                if first <= retry.timeout_ms:
+                policy = retry_policies[q]
+                if policy is None:
                     continue
-                redraws = retry_rng.choice(marginal, size=retry.max_retries)
-                resolution = resolve_retries([first, *redraws], retry)
+                first = float(effective[server][q])
+                if first <= policy.timeout_ms:
+                    continue
+                timeouts += 1
+                if policy.max_retries == 0:
+                    continue  # brownout: account the timeout, never re-send
+                redraws = retry_rng.choice(marginal, size=policy.max_retries)
+                resolution = resolve_retries([first, *redraws], policy)
                 effective[server][q] = resolution.latency_ms
                 retries_sent += resolution.retries
                 if resolution.winner > 0:
@@ -403,6 +628,7 @@ def simulate_cluster_robust(
         metrics.counter("cluster.queries").inc(num_queries)
         metrics.counter("cluster.hedges").inc(hedges_sent)
         metrics.counter("cluster.retries").inc(retries_sent)
+        metrics.counter("cluster.timeouts").inc(timeouts)
         if deadline_ms is not None:
             metrics.counter("cluster.deadline_misses").inc(
                 int(np.sum(raw > deadline_ms))
@@ -432,4 +658,7 @@ def simulate_cluster_robust(
         retries_sent=retries_sent,
         server_fault_stats=fault_stats,
         query_redundancy_wait_ms=query_redundancy,
+        query_hedge_delay_ms=delays,
+        timeouts=timeouts,
+        controller=controller,
     )

@@ -1,0 +1,263 @@
+"""Replication phase diagram: static hedging melts down, adaptive doesn't.
+
+PAPERS.md holds both halves of the redundancy story.  Vulimiri et al.
+("Low Latency via Redundancy") measure duplicates cutting the tail
+while spare capacity absorbs them; Poloczek & Ciucu ("Contrasting
+Effects of Replication in Parallel Systems") prove the same duplicates
+destabilize the system past a utilization threshold.  Put together the
+latency-vs-load curve of a *static* hedge is non-monotone: it beats
+the unhedged baseline at low load and then melts down past the knee,
+because every hedge taxes a peer that is already saturated.
+
+This experiment draws that phase diagram on the Bing ISN workload with
+*shared* replicas (hedges of shard ``s`` land on the primary of shard
+``s+1`` — redundancy costs real capacity, as in production fleets
+without dedicated spares), then shows the
+:class:`~repro.cluster.adaptive.AdaptiveReplicationController`
+navigating it: eager hedging at low load, shedding hedges as
+utilization climbs, full brownout past the knee — tracking the best
+static policy at every load without knowing the load in advance.
+
+Panel 2 replays a deterministic *overload→underload flip*
+(:func:`~repro.faults.scenarios.overload_flip`: every server loses
+most of its cores mid-run, then gets them back) and prints the
+controller's mode-transition log — escalation is immediate, recovery
+is hysteretic, and the same seed reproduces the same transitions bit
+for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.adaptive import AdaptiveReplicationController, ControllerConfig
+from repro.cluster.hedging import HedgePolicy, RetryPolicy
+from repro.cluster.simulation import RobustClusterResult, simulate_cluster_robust
+from repro.experiments.config import Scale, default_scale
+from repro.experiments.report import FigureResult
+from repro.experiments.tables import bing_table
+from repro.faults import FaultPlan
+from repro.faults.scenarios import overload_flip
+from repro.observe.slo import SLOMonitor, SLOTarget
+from repro.schedulers import FMScheduler
+from repro.workloads import bing as bing_mod
+from repro.workloads.arrivals import PoissonProcess
+
+__all__ = ["experiment_replication_phase", "REPLICATION_PHASE"]
+
+#: Fan-out width.  Shared replica mode runs a second (loaded) engine
+#: pass per server, so the fleet is kept narrow.
+NUM_SERVERS = 3
+#: Controller window; short enough that tiny-scale runs close several.
+WINDOW_MS = 100.0
+#: Approximate per-server saturation of the Bing ISN: ~30 core-ms mean
+#: demand on 12 cores -> ~400 QPS.  The sweep is expressed in offered
+#: utilization and converted through this constant.
+SATURATION_RPS = 400.0
+#: Offered utilization sweep (nominal, i.e. before straggler
+#: inflation — the background straggler rate below multiplies real
+#: utilization by ~1.24x): comfortably under the knee, approaching it,
+#: at it, and past it (where a static hedge feeds the overload).
+RHO_SWEEP = (0.30, 0.50, 0.70, 0.90)
+
+#: The two static bets the controller replaces: an aggressive hedge
+#: (duplicate the slowest 20%) and a conservative one (slowest 5%).
+#: Hedge-only on purpose: static retries would exploit the simulator's
+#: open-loop retry approximation (retry load is not fed back into
+#: queues), which is exactly the regime where that approximation lies.
+STATIC_POLICIES: tuple[tuple[str, HedgePolicy], ...] = (
+    ("static p80", HedgePolicy(delay_percentile=0.80)),
+    ("static p95", HedgePolicy(delay_percentile=0.95)),
+)
+
+
+#: Background straggler rate for the phase diagram: enough slow-replica
+#: luck that hedging has something to win against at low load.
+STRAGGLER_RATE = 0.08
+STRAGGLER_MU = 1.0
+STRAGGLER_SIGMA = 0.4
+
+
+def _stragglers(seed: int = 97):
+    """Per-server straggler plans shared by every policy at a load point
+    (the comparison is policy vs policy, never plan vs plan)."""
+
+    def factory(server_index: int) -> FaultPlan:
+        return FaultPlan(
+            straggler_rate=STRAGGLER_RATE,
+            straggler_mu=STRAGGLER_MU,
+            straggler_sigma=STRAGGLER_SIGMA,
+            seed=seed + 1009 * server_index,
+        )
+
+    return factory
+
+
+def _controller() -> AdaptiveReplicationController:
+    # The SLO target is matched to this workload's healthy tail (p99 a
+    # bit above the straggler-inflated baseline at low load): with the
+    # default 250 ms target the monitor would report a permanent breach
+    # and the breach floor — not utilization — would drive every mode.
+    slo = SLOMonitor(
+        SLOTarget(percentile=0.99, threshold_ms=500.0),
+        short_window_ms=2 * WINDOW_MS,
+        long_window_ms=8 * WINDOW_MS,
+        min_samples=10,
+    )
+    # steady_at sits above the low-load sweep point (measured ~0.45
+    # smoothed utilization with straggler inflation) so light load
+    # rides in eager mode, and the utilization signal is EWMA-smoothed: Bing
+    # demand is heavy-tailed enough that one inflated query can fill a
+    # 100 ms window by itself.
+    config = ControllerConfig(
+        window_ms=WINDOW_MS,
+        cores=bing_mod.CORES,
+        steady_at=0.60,
+        utilization_smoothing=0.75,
+    )
+    return AdaptiveReplicationController(config, slo=slo)
+
+
+def _phase_point(
+    scale: Scale,
+    rps: float,
+    *,
+    hedge: HedgePolicy | None = None,
+    retry: RetryPolicy | None = None,
+    controller: AdaptiveReplicationController | None = None,
+    fault_plan_factory=None,
+    seed: int = 97,
+) -> RobustClusterResult:
+    """One shared-replica cluster run on the Bing workload."""
+    workload = bing_mod.bing_workload(profile_size=scale.profile_size)
+    table = bing_table(scale)
+    return simulate_cluster_robust(
+        scheduler_factory=lambda: FMScheduler(table, boosting=False),
+        workload=workload,
+        num_servers=NUM_SERVERS,
+        num_queries=scale.num_requests * 2,
+        process=PoissonProcess(rps),
+        cores=bing_mod.CORES,
+        quantum_ms=bing_mod.QUANTUM_MS,
+        spin_fraction=bing_mod.SPIN_FRACTION,
+        seed=seed,
+        fault_plan_factory=fault_plan_factory,
+        hedge=hedge,
+        retry=retry,
+        controller=controller,
+        replica_mode="shared",
+    )
+
+
+def experiment_replication_phase(scale: Scale | None = None) -> FigureResult:
+    """Latency vs load for static vs adaptive redundancy (shared replicas)."""
+    scale = scale or default_scale()
+    result = FigureResult(
+        "replication-phase",
+        "Replication phase diagram: static hedging vs adaptive control",
+    )
+
+    # --- Panel 1: the phase diagram ----------------------------------
+    rows = []
+    for rho in RHO_SWEEP:
+        rps = rho * SATURATION_RPS
+        p99: dict[str, float] = {}
+
+        baseline = _phase_point(scale, rps, fault_plan_factory=_stragglers())
+        p99["no redundancy"] = baseline.cluster_tail_ms(0.99)
+        rows.append([rho, "no redundancy", p99["no redundancy"], 0, 0, "", ""])
+
+        for label, hedge in STATIC_POLICIES:
+            run = _phase_point(
+                scale, rps, hedge=hedge, fault_plan_factory=_stragglers()
+            )
+            p99[label] = run.cluster_tail_ms(0.99)
+            rows.append(
+                [rho, label, p99[label], run.hedges_sent, run.retries_sent, "", ""]
+            )
+
+        controller = _controller()
+        run = _phase_point(
+            scale, rps, controller=controller, fault_plan_factory=_stragglers()
+        )
+        adaptive_p99 = run.cluster_tail_ms(0.99)
+        best_static = min(p99[label] for label, _ in STATIC_POLICIES)
+        rows.append(
+            [
+                rho,
+                "adaptive",
+                adaptive_p99,
+                run.hedges_sent,
+                run.retries_sent,
+                adaptive_p99 / best_static,
+                len(run.mode_transitions),
+            ]
+        )
+    result.add_table(
+        f"cluster p99 vs offered utilization (shared replicas, "
+        f"{NUM_SERVERS}-way fan-out; 'vs best static' is the adaptive p99 "
+        "over the better static policy at that load)",
+        ["rho", "policy", "p99 (ms)", "hedges", "retries", "vs best static", "transitions"],
+        rows,
+    )
+
+    # --- Panel 2: the overload -> underload flip ---------------------
+    # Offered load is calm (rho ~0.4 nominal) but the fleet loses 10 of
+    # 12 cores for the middle third of the run: capacity drops to a
+    # sixth, the effective utilization flips far past 1, and — because the
+    # *offered*-work utilization signal cannot see reclaimed cores —
+    # it is the SLO burn rate that must trip the brownout.
+    flip_rho = 0.40
+    flip_rps = flip_rho * SATURATION_RPS
+    flip_cores_lost = bing_mod.CORES - 2
+    num_queries = scale.num_requests * 2
+    horizon_ms = num_queries / flip_rps * 1000.0
+    scenario = overload_flip(
+        seed=131,
+        horizon_ms=horizon_ms,
+        cores_lost=flip_cores_lost,
+        stall_ms=2 * bing_mod.QUANTUM_MS,
+    )
+    controller = _controller()
+    flip_run = _phase_point(
+        scale, flip_rps, controller=controller, fault_plan_factory=scenario
+    )
+    transition_rows = [
+        [f"{t.at_ms:.0f}", t.window, t.from_mode, t.to_mode, t.reason,
+         f"{t.utilization:.2f}" if not np.isnan(t.utilization) else "nan"]
+        for t in controller.transitions[:12]
+    ]
+    if not transition_rows:
+        transition_rows = [["-", "-", "steady", "steady", "(no transition)", "-"]]
+    result.add_table(
+        f"mode transitions through the capacity flip at rho={flip_rho} "
+        f"(every server loses {flip_cores_lost}/{bing_mod.CORES} cores "
+        f"for the middle ~third of the run); p99 "
+        f"{flip_run.cluster_tail_ms(0.99):.0f} ms, "
+        f"{controller.brownout_entries} brownout(s)",
+        ["t (ms)", "window", "from", "to", "reason", "utilization"],
+        transition_rows,
+    )
+
+    result.add_note(
+        "the static curves are non-monotone: aggressive hedging beats the "
+        "unhedged baseline at low utilization and melts down past the knee, "
+        "where every duplicate taxes an already-saturated peer (Poloczek & "
+        "Ciucu); the conservative hedge just fails later"
+    )
+    result.add_note(
+        "the adaptive controller tracks the better static policy at every "
+        "load point without knowing the load in advance: eager hedging at "
+        "low rho, hedge shedding near the knee, brownout (max_retries=0, no "
+        "hedges) past it"
+    )
+    result.add_note(
+        "deterministic: the flip scenario is placed (not drawn), and the "
+        "same seed replays the same mode-transition log bit for bit — the "
+        "regression suite asserts this across processes"
+    )
+    return result
+
+
+#: Registry (merged into the CLI's experiment list).
+REPLICATION_PHASE = {"replication-phase": experiment_replication_phase}

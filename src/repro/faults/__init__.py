@@ -6,5 +6,6 @@ simulator its bit-for-bit reproducibility (see DESIGN.md §7).
 """
 
 from repro.faults.plan import CoreFault, FaultPlan, FaultStats, StallFault
+from repro.faults.scenarios import overload_flip
 
-__all__ = ["CoreFault", "FaultPlan", "FaultStats", "StallFault"]
+__all__ = ["CoreFault", "FaultPlan", "FaultStats", "StallFault", "overload_flip"]

@@ -1,0 +1,99 @@
+"""Canned, seeded fault scenarios for robustness experiments.
+
+A *scenario* is a recipe that turns ``(seed, horizon)`` into per-server
+:class:`~repro.faults.plan.FaultPlan` factories.  Experiments and
+regression tests want the same shaped incident every run — not a fresh
+Poisson draw — so scenarios place their timed events at deterministic
+fractions of the horizon and derive every per-server seed from the root
+seed alone.  Two calls with the same arguments produce plans that
+compare equal, which is what makes controller *replay* testable: the
+adaptive replication controller must emit a bit-identical
+mode-transition sequence whenever it is driven by the same scenario.
+
+:func:`overload_flip` is the flagship: a mid-run capacity dip (cores
+reclaimed on every server, plus a stall burst while capacity is short)
+over a background straggler rate.  Offered load is unchanged, so the
+dip pushes utilization past the instability threshold — redundancy
+must shut off — and restoring the cores flips the system back to
+underload, where redundancy must come back without flapping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import FaultInjectionError
+from repro.faults.plan import CoreFault, FaultPlan, StallFault
+
+__all__ = ["overload_flip"]
+
+#: Per-server seed stride: plans for servers i and j share nothing, but
+#: server i's plan is the same in every run with the same root seed.
+_SERVER_SEED_STRIDE = 7919
+
+
+def overload_flip(
+    seed: int,
+    horizon_ms: float,
+    *,
+    onset_fraction: float = 0.30,
+    duration_fraction: float = 0.30,
+    cores_lost: int = 2,
+    stall_ms: float = 40.0,
+    straggler_rate: float = 0.10,
+    straggler_mu: float = 0.6,
+    straggler_sigma: float = 0.5,
+) -> Callable[[int], FaultPlan]:
+    """A deterministic overload→underload flip, per server.
+
+    At ``onset_fraction * horizon_ms`` every server loses
+    ``cores_lost`` cores for ``duration_fraction * horizon_ms``; two
+    stalls fire inside the dip (at 1/3 and 2/3 of its span) while
+    capacity is short.  A background straggler rate runs throughout,
+    seeded per server, so the tail is interesting on both sides of the
+    flip.
+
+    Returns a factory mapping ``server_index`` to that server's
+    :class:`FaultPlan` — the shape
+    :func:`~repro.cluster.simulation.simulate_cluster_robust` expects
+    for ``fault_plan_factory``.  All randomness derives from ``seed``;
+    the timed events are placed, not drawn.
+    """
+    if horizon_ms <= 0:
+        raise FaultInjectionError(f"horizon_ms must be positive: {horizon_ms}")
+    if not 0.0 < onset_fraction < 1.0:
+        raise FaultInjectionError(
+            f"onset_fraction must be in (0, 1): {onset_fraction}"
+        )
+    if not 0.0 < duration_fraction < 1.0 - onset_fraction:
+        raise FaultInjectionError(
+            "duration_fraction must fit inside the horizon: "
+            f"{duration_fraction} (onset {onset_fraction})"
+        )
+    if cores_lost < 1:
+        raise FaultInjectionError(f"cores_lost must be >= 1: {cores_lost}")
+    if stall_ms < 0:
+        raise FaultInjectionError(f"stall_ms must be >= 0: {stall_ms}")
+
+    onset_ms = onset_fraction * horizon_ms
+    dip_ms = duration_fraction * horizon_ms
+    stalls: tuple[StallFault, ...] = ()
+    if stall_ms > 0:
+        stalls = tuple(
+            StallFault(time_ms=onset_ms + dip_ms * frac, duration_ms=stall_ms)
+            for frac in (1.0 / 3.0, 2.0 / 3.0)
+        )
+
+    def factory(server_index: int) -> FaultPlan:
+        return FaultPlan(
+            core_faults=(
+                CoreFault(time_ms=onset_ms, duration_ms=dip_ms, cores=cores_lost),
+            ),
+            stalls=stalls,
+            straggler_rate=straggler_rate,
+            straggler_mu=straggler_mu,
+            straggler_sigma=straggler_sigma,
+            seed=seed + _SERVER_SEED_STRIDE * server_index,
+        )
+
+    return factory

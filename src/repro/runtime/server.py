@@ -26,6 +26,7 @@ import time
 from collections import deque
 from dataclasses import dataclass
 
+from repro.cluster.adaptive import AdaptiveReplicationController
 from repro.core.table import IntervalTable
 from repro.errors import ConfigurationError, RequestShedError
 from repro.observe.slo import SLOMonitor
@@ -106,6 +107,19 @@ class LiveFMServer:
         when telemetry is resolved — exports ``slo.*`` gauges
         (windowed percentile, burn rates, breached flag) plus a
         ``runtime.slo_breaches`` counter.
+    replication:
+        Optional
+        :class:`~repro.cluster.adaptive.AdaptiveReplicationController`.
+        Every completion feeds it (latency, tracer-clock timestamp,
+        ``busy_ms`` = the request's genuine core-milliseconds of work,
+        and the instantaneous queue depth), so a server fronting a
+        replicated shard can dial its hedging/retry knobs off the same
+        stream.  **One SLO signal**: when ``slo`` is omitted the server
+        adopts ``replication.slo``; passing a *different* monitor is a
+        :class:`ConfigurationError` — degraded mode and redundancy
+        shedding must fire off one view of the error budget, not two
+        drifting ones.  :attr:`degraded` also reports True while the
+        controller is in ``brownout``.
     """
 
     def __init__(
@@ -117,6 +131,7 @@ class LiveFMServer:
         deadline_ms: float | None = None,
         telemetry: Telemetry | None = None,
         slo: SLOMonitor | None = None,
+        replication: AdaptiveReplicationController | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1: {workers}")
@@ -126,12 +141,21 @@ class LiveFMServer:
             raise ConfigurationError(f"max_queue must be >= 0: {max_queue}")
         if deadline_ms is not None and deadline_ms <= 0:
             raise ConfigurationError(f"deadline_ms must be positive: {deadline_ms}")
+        if replication is not None:
+            if slo is not None and slo is not replication.slo:
+                raise ConfigurationError(
+                    "slo and replication.slo must be the same monitor: "
+                    "the server and the replication controller share one "
+                    "SLO signal (omit slo to adopt the controller's)"
+                )
+            slo = replication.slo
         self.table = table
         self.quantum_ms = quantum_ms
         self.max_queue = max_queue
         self.deadline_ms = deadline_ms
         self.telemetry = resolve_telemetry(telemetry)
         self.slo = slo
+        self.replication = replication
         self._breached = False  # last SLO verdict, for onset counting
         self._slo_breaches = 0
         self._arrival_ms: dict[int, float] = {}  # rid -> tracer-clock arrival
@@ -212,6 +236,14 @@ class LiveFMServer:
             raise TimeoutError("live server did not drain in time")
         self.shutdown()
         with self._lock:
+            if self.replication is not None:
+                # Fold the final partial control window so the last mode
+                # decision and telemetry export reflect the whole run.
+                if self.telemetry is not None:
+                    at_ms = self.telemetry.tracer.clock.now_ms()
+                else:
+                    at_ms = time.perf_counter() * 1000.0
+                self.replication.flush(at_ms)
             done = list(self._completed)
             shed = len(self._shed)
             deadline_sheds = self._deadline_sheds
@@ -297,13 +329,21 @@ class LiveFMServer:
 
     @property
     def degraded(self) -> bool:
-        """The SLO monitor's current breach verdict (False without one).
+        """The SLO monitor's current breach verdict (False without one),
+        or the replication controller sitting in ``brownout``.
 
         Callers use this as a degradation signal — e.g. tighten
         ``deadline_ms`` or shrink ``max_queue`` while the error budget
         burns.
         """
-        return self._breached
+        if self._breached:
+            return True
+        return self.replication is not None and self.replication.mode == "brownout"
+
+    @property
+    def replication_mode(self) -> str | None:
+        """The replication controller's current mode (None without one)."""
+        return None if self.replication is None else self.replication.mode
 
     @property
     def slo_breaches(self) -> int:
@@ -317,7 +357,18 @@ class LiveFMServer:
             at_ms = telemetry.tracer.clock.now_ms()
         else:
             at_ms = time.perf_counter() * 1000.0
-        self.slo.observe(request.latency_ms, at_ms=at_ms)
+        if self.replication is not None:
+            # The controller feeds the shared monitor itself (one SLO
+            # signal); busy_ms is the request's genuine work, so the
+            # utilization windows normalize against the worker pool.
+            self.replication.observe(
+                request.latency_ms,
+                at_ms=at_ms,
+                busy_ms=request.total_ms,
+                queue_depth=float(len(self._queued)),
+            )
+        else:
+            self.slo.observe(request.latency_ms, at_ms=at_ms)
         status = self.slo.status()
         onset = status.breached and not self._breached
         self._breached = status.breached

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 
@@ -39,9 +41,15 @@ class TestHedgePolicy:
         delay = HedgePolicy(delay_percentile=0.95).resolve_delay_ms(lats)
         assert delay == pytest.approx(np.quantile(lats, 0.95))
 
-    def test_percentile_needs_samples(self):
-        with pytest.raises(ConfigurationError):
-            HedgePolicy(delay_percentile=0.9).resolve_delay_ms([])
+    def test_percentile_on_empty_sample_is_nan(self):
+        # Control-surface contract (telemetry/histogram.py): a cold
+        # rolling window resolves to nan, and a `latency > nan` hedge
+        # trigger is inert — never raise mid-run.
+        delay = HedgePolicy(delay_percentile=0.9).resolve_delay_ms([])
+        assert math.isnan(delay)
+
+    def test_fixed_delay_ignores_empty_sample(self):
+        assert HedgePolicy(delay_ms=7.0).resolve_delay_ms([]) == 7.0
 
 
 class TestHedgedLatency:
@@ -64,9 +72,16 @@ class TestRetryPolicy:
         with pytest.raises(ConfigurationError):
             RetryPolicy(timeout_ms=0.0)
         with pytest.raises(ConfigurationError):
-            RetryPolicy(timeout_ms=10.0, max_retries=0)
+            RetryPolicy(timeout_ms=10.0, max_retries=-1)
         with pytest.raises(ConfigurationError):
             RetryPolicy(timeout_ms=10.0, backoff=0.5)
+
+    def test_zero_retries_is_timeout_accounting_only(self):
+        # max_retries=0 expresses "never re-send": the original attempt
+        # always wins, no matter how badly it blows the timeout.
+        policy = RetryPolicy(timeout_ms=10.0, max_retries=0)
+        latency, retries = latency_with_retries([5000.0, 1.0], policy)
+        assert (latency, retries) == (5000.0, 0)
 
     def test_fast_answer_never_retries(self):
         policy = RetryPolicy(timeout_ms=50.0)

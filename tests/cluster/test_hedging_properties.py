@@ -1,0 +1,114 @@
+"""Property tests for the redundancy latency arithmetic.
+
+:func:`~repro.cluster.hedging.hedged_latency` and
+:func:`~repro.cluster.hedging.resolve_retries` are pure functions, so
+the invariants the cluster simulation leans on — redundancy never
+makes a shard *slower*, and every resolved latency splits additively
+into (redundancy wait) + (winning attempt's own latency) — are checked
+over generated inputs rather than hand-picked examples.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.hedging import (
+    RetryPolicy,
+    hedged_latency,
+    latency_with_retries,
+    resolve_retries,
+)
+
+_LATENCY = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+_ATTEMPTS = st.lists(_LATENCY, min_size=1, max_size=6)
+_TIMEOUT = st.floats(min_value=0.1, max_value=1e3, allow_nan=False)
+_RETRIES = st.integers(min_value=0, max_value=5)
+_BACKOFF = st.floats(min_value=1.0, max_value=4.0, allow_nan=False)
+
+
+class TestHedgedLatency:
+    @settings(max_examples=200)
+    @given(primary=_LATENCY, replica=_LATENCY, delay=_LATENCY)
+    def test_never_slower_than_the_primary(self, primary, replica, delay):
+        latency, sent = hedged_latency(primary, replica, delay)
+        assert latency <= primary + 1e-9
+
+    @settings(max_examples=200)
+    @given(primary=_LATENCY, replica=_LATENCY, delay=_LATENCY)
+    def test_hedge_fires_iff_primary_outlives_the_delay(
+        self, primary, replica, delay
+    ):
+        latency, sent = hedged_latency(primary, replica, delay)
+        if sent:
+            assert primary > delay
+            assert latency == min(primary, delay + replica)
+        else:
+            assert primary <= delay
+            assert latency == primary
+
+
+class TestRetryResolution:
+    @settings(max_examples=200)
+    @given(attempts=_ATTEMPTS, timeout=_TIMEOUT, retries=_RETRIES, backoff=_BACKOFF)
+    def test_never_slower_than_the_original(
+        self, attempts, timeout, retries, backoff
+    ):
+        policy = RetryPolicy(
+            timeout_ms=timeout, max_retries=retries, backoff=backoff
+        )
+        resolution = resolve_retries(attempts, policy)
+        assert resolution.latency_ms <= attempts[0] + 1e-9
+        assert resolution.retries <= min(retries, len(attempts) - 1)
+
+    @settings(max_examples=200)
+    @given(attempts=_ATTEMPTS, timeout=_TIMEOUT, retries=_RETRIES, backoff=_BACKOFF)
+    def test_latency_splits_into_wait_plus_winner(
+        self, attempts, timeout, retries, backoff
+    ):
+        """``latency - redundancy_wait`` is the winning attempt's own
+        latency — the additive attribution the cluster.attr.* split
+        relies on."""
+        policy = RetryPolicy(
+            timeout_ms=timeout, max_retries=retries, backoff=backoff
+        )
+        resolution = resolve_retries(attempts, policy)
+        winner_own = resolution.latency_ms - resolution.redundancy_wait_ms
+        assert winner_own == pytest.approx(attempts[resolution.winner], abs=1e-9)
+        if resolution.winner == 0:
+            assert resolution.redundancy_wait_ms == 0.0
+
+    @settings(max_examples=200)
+    @given(attempts=_ATTEMPTS, timeout=_TIMEOUT, retries=_RETRIES)
+    def test_backoff_one_is_a_fixed_interval_ladder(
+        self, attempts, timeout, retries
+    ):
+        """With ``backoff=1.0`` attempt k is issued at exactly
+        ``k * timeout``, so the winner's wait is that multiple."""
+        policy = RetryPolicy(timeout_ms=timeout, max_retries=retries, backoff=1.0)
+        resolution = resolve_retries(attempts, policy)
+        assert resolution.redundancy_wait_ms == pytest.approx(
+            resolution.winner * timeout, abs=1e-9
+        )
+
+    @settings(max_examples=100)
+    @given(attempts=_ATTEMPTS, timeout=_TIMEOUT, backoff=_BACKOFF)
+    def test_max_retries_zero_never_resends(self, attempts, timeout, backoff):
+        policy = RetryPolicy(timeout_ms=timeout, max_retries=0, backoff=backoff)
+        resolution = resolve_retries(attempts, policy)
+        assert resolution.retries == 0
+        assert resolution.winner == 0
+        assert resolution.redundancy_wait_ms == 0.0
+        assert resolution.latency_ms == attempts[0]
+
+    @settings(max_examples=100)
+    @given(attempts=_ATTEMPTS, timeout=_TIMEOUT, retries=_RETRIES, backoff=_BACKOFF)
+    def test_two_tuple_view_agrees(self, attempts, timeout, retries, backoff):
+        policy = RetryPolicy(
+            timeout_ms=timeout, max_retries=retries, backoff=backoff
+        )
+        resolution = resolve_retries(attempts, policy)
+        assert latency_with_retries(attempts, policy) == (
+            resolution.latency_ms,
+            resolution.retries,
+        )

@@ -245,3 +245,66 @@ class TestLiveShedding:
             LiveFMServer(_table(), workers=2, max_queue=-1)
         with pytest.raises(ConfigurationError):
             LiveFMServer(_table(), workers=2, deadline_ms=0.0)
+
+
+class TestLiveReplication:
+    """LiveFMServer + AdaptiveReplicationController share one SLO signal."""
+
+    def _controller(self, threshold_ms: float):
+        from repro.cluster.adaptive import (
+            AdaptiveReplicationController,
+            ControllerConfig,
+        )
+        from repro.observe import SLOMonitor, SLOTarget
+
+        slo = SLOMonitor(
+            SLOTarget(percentile=0.9, threshold_ms=threshold_ms),
+            short_window_ms=60_000.0,
+            long_window_ms=600_000.0,
+            min_samples=3,
+        )
+        return AdaptiveReplicationController(
+            ControllerConfig(window_ms=10_000.0, cores=2), slo=slo
+        )
+
+    def test_distinct_monitors_are_rejected(self):
+        from repro.observe import SLOMonitor, SLOTarget
+
+        other = SLOMonitor(SLOTarget(percentile=0.5, threshold_ms=100.0))
+        with pytest.raises(ConfigurationError):
+            LiveFMServer(
+                _table(), workers=2,
+                slo=other, replication=self._controller(100.0),
+            )
+
+    def test_controller_monitor_is_adopted(self):
+        controller = self._controller(10_000.0)
+        server = LiveFMServer(_table(), workers=2, replication=controller)
+        assert server.slo is controller.slo
+        assert server.replication_mode == "steady"
+        server.shutdown()
+
+    def test_burning_error_budget_drives_brownout_and_degraded(self):
+        """Every completion blows a 1 ms p90 target: the shared monitor
+        burns at 10x budget, the controller browns out at the drain
+        flush, and the server reports degraded without an SLO breach
+        counter of its own doing the work."""
+        controller = self._controller(1.0)
+        server = LiveFMServer(_table(), workers=2, replication=controller)
+        for rid in range(6):
+            server.submit(_request(rid, 30.0))
+        server.drain(timeout_s=10.0)
+        assert controller.windows_observed >= 1
+        assert server.replication_mode == "brownout"
+        assert server.degraded
+        assert not controller.decision.redundancy_enabled
+
+    def test_healthy_server_keeps_redundancy_available(self):
+        controller = self._controller(10_000.0)
+        server = LiveFMServer(_table(), workers=2, replication=controller)
+        for rid in range(4):
+            server.submit(_request(rid, 20.0))
+        server.drain(timeout_s=10.0)
+        assert not server.degraded
+        assert server.replication_mode in ("eager", "steady")
+        assert controller.slo.status().long_count == 4

@@ -266,3 +266,57 @@ class TestShedding:
         )
         assert len(result.records) + result.shed_count == 60
         assert result.shed_count > 0
+
+
+class TestOverloadFlipScenario:
+    """The canned overload->underload flip (repro.faults.scenarios)."""
+
+    def test_plans_are_placed_and_reproducible(self):
+        from repro.faults.scenarios import overload_flip
+
+        first = overload_flip(seed=7, horizon_ms=1000.0)
+        second = overload_flip(seed=7, horizon_ms=1000.0)
+        for server in range(3):
+            assert first(server) == second(server)  # frozen dataclass equality
+        # Different servers draw different straggler seeds but share the
+        # same placed events.
+        a, b = first(0), first(1)
+        assert a.seed != b.seed
+        assert a.core_faults == b.core_faults
+        assert a.stalls == b.stalls
+
+    def test_event_placement(self):
+        from repro.faults.scenarios import overload_flip
+
+        plan = overload_flip(
+            seed=0, horizon_ms=1000.0, onset_fraction=0.3,
+            duration_fraction=0.3, cores_lost=4, stall_ms=10.0,
+        )(0)
+        (core_fault,) = plan.core_faults
+        assert core_fault.time_ms == pytest.approx(300.0)
+        assert core_fault.duration_ms == pytest.approx(300.0)
+        assert core_fault.cores == 4
+        assert [s.time_ms for s in plan.stalls] == pytest.approx([400.0, 500.0])
+
+    def test_no_stalls_when_disabled(self):
+        from repro.faults.scenarios import overload_flip
+
+        plan = overload_flip(seed=0, horizon_ms=1000.0, stall_ms=0.0)(0)
+        assert plan.stalls == ()
+
+    def test_validation(self):
+        from repro.faults.scenarios import overload_flip
+
+        with pytest.raises(FaultInjectionError):
+            overload_flip(seed=0, horizon_ms=0.0)
+        with pytest.raises(FaultInjectionError):
+            overload_flip(seed=0, horizon_ms=100.0, onset_fraction=1.5)
+        with pytest.raises(FaultInjectionError):
+            overload_flip(
+                seed=0, horizon_ms=100.0,
+                onset_fraction=0.6, duration_fraction=0.5,
+            )
+        with pytest.raises(FaultInjectionError):
+            overload_flip(seed=0, horizon_ms=100.0, cores_lost=0)
+        with pytest.raises(FaultInjectionError):
+            overload_flip(seed=0, horizon_ms=100.0, stall_ms=-1.0)
