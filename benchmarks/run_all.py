@@ -20,6 +20,13 @@ overhead, the seeded adaptive-vs-best-static phase-diagram ratios, and
 the deterministic flip-replay attestation (gated by
 ``check_replication_regression.py``).
 
+``--only hetero`` (also in ``--only all``) delegates to
+``bench_hetero.py`` and writes ``BENCH_hetero.json``: the single-pool
+bit-identity attestation against ``repro.sim._baseline``, the EA-FM
+vs FIX-3 latency-energy frontier on big/little cores, the
+worker-count determinism attestation, and the hetero engine's
+events/sec (gated by ``check_hetero_regression.py``).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_all.py [--scale quick] [--output PATH]
@@ -429,11 +436,17 @@ def main(argv: list[str] | None = None) -> int:
         help="where to write the replication-controller JSON report",
     )
     parser.add_argument(
+        "--hetero-output", type=Path,
+        default=REPO_ROOT / "BENCH_hetero.json",
+        help="where to write the heterogeneous-engine JSON report",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="shorthand for --scale quick (the CI perf-smoke preset)",
     )
     parser.add_argument(
-        "--only", choices=["telemetry", "observe", "engine", "replication", "all"],
+        "--only",
+        choices=["telemetry", "observe", "engine", "replication", "hetero", "all"],
         default="all",
         help="run a single bench family (default: all)",
     )
@@ -487,6 +500,19 @@ def main(argv: list[str] | None = None) -> int:
         print(json.dumps(replication, indent=2))
         print(f"\nwrote {args.replication_output}")
     if args.only == "replication":
+        return 0
+
+    if args.only in ("hetero", "all"):
+        # Local import: the module reuses the hetero-energy experiment
+        # helpers, which nothing else here needs.
+        from bench_hetero import build_report as hetero_report
+
+        print(f"\nrunning hetero benches at scale={scale.name} ...")
+        hetero = hetero_report(scale)
+        args.hetero_output.write_text(json.dumps(hetero, indent=2) + "\n")
+        print(json.dumps(hetero, indent=2))
+        print(f"\nwrote {args.hetero_output}")
+    if args.only == "hetero":
         return 0
 
     if args.only in ("telemetry", "all"):

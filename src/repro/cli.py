@@ -29,6 +29,7 @@ from repro.experiments.ablations import ABLATIONS
 from repro.experiments.config import FULL, QUICK, TINY, Scale, default_scale
 from repro.experiments.extensions import EXTENSIONS
 from repro.experiments.figures import ALL_EXPERIMENTS
+from repro.experiments.hetero_energy import HETERO_ENERGY
 from repro.experiments.replication_phase import REPLICATION_PHASE
 from repro.experiments.robustness import ROBUSTNESS
 from repro.experiments.tail_attribution import TAIL_ATTRIBUTION
@@ -43,6 +44,7 @@ EXPERIMENTS = {
     **ALL_EXPERIMENTS,
     **ABLATIONS,
     **EXTENSIONS,
+    **HETERO_ENERGY,
     **REPLICATION_PHASE,
     **ROBUSTNESS,
     **TELEMETRY,

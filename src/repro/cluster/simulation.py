@@ -212,6 +212,15 @@ class RobustClusterResult:
     #: timeout (counted even under ``max_retries=0``: timeout
     #: accounting survives brownout, re-sends do not).
     timeouts: int = 0
+    #: Sequential work-milliseconds of *offered load added by the
+    #: redundancy machinery itself*: each hedge re-offers its query's
+    #: demand (the original shard demand under "shared", the freshly
+    #: drawn replica demand under "spare") and each retry re-offers the
+    #: shard's original demand once per re-send.  This is the
+    #: denominator gap in any "utilization vs offered load" plot —
+    #: static policies past the knee look cheap in request counts while
+    #: injecting the heaviest demand quantiles as extra work.
+    injected_work_ms: float = 0.0
     #: The adaptive controller that drove this run (``None`` under
     #: static policies); inspect ``controller.transitions`` for the
     #: mode sequence.
@@ -479,12 +488,16 @@ def simulate_cluster_robust(
         for server in range(num_servers)
     ]
     hedges_sent = sum(len(hedged) for hedged in hedge_sets)
+    # Work-ms the redundancy machinery adds to the offered load
+    # (accounting only — nothing downstream reads it).
+    injected_work_ms = 0.0
     if hedges_sent and replica_mode == "spare":
         for server in range(num_servers):
             hedged = hedge_sets[server]
             if not hedged:
                 continue
             replica_demands = workload.sampler(rng, len(hedged))
+            injected_work_ms += float(np.sum(replica_demands))
             replica_arrivals = [
                 ArrivalSpec(
                     time_ms=float(times[q]) + float(delays[q]),
@@ -530,6 +543,10 @@ def simulate_cluster_robust(
         # tail demand.  (This is why static hedging melts down past the
         # knee: the duplicated work is the heaviest quantile.)
         hedge_latency: list[dict[int, float]] = [{} for _ in range(num_servers)]
+        for source in range(num_servers):
+            injected_work_ms += float(
+                sum(float(server_demands[source][q]) for q in hedge_sets[source])
+            )
         for target in range(num_servers):
             source = (target - 1) % num_servers
             incoming = [
@@ -604,6 +621,10 @@ def simulate_cluster_robust(
                 resolution = resolve_retries([first, *redraws], policy)
                 effective[server][q] = resolution.latency_ms
                 retries_sent += resolution.retries
+                # Each re-send re-offers the shard's original demand.
+                injected_work_ms += (
+                    float(server_demands[server][q]) * resolution.retries
+                )
                 if resolution.winner > 0:
                     # A retry won: the shard's redundancy wait is the
                     # backoff time, superseding any hedge wait baked
@@ -628,6 +649,7 @@ def simulate_cluster_robust(
         metrics.counter("cluster.queries").inc(num_queries)
         metrics.counter("cluster.hedges").inc(hedges_sent)
         metrics.counter("cluster.retries").inc(retries_sent)
+        metrics.counter("cluster.retry.injected_work").inc(injected_work_ms)
         metrics.counter("cluster.timeouts").inc(timeouts)
         if deadline_ms is not None:
             metrics.counter("cluster.deadline_misses").inc(
@@ -661,4 +683,5 @@ def simulate_cluster_robust(
         query_hedge_delay_ms=delays,
         timeouts=timeouts,
         controller=controller,
+        injected_work_ms=injected_work_ms,
     )

@@ -1,0 +1,260 @@
+"""Hetero-energy: tail latency AND joules/query on big/little cores.
+
+The paper evaluates FM on homogeneous machines, where the only
+currency is cores.  On a heterogeneous (big/little) server there are
+two: *where* a request runs decides both how fast it finishes and how
+much energy each of its work-milliseconds costs — a big core here runs
+2x as fast but burns 3.5x the power, so every work-millisecond placed
+on big silicon costs ~1.75x the joules.  This experiment sweeps load
+on two 16-core topologies:
+
+* **homogeneous** — 16 identical little-class cores (the paper's
+  regime, with energy accounting switched on);
+* **big/little** — 4 big (2x speed) + 12 little cores, same total
+  core count, 20 equivalent little-cores of capacity.  Idle power is
+  power-gated (cluster power collapse), so reserving big cores is
+  cheap but *using* them is not.
+
+against four policies:
+
+* **FIX-3** — the production baseline; placement is the engine
+  default (fastest pool with headroom), so big cores fill first;
+* **FM** — the paper's scheduler, same default placement;
+* **Hurry-up** — Nishtala et al.'s big/little baseline: fixed degree,
+  everything starts little, deadline-endangered requests migrate big;
+* **EA-FM** — FM degrees plus Hurry-up-style placement: park on
+  little, rescue the aging tail onto big
+  (:class:`~repro.schedulers.energy_fm.EnergyAwareFMScheduler`).
+
+FM and EA-FM use an interval table built for each topology's
+*equivalent capacity* (speed-weighted cores), not its core count — a
+table tuned for 16 cores under-parallelizes a 20-capacity box.
+
+The headline claim, asserted by the regression suite: at low-to-mid
+load EA-FM strictly dominates FIX-3 on the latency-energy frontier —
+lower 99th-percentile latency AND fewer joules per query — because FM
+keeps short requests narrow (less spin), little-first placement keeps
+the work-mass on efficient cores, and only the tail that defines p99
+spends big-core joules.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import Scale, default_scale
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import SweepResult, run_sweep
+from repro.experiments.tables import bing_table_for_capacity
+from repro.hetero import Topology
+from repro.schedulers import (
+    EnergyAwareFMScheduler,
+    FixedScheduler,
+    FMScheduler,
+    HurryUpScheduler,
+)
+from repro.sim.api import Scheduler
+from repro.workloads import bing as bing_mod
+
+__all__ = ["experiment_hetero_energy", "HETERO_ENERGY"]
+
+#: Total cores on both machines (the paper's Bing ISN has 12; one big
+#: cluster more keeps the comparison big/little vs same-count flat).
+CORES = 16
+#: Offered load sweep (RPS).  The knee of the 20-capacity big/little
+#: box sits near 500 RPS; the sweep covers comfortable load through
+#: the approach to saturation.
+RPS_SWEEP = (150.0, 250.0, 350.0, 450.0)
+#: Hurry-up's service deadline and the rescue age EA-FM inherits from
+#: its default (50 ms, i.e. past the healthy p90).
+DEADLINE_MS = 200.0
+
+#: Idle draw on the big/little machine is power-gated (cluster power
+#: collapse): 0.25 W big / 0.1 W little.  With wall-powered idle
+#: (0.6 W big) *reserving* big cores costs as much as using them and
+#: no placement policy can win energy by parking work on little.
+BIG_IDLE_W = 0.25
+LITTLE_IDLE_W = 0.1
+
+
+def homogeneous_topology() -> Topology:
+    """16 identical little-class cores with energy accounting."""
+    return Topology.homogeneous(
+        CORES, active_power_w=1.0, idle_power_w=LITTLE_IDLE_W
+    )
+
+
+def big_little_topology() -> Topology:
+    """4 big (2x) + 12 little cores: 16 cores, capacity 20."""
+    return Topology.big_little(
+        big=4,
+        little=12,
+        big_idle_power_w=BIG_IDLE_W,
+        little_idle_power_w=LITTLE_IDLE_W,
+    )
+
+
+def hetero_policies(scale: Scale, topology: Topology) -> dict[str, Scheduler]:
+    """The four evaluated policies, table-tuned to the topology."""
+    table = bing_table_for_capacity(scale, topology.equivalent_capacity())
+    return {
+        "FIX-3": FixedScheduler(3),
+        "FM": FMScheduler(table),
+        "Hurry-up": HurryUpScheduler(degree=3, deadline_ms=DEADLINE_MS),
+        "EA-FM": EnergyAwareFMScheduler(table),
+    }
+
+
+def run_hetero_sweep(scale: Scale, topology: Topology) -> SweepResult:
+    """One full policy x load sweep on a topology (results kept so the
+    energy reports survive into the tables)."""
+    workload = bing_mod.bing_workload(profile_size=scale.profile_size)
+    return run_sweep(
+        hetero_policies(scale, topology),
+        workload,
+        RPS_SWEEP,
+        cores=CORES,
+        num_requests=scale.num_requests,
+        quantum_ms=bing_mod.QUANTUM_MS,
+        seed=42,
+        repeats=scale.repeats,
+        keep_results=True,
+        spin_fraction=bing_mod.SPIN_FRACTION,
+        topology=topology,
+    )
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else float("nan")
+
+
+def _point_energy(sweep: SweepResult, policy: str, rps_index: int):
+    """(J/query, big active share, migrated requests) at a load point,
+    averaged across repeats."""
+    results = sweep[policy].results[rps_index]
+    jpq = _mean([r.joules_per_query() for r in results])
+    shares = []
+    migrated = []
+    for r in results:
+        if r.energy is not None and r.energy.active_j > 0:
+            try:
+                big = r.energy.pool("big").active_j
+            except KeyError:
+                big = float("nan")
+            shares.append(big / r.energy.active_j)
+        migrated.append(float(sum(1 for rec in r.records if rec.migrations)))
+    return jpq, _mean(shares), _mean(migrated)
+
+
+def experiment_hetero_energy(scale: Scale | None = None) -> FigureResult:
+    """Latency-energy frontier: FM-family policies on big/little cores."""
+    scale = scale or default_scale()
+    result = FigureResult(
+        "hetero-energy",
+        "Tail latency and joules/query on homogeneous vs big/little cores",
+    )
+
+    sweeps: dict[str, SweepResult] = {}
+    for topo_name, topology in (
+        ("homogeneous", homogeneous_topology()),
+        ("big/little", big_little_topology()),
+    ):
+        sweep = run_hetero_sweep(scale, topology)
+        sweeps[topo_name] = sweep
+        rows = []
+        for i, rps in enumerate(RPS_SWEEP):
+            for policy in sweep.policies():
+                series = sweep[policy]
+                jpq, big_share, migrated = _point_energy(sweep, policy, i)
+                rows.append(
+                    [
+                        rps,
+                        policy,
+                        series.tail_ms[i],
+                        series.mean_ms[i],
+                        jpq,
+                        big_share if topo_name == "big/little" else "-",
+                        migrated if topo_name == "big/little" else "-",
+                    ]
+                )
+        result.add_table(
+            f"{topo_name}: {CORES} cores, capacity "
+            f"{topology.equivalent_capacity():g} equivalent little-cores",
+            ["rps", "policy", "p99 (ms)", "mean (ms)", "J/query", "big active share", "migrated"],
+            rows,
+        )
+
+    # --- energy decomposition at one representative load -------------
+    decomp_index = 1  # 250 RPS: comfortably loaded, pre-knee
+    bl = sweeps["big/little"]
+    rows = []
+    for policy in bl.policies():
+        results = bl[policy].results[decomp_index]
+        cells: dict[str, float] = {}
+        for pool_name in ("big", "little"):
+            for part in ("active_j", "spin_j", "idle_j"):
+                cells[f"{pool_name}.{part}"] = _mean(
+                    [getattr(r.energy.pool(pool_name), part) for r in results]
+                )
+        total = _mean([r.energy.total_j for r in results])
+        rows.append(
+            [
+                policy,
+                cells["big.active_j"],
+                cells["big.spin_j"],
+                cells["big.idle_j"],
+                cells["little.active_j"],
+                cells["little.spin_j"],
+                cells["little.idle_j"],
+                total,
+            ]
+        )
+    result.add_table(
+        f"big/little energy decomposition at {RPS_SWEEP[decomp_index]:g} RPS "
+        "(joules, averaged over repeats)",
+        ["policy", "big act", "big spin", "big idle", "lit act", "lit spin", "lit idle", "total J"],
+        rows,
+    )
+
+    # --- the frontier claim ------------------------------------------
+    fix = bl["FIX-3"]
+    ea = bl["EA-FM"]
+    dominated = []
+    for i, rps in enumerate(RPS_SWEEP):
+        fix_jpq, _, _ = _point_energy(bl, "FIX-3", i)
+        ea_jpq, _, _ = _point_energy(bl, "EA-FM", i)
+        if ea.tail_ms[i] <= fix.tail_ms[i] and ea_jpq <= fix_jpq:
+            dominated.append((rps, fix.tail_ms[i], ea.tail_ms[i], fix_jpq, ea_jpq))
+    if dominated:
+        rps, fp, ep, fj, ej = dominated[0]
+        result.add_note(
+            "EA-FM strictly dominates FIX-3 on the latency-energy frontier at "
+            f"{len(dominated)}/{len(RPS_SWEEP)} load points "
+            f"(first at {rps:g} RPS: p99 {ep:.1f} vs {fp:.1f} ms, "
+            f"{ej:.4f} vs {fj:.4f} J/query)"
+        )
+    else:
+        result.add_note(
+            "EA-FM did not dominate FIX-3 at any swept load point at this "
+            "scale — see the big/little table for the trade"
+        )
+    result.add_note(
+        "placement, not parallelism, decides the energy bill: active joules "
+        "per work-millisecond are fixed per pool (P/speed), so a policy wins "
+        "by keeping the work-mass on little cores and spending big-core "
+        "joules only on the tail that defines p99 — which is why EA-FM "
+        "rescues by age (endangerment), never by degree (width)"
+    )
+    result.add_note(
+        "Hurry-up is the energy floor of the four (everything starts "
+        "little) but its fixed degree gives away FM's short-request spin "
+        "savings and its tail degrades first as load grows"
+    )
+    result.add_note(
+        "on the homogeneous machine every placement is the identity: EA-FM "
+        "reproduces FM and Hurry-up tracks FIX-3 — the heterogeneous wins "
+        "come from the topology, not from policy side effects"
+    )
+    return result
+
+
+#: Registry (merged into the CLI's experiment list).
+HETERO_ENERGY = {"hetero-energy": experiment_hetero_energy}

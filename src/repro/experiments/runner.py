@@ -14,6 +14,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.hetero.pools import Topology
 from repro.sim.api import Scheduler
 from repro.sim.engine import simulate
 from repro.sim.metrics import SimulationResult
@@ -80,9 +81,14 @@ def run_policy(
     process: ArrivalProcess | None = None,
     spin_fraction: float = 0.25,
     telemetry: Telemetry | None = None,
+    topology: Topology | None = None,
 ) -> SimulationResult:
     """One experiment run: ``num_requests`` open-loop arrivals at
-    ``rps`` against a ``cores``-core server under ``scheduler``."""
+    ``rps`` against a ``cores``-core server under ``scheduler``.
+
+    ``topology`` switches the server to heterogeneous core pools with
+    energy accounting (``topology.total_cores`` must equal ``cores``).
+    """
     rng = np.random.default_rng(seed)
     arrivals = workload.arrivals(num_requests, process or PoissonProcess(rps), rng)
     return simulate(
@@ -92,6 +98,7 @@ def run_policy(
         quantum_ms=quantum_ms,
         spin_fraction=spin_fraction,
         telemetry=telemetry,
+        topology=topology,
     )
 
 
@@ -151,6 +158,7 @@ def run_sweep(
     keep_results: bool = False,
     spin_fraction: float = 0.25,
     workers: int | None = None,
+    topology: Topology | None = None,
 ) -> SweepResult:
     """Sweep load for every policy.
 
@@ -185,6 +193,7 @@ def run_sweep(
             keep_results=keep_results,
             spin_fraction=spin_fraction,
             workers=workers,
+            topology=topology,
         )
 
     named = _named_schedulers(schedulers)
@@ -212,6 +221,7 @@ def run_sweep(
                     quantum_ms=quantum_ms,
                     seed=cell_seed(seed, rps_index, repeat),
                     spin_fraction=spin_fraction,
+                    topology=topology,
                 )
                 run_tails.append(result.tail_latency_ms(phi))
                 run_means.append(result.mean_latency_ms())

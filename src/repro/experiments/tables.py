@@ -15,7 +15,7 @@ from repro.experiments.config import Scale
 from repro.workloads import bing as bing_mod
 from repro.workloads import lucene as lucene_mod
 
-__all__ = ["lucene_table", "bing_table"]
+__all__ = ["lucene_table", "bing_table", "bing_table_for_capacity"]
 
 
 @lru_cache(maxsize=8)
@@ -32,14 +32,17 @@ def _lucene_table_cached(
     return build_interval_table(workload.profile, config)
 
 
-@lru_cache(maxsize=8)
+@lru_cache(maxsize=16)
 def _bing_table_cached(
-    profile_size: int, num_bins: int | None, step_ms: float
+    profile_size: int,
+    num_bins: int | None,
+    step_ms: float,
+    target_parallelism: float = bing_mod.TARGET_PARALLELISM,
 ) -> IntervalTable:
     workload = bing_mod.bing_workload(profile_size=profile_size)
     config = SearchConfig(
         max_degree=bing_mod.MAX_DEGREE,
-        target_parallelism=bing_mod.TARGET_PARALLELISM,
+        target_parallelism=target_parallelism,
         step_ms=step_ms,
         num_bins=num_bins,
     )
@@ -58,3 +61,21 @@ def bing_table(scale: Scale) -> IntervalTable:
     search step shrinks proportionally to keep comparable resolution.
     """
     return _bing_table_cached(scale.profile_size, scale.num_bins, max(1.0, scale.step_ms / 10))
+
+
+def bing_table_for_capacity(scale: Scale, target_parallelism: float) -> IntervalTable:
+    """The Bing ISN interval table tuned for a specific machine capacity.
+
+    The offline search's ``target_parallelism`` encodes how much
+    parallelism the machine can absorb; a heterogeneous topology's
+    capacity is its speed-weighted core count
+    (:meth:`~repro.hetero.pools.Topology.equivalent_capacity`), not its
+    core count, so FM on a big/little box needs a table built for that
+    capacity to avoid mis-tuned degrees at high load.
+    """
+    return _bing_table_cached(
+        scale.profile_size,
+        scale.num_bins,
+        max(1.0, scale.step_ms / 10),
+        target_parallelism,
+    )

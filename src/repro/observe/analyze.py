@@ -53,6 +53,7 @@ _CONTEXT_COUNTERS = (
     "sim.sheds",
     "sim.boosts",
     "sim.degree_raises",
+    "sim.migrations",
     "runtime.arrivals",
     "runtime.completions",
     "runtime.sheds",
@@ -60,6 +61,7 @@ _CONTEXT_COUNTERS = (
     "cluster.queries",
     "cluster.hedges",
     "cluster.retries",
+    "cluster.retry.injected_work",
     "cluster.deadline_misses",
 )
 
@@ -79,6 +81,11 @@ class RequestView:
     boosted: bool = False
     hedged: bool = False
     shed: bool = False
+    #: Joules this request burned (``nan`` when the trace predates
+    #: energy accounting or the run was homogeneous-legacy).
+    energy_j: float = math.nan
+    #: Core pool the request finished on (``""`` when untracked).
+    pool: str = ""
 
     def dominant_component(self) -> str:
         """The component contributing the most latency."""
@@ -214,6 +221,8 @@ def _request_track_views(track: str, spans: list[Span]) -> list[RequestView]:
                     latency_ms=latency,
                     components=components,
                     boosted=bool(span.attrs.get("boosted", False)),
+                    energy_j=float(span.attrs.get("energy_j", math.nan)),
+                    pool=str(span.attrs.get("pool", "")),
                 )
             )
         elif span.name == "shed":
@@ -280,6 +289,14 @@ class TrackReport:
     hedged_rate: tuple[float, float] | None = None
     #: The slowest requests, worst first.
     slowest: list[RequestView] = field(default_factory=list)
+    #: Mean joules per request overall and over the tail (``nan`` when
+    #: the trace carries no energy attrs — pre-hetero traces).
+    joules_per_query: float = math.nan
+    tail_joules_per_query: float = math.nan
+
+    @property
+    def has_energy(self) -> bool:
+        return self.joules_per_query == self.joules_per_query
 
     def to_json(self) -> dict:
         out = {
@@ -310,6 +327,13 @@ class TrackReport:
             out["hedged_rate"] = {
                 "tail": self.hedged_rate[0], "rest": self.hedged_rate[1]
             }
+        if self.has_energy:
+            out["joules_per_query"] = self.joules_per_query
+            out["tail_joules_per_query"] = self.tail_joules_per_query
+            for view, entry in zip(self.slowest, out["slowest"]):
+                entry["energy_j"] = view.energy_j
+                if view.pool:
+                    entry["pool"] = view.pool
         return out
 
     def render(self) -> str:
@@ -336,6 +360,11 @@ class TrackReport:
                 ["component", "mean (ms)", "tail mean (ms)", "tail share"], rows
             )
         )
+        if self.has_energy:
+            parts.append(
+                f"energy: {self.joules_per_query:.4g} J/query "
+                f"(tail mean {self.tail_joules_per_query:.4g} J)"
+            )
         correlates = []
         if self.boosted_rate is not None:
             correlates.append(
@@ -350,15 +379,17 @@ class TrackReport:
             parts.append(render_table(["signal", "tail", "rest"], correlates))
         if self.slowest:
             parts.append("")
-            parts.append(
-                render_table(
-                    ["lane", "latency (ms)", "dominant component"],
-                    [
-                        [v.lane, v.latency_ms, v.dominant_component()]
-                        for v in self.slowest
-                    ],
-                )
-            )
+            columns = ["lane", "latency (ms)", "dominant component"]
+            rows = [
+                [v.lane, v.latency_ms, v.dominant_component()]
+                for v in self.slowest
+            ]
+            if self.has_energy:
+                columns += ["energy (J)", "pool"]
+                for row, view in zip(rows, self.slowest):
+                    row.append(view.energy_j)
+                    row.append(view.pool or "-")
+            parts.append(render_table(columns, rows))
         return "\n".join(parts)
 
 
@@ -450,6 +481,17 @@ def _report_track(
         components=components,
         slowest=sorted(completed, key=lambda v: -v.latency_ms)[:top],
     )
+    # Energy is NaN-safe: traces predating energy accounting (or from
+    # the homogeneous-legacy engine) carry no energy_j attrs, every
+    # view is nan, and the report simply omits the energy lines.
+    energetic = [v for v in completed if v.energy_j == v.energy_j]
+    if energetic:
+        report.joules_per_query = sum(v.energy_j for v in energetic) / len(energetic)
+        tail_energetic = [v for v in tail if v.energy_j == v.energy_j]
+        if tail_energetic:
+            report.tail_joules_per_query = sum(
+                v.energy_j for v in tail_energetic
+            ) / len(tail_energetic)
     if any(v.boosted for v in completed):
         report.boosted_rate = _membership_rate(tail, rest, "boosted")
     if any(v.hedged for v in completed):

@@ -51,6 +51,7 @@ from repro.experiments.runner import (
     latency_histogram,
     run_policy,
 )
+from repro.hetero.pools import Topology
 from repro.sim.api import Scheduler
 from repro.sim.metrics import SimulationResult
 from repro.telemetry import install
@@ -122,6 +123,7 @@ class _SweepSpec:
     phi: float
     keep_results: bool
     spin_fraction: float
+    topology: Topology | None = None
 
 
 # Per-worker-process sweep spec, set by the pool initializer.
@@ -154,6 +156,7 @@ def _run_cell(
             quantum_ms=spec.quantum_ms,
             seed=cell_seed(spec.seed, rps_index, repeat),
             spin_fraction=spec.spin_fraction,
+            topology=spec.topology,
         )
     return (
         result.tail_latency_ms(spec.phi),
@@ -183,6 +186,7 @@ def run_sweep_parallel(
     keep_results: bool = False,
     spin_fraction: float = 0.25,
     workers: int | None = None,
+    topology: Topology | None = None,
 ) -> SweepResult:
     """:func:`repro.experiments.runner.run_sweep`, fanned across a
     process pool.
@@ -215,6 +219,7 @@ def run_sweep_parallel(
         phi=phi,
         keep_results=keep_results,
         spin_fraction=spin_fraction,
+        topology=topology,
     )
     if workers <= 1 or len(cells) == 1:
         # Not worth a pool; run the cells in-process through the same

@@ -14,12 +14,18 @@
   thread priority boosting.
 * :class:`ReprofilingFMScheduler` — extension: FM with the paper's
   periodic offline analysis run online against observed demand.
+* :class:`HurryUpScheduler` — Nishtala et al.'s big/little baseline:
+  fixed degree, deadline-endangered requests migrate to big cores.
+* :class:`EnergyAwareFMScheduler` — EA-FM: FM degrees with
+  little-first placement and earned big-core promotion.
 """
 
 from repro.schedulers.adaptive import AdaptiveScheduler
 from repro.schedulers.clairvoyant import ClairvoyantScheduler
+from repro.schedulers.energy_fm import EnergyAwareFMScheduler
 from repro.schedulers.fixed import FixedScheduler
 from repro.schedulers.fm import FMScheduler
+from repro.schedulers.hurryup import HurryUpScheduler
 from repro.schedulers.reprofiling import ReprofilingFMScheduler
 from repro.schedulers.sequential import SequentialScheduler
 from repro.schedulers.simple_interval import SimpleIntervalScheduler
@@ -27,8 +33,10 @@ from repro.schedulers.simple_interval import SimpleIntervalScheduler
 __all__ = [
     "AdaptiveScheduler",
     "ClairvoyantScheduler",
+    "EnergyAwareFMScheduler",
     "FixedScheduler",
     "FMScheduler",
+    "HurryUpScheduler",
     "ReprofilingFMScheduler",
     "SequentialScheduler",
     "SimpleIntervalScheduler",

@@ -1,0 +1,91 @@
+"""Hurry-up: deadline-endangered requests migrate to big cores.
+
+A reimplementation of the scheduling idea in "Hurry-up: Scaling Web
+Search on Big/Little Multi-core Architectures" (Nishtala et al., see
+PAPERS.md) inside our fluid simulator: every request starts on the
+*little* (slowest) pool at a fixed parallelism degree, and a request
+whose age crosses an endangerment threshold — a fraction of the
+service deadline — is migrated wholesale onto the *big* (fastest) pool
+so it can still make the deadline.  Parallelism itself is static, like
+FIX-N; the only actuator is placement, which is exactly what makes it
+the right baseline to separate "where" gains from FM's "how many"
+gains in the ``hetero-energy`` experiment.
+
+On a homogeneous topology (or the legacy engine) there is only one
+pool, migration is a no-op, and the policy degenerates to FIX-N.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sim.api import Admission, Scheduler, SchedulerContext
+from repro.sim.request import SimRequest
+
+__all__ = ["HurryUpScheduler"]
+
+
+class HurryUpScheduler(Scheduler):
+    """Fixed-degree parallelism with deadline-driven big-core rescue.
+
+    Parameters
+    ----------
+    degree:
+        Worker threads per request (static, like FIX-N).
+    deadline_ms:
+        The service deadline the policy protects.
+    endangered_fraction:
+        A request older than ``endangered_fraction * deadline_ms`` is
+        considered deadline-endangered and migrates to the fastest
+        pool at its next quantum.
+    load_protection:
+        Bing-style load protection: arrivals seeing ``system_count``
+        at or above this run sequentially instead.
+    """
+
+    uses_quantum = True
+
+    def __init__(
+        self,
+        degree: int = 3,
+        deadline_ms: float = 200.0,
+        endangered_fraction: float = 0.4,
+        load_protection: int | None = None,
+    ) -> None:
+        if degree < 1:
+            raise ConfigurationError(f"degree must be >= 1, got {degree}")
+        if deadline_ms <= 0:
+            raise ConfigurationError(f"deadline_ms must be positive: {deadline_ms}")
+        if not 0.0 < endangered_fraction <= 1.0:
+            raise ConfigurationError(
+                f"endangered_fraction must be in (0, 1]: {endangered_fraction}"
+            )
+        if load_protection is not None and load_protection < 1:
+            raise ConfigurationError(f"load_protection must be >= 1: {load_protection}")
+        self.degree = degree
+        self.deadline_ms = deadline_ms
+        self.endangered_fraction = endangered_fraction
+        self.load_protection = load_protection
+        self.name = f"Hurry-up-{degree}"
+        if load_protection is not None:
+            self.name += f"/lp{load_protection}"
+
+    @property
+    def endangered_age_ms(self) -> float:
+        """Age past which a request migrates to the fastest pool."""
+        return self.endangered_fraction * self.deadline_ms
+
+    def on_arrival(self, ctx: SchedulerContext, request: SimRequest) -> Admission:
+        degree = self.degree
+        if self.load_protection is not None and ctx.system_count >= self.load_protection:
+            degree = 1
+        # Everyone starts on the little cluster; speed is earned by
+        # aging toward the deadline, not granted up front.
+        return Admission.start(degree, pool=ctx.slowest_pool)
+
+    def on_quantum(self, ctx: SchedulerContext, request: SimRequest) -> int:
+        age_ms = ctx.now_ms - request.arrival_ms
+        if age_ms >= self.endangered_age_ms:
+            fastest = ctx.fastest_pool
+            if request.pool != fastest:
+                ctx.migrate(request, fastest)
+        return request.degree

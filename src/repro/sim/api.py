@@ -55,11 +55,19 @@ class Admission:
     #: For SHED decisions: whether the rejection was deadline-caused
     #: (as opposed to a backlog-bound breach).
     deadline: bool = False
+    #: For START decisions on a heterogeneous topology: the core-pool
+    #: index to place the request on.  ``None`` lets the engine pick
+    #: (fastest pool with headroom).  Ignored on the homogeneous path.
+    pool: int | None = None
 
     @classmethod
-    def start(cls, degree: int) -> "Admission":
-        """Start executing now with ``degree`` worker threads."""
-        return cls(AdmissionAction.START, degree=degree)
+    def start(cls, degree: int, pool: int | None = None) -> "Admission":
+        """Start executing now with ``degree`` worker threads.
+
+        ``pool`` optionally pins the request to a core pool on a
+        heterogeneous topology (default: engine placement).
+        """
+        return cls(AdmissionAction.START, degree=degree, pool=pool)
 
     @classmethod
     def delay(cls, delay_ms: float) -> "Admission":
@@ -145,6 +153,49 @@ class SchedulerContext:
         already-boosted request.
         """
         return self._engine.boost.try_boost(request, degree)
+
+    # -- heterogeneous-topology surface (repro.hetero) -----------------
+    @property
+    def topology(self):
+        """The :class:`~repro.hetero.pools.Topology`, or ``None`` on
+        the legacy homogeneous path."""
+        return self._engine.topology
+
+    @property
+    def pool_count(self) -> int:
+        """Number of core pools (1 on the homogeneous path)."""
+        topology = self._engine.topology
+        return len(topology) if topology is not None else 1
+
+    @property
+    def fastest_pool(self) -> int:
+        """Index of the highest-speed pool (0 when homogeneous)."""
+        topology = self._engine.topology
+        return topology.fastest_pool if topology is not None else 0
+
+    @property
+    def slowest_pool(self) -> int:
+        """Index of the lowest-speed pool (0 when homogeneous)."""
+        topology = self._engine.topology
+        return topology.slowest_pool if topology is not None else 0
+
+    def pool_free_cores(self, pool: int) -> float:
+        """Occupancy headroom of ``pool``: online cores minus the
+        summed occupancy demand of requests currently placed there.
+        May be negative when the pool is oversubscribed."""
+        return self._engine.pool_free_cores(pool)
+
+    def migrate(self, request: "SimRequest", pool: int) -> bool:
+        """Move a *running* request's threads to another core pool.
+
+        Returns True when the placement changed.  No-op (False) on the
+        homogeneous path, for an invalid index, or when the request is
+        already there.  This is the Hurry-up actuator: threads resume
+        on the target pool at the next rate recomputation — migration
+        cost is modeled as zero (the paper's queries are orders of
+        magnitude longer than a cross-cluster migration).
+        """
+        return self._engine.migrate(request, pool)
 
 
 class Scheduler(ABC):

@@ -39,6 +39,8 @@ from typing import Any, Sequence
 from repro.core.speedup import SpeedupCurve
 from repro.errors import SimulationError
 from repro.faults.plan import CoreFault, FaultPlan, StallFault
+from repro.hetero.energy import EnergyReport, PoolEnergy
+from repro.hetero.pools import Topology
 from repro.sim.api import Admission, AdmissionAction, Scheduler, SchedulerContext
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.metrics import MetricsCollector, SimulationResult
@@ -112,6 +114,19 @@ class Engine:
         histograms, and as attrs on the ``run`` span.  Disable to shave
         the accounting from the hot loop (``BENCH_observe.json``
         quantifies the cost).
+    topology:
+        Optional :class:`~repro.hetero.pools.Topology` of typed core
+        pools (big/little, DVFS-resolved speeds and powers).  When set,
+        processor sharing runs *per pool* (a request's threads occupy
+        exactly one pool), rates scale by the pool speed, and a
+        deterministic energy accumulator tracks active/spin/idle joules
+        per pool (DESIGN.md §12).  ``topology.total_cores`` must equal
+        ``cores``.  When ``None`` (the default) the legacy homogeneous
+        path runs untouched — and a single-pool topology at speed 1.0
+        is attested bit-identical to it, because every hetero-path
+        float operation reduces to the legacy one (``x * 1.0`` is exact
+        in IEEE 754 and the per-pool demand sums accumulate in the same
+        running-set order).
     """
 
     def __init__(
@@ -123,6 +138,7 @@ class Engine:
         fault_plan: FaultPlan | None = None,
         telemetry: Telemetry | None = None,
         attribution: bool = True,
+        topology: Topology | None = None,
     ) -> None:
         if cores < 1:
             raise SimulationError(f"cores must be >= 1, got {cores}")
@@ -130,6 +146,10 @@ class Engine:
             raise SimulationError(f"quantum_ms must be positive, got {quantum_ms}")
         if not 0.0 <= spin_fraction <= 1.0:
             raise SimulationError(f"spin_fraction must be in [0, 1]: {spin_fraction}")
+        if topology is not None and topology.total_cores != cores:
+            raise SimulationError(
+                f"topology has {topology.total_cores} cores, engine asked for {cores}"
+            )
         self.cores = cores
         self.scheduler = scheduler
         self.quantum_ms = quantum_ms
@@ -158,6 +178,33 @@ class Engine:
         self.telemetry = resolve_telemetry(telemetry)
         self.attribution = attribution
         self._run_spans: dict[int, Span] = {}
+
+        #: Heterogeneous-topology state (repro.hetero).  The per-pool
+        #: arrays are indexed by pool position; energy accumulates in
+        #: watt-milliseconds (= millijoules) and converts to joules in
+        #: the final :class:`~repro.hetero.energy.EnergyReport`.  The
+        #: hot-path entry points are rebound per instance so the legacy
+        #: run loop never pays a single ``if`` for the hetero feature.
+        self.topology = topology
+        self._hetero = topology is not None
+        if topology is not None:
+            npools = len(topology)
+            self._npools = npools
+            self._pool_names = [pool.name for pool in topology]
+            self._pool_speeds = [pool.effective_speed for pool in topology]
+            self._pool_active_w = [pool.effective_active_power_w for pool in topology]
+            self._pool_idle_w = [pool.effective_idle_power_w for pool in topology]
+            self._pool_online = [pool.count for pool in topology]
+            self._pools_by_speed = sorted(
+                range(npools), key=lambda i: (-self._pool_speeds[i], i)
+            )
+            self._e_active = [0.0] * npools
+            self._e_spin = [0.0] * npools
+            self._e_idle = [0.0] * npools
+            self._commit = self._commit_hetero  # type: ignore[method-assign]
+            self._recompute_rates = (  # type: ignore[method-assign]
+                self._recompute_rates_hetero
+            )
 
     # ------------------------------------------------------------------
     # Observable state (SchedulerContext reads these)
@@ -271,6 +318,8 @@ class Engine:
             raise SimulationError(
                 f"{stuck} requests never completed (scheduler deadlock?)"
             )
+        if self._hetero:
+            self._metrics.energy_report = self._build_energy_report()
         return self._metrics.finalize()
 
     # ------------------------------------------------------------------
@@ -354,15 +403,38 @@ class Engine:
             fault: CoreFault = detail
             removed = self._cores_online - max(1, self._cores_online - fault.cores)
             self._cores_online -= removed
+            if self._hetero:
+                # Take cores from the highest-index pools first (the
+                # little cluster in the canonical big/little ordering),
+                # deterministically; individual pools may go to zero as
+                # long as the machine keeps one core somewhere.
+                remaining = removed
+                taken = [0] * self._npools
+                for pool in range(self._npools - 1, -1, -1):
+                    take = min(remaining, self._pool_online[pool])
+                    self._pool_online[pool] -= take
+                    taken[pool] = take
+                    remaining -= take
+                    if remaining == 0:
+                        break
+                restore_detail: object = tuple(taken)
+            else:
+                restore_detail = removed
             stats.core_faults_applied += 1
             stats.faults_fired += 1
             self._queue.push(
                 self.now_ms + fault.duration_ms,
-                Event(EventKind.FAULT, payload=(_CORE_RESTORE, removed)),
+                Event(EventKind.FAULT, payload=(_CORE_RESTORE, restore_detail)),
             )
             self._rates_dirty = True
         elif kind == _CORE_RESTORE:
-            self._cores_online = min(self.cores, self._cores_online + int(detail))
+            if self._hetero:
+                taken = detail  # per-pool removal counts from the loss
+                for pool, count in enumerate(taken):
+                    self._pool_online[pool] += count
+                self._cores_online = min(self.cores, sum(self._pool_online))
+            else:
+                self._cores_online = min(self.cores, self._cores_online + int(detail))
             self._rates_dirty = True
         elif kind == _STALL:
             stall: StallFault = detail
@@ -404,7 +476,7 @@ class Engine:
         if decision.action is AdmissionAction.START or (
             decision.action is AdmissionAction.DELAY and decision.delay_ms <= 0
         ):
-            self._start_request(request, decision.degree)
+            self._start_request(request, decision.degree, decision.pool)
         elif decision.action is AdmissionAction.DELAY:
             request.state = RequestState.DELAYED
             insort(self._delayed, request.rid)
@@ -441,12 +513,26 @@ class Engine:
         else:  # pragma: no cover - enum is closed
             raise SimulationError(f"unknown admission {decision}")
 
-    def _start_request(self, request: SimRequest, degree: int) -> None:
+    def _start_request(
+        self, request: SimRequest, degree: int, pool: int | None = None
+    ) -> None:
         """Begin executing an admitted request (the one place requests
-        transition into the running set)."""
+        transition into the running set).
+
+        On a heterogeneous topology the request is placed on ``pool``
+        when the policy pinned one, else on the engine default: the
+        fastest pool with occupancy headroom for it (falling back to
+        the freest pool) — so policies that never mention pools still
+        get sensible big-first placement.
+        """
         waited_as = request.state  # pre-start state names the wait kind
         request.start(self.now_ms, max(1, degree))
         self._refresh_degree_cache(request)
+        if self._hetero:
+            if pool is not None and 0 <= pool < self._npools:
+                request.pool = pool
+            else:
+                request.pool = self._default_pool(request)
         self._running[request.rid] = request
         self._rates_dirty = True
         if self.scheduler.uses_quantum:
@@ -495,6 +581,12 @@ class Engine:
                 "boost_wait_ms": request.attr_boost_wait_ms,
                 "stall_ms": request.attr_stall_ms,
             }
+        if self._hetero:
+            energy_j = request.energy_mj / 1000.0
+            telemetry.metrics.histogram("sim.energy.request_j").record(energy_j)
+            attrs["energy_j"] = energy_j
+            attrs["pool"] = self._pool_names[request.pool]
+            attrs["migrations"] = request.migrations
         span = self._run_spans.pop(request.rid, None)
         if span is not None:
             telemetry.tracer.end(
@@ -544,7 +636,9 @@ class Engine:
                 decision.action is AdmissionAction.DELAY and decision.delay_ms <= 0
             ):
                 self._delayed_discard(rid)
-                self._apply_admission(request, Admission.start(decision.degree))
+                self._apply_admission(
+                    request, Admission.start(decision.degree, decision.pool)
+                )
             elif decision.action is AdmissionAction.SHED:
                 self._delayed_discard(rid)
                 self._apply_admission(request, decision)
@@ -690,6 +784,240 @@ class Engine:
                 Event(EventKind.COMPLETION, generation=self._generation),
             )
 
+    # ------------------------------------------------------------------
+    # Heterogeneous-topology machinery (repro.hetero, DESIGN.md §12).
+    # These entry points replace _commit/_recompute_rates via instance
+    # rebinding in __init__ when a topology is supplied; the legacy
+    # homogeneous path never reaches any of this code.
+    # ------------------------------------------------------------------
+    def pool_free_cores(self, pool: int) -> float:
+        """Occupancy headroom of ``pool``: online cores minus the summed
+        occupancy demand of the requests currently placed there (the
+        whole machine on the homogeneous path)."""
+        if not self._hetero:
+            if pool != 0:
+                raise SimulationError(f"homogeneous engine has no pool {pool}")
+            demand = 0.0
+            for request in self._running.values():
+                demand += request.degree_demand
+            return self._cores_online - demand
+        if not 0 <= pool < self._npools:
+            raise SimulationError(f"no pool {pool} in {self.topology!r}")
+        free = float(self._pool_online[pool])
+        for request in self._running.values():
+            if request.pool == pool:
+                free -= request.degree_demand
+        return free
+
+    def migrate(self, request: SimRequest, pool: int) -> bool:
+        """Move a running request's threads to another pool (the
+        Hurry-up actuator); returns True when the placement changed.
+        Migration cost is modeled as zero — rates simply refresh under
+        the new placement at the next recomputation."""
+        if (
+            not self._hetero
+            or not 0 <= pool < self._npools
+            or request.state is not RequestState.RUNNING
+            or request.pool == pool
+        ):
+            return False
+        source = request.pool
+        request.pool = pool
+        request.migrations += 1
+        self._rates_dirty = True
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter("sim.migrations").inc()
+            self.telemetry.tracer.instant(
+                "migrate", track="sim", lane=request.rid, at_ms=self.now_ms,
+                source=self._pool_names[source], target=self._pool_names[pool],
+            )
+        return True
+
+    def _default_pool(self, request: SimRequest) -> int:
+        """Engine placement: the fastest pool whose occupancy headroom
+        fits the request's demand, else the freest pool (faster pools
+        win headroom ties).  Deterministic — depends only on the
+        running set and the fixed speed ordering."""
+        free = [float(count) for count in self._pool_online]
+        for running in self._running.values():
+            free[running.pool] -= running.degree_demand
+        demand = request.degree_demand
+        best = self._pools_by_speed[0]
+        for pool in self._pools_by_speed:
+            if free[pool] >= demand - 1e-9:
+                return pool
+            if free[pool] > free[best] + 1e-12:
+                best = pool
+        return best
+
+    def _commit_hetero(self, t: float) -> None:
+        """The heterogeneous commit: the legacy :meth:`_commit` loop
+        (same operations in the same order, so the single-pool case
+        stays bit-identical) plus the energy accumulator.
+
+        Within the interval each request's threads occupy
+        ``share_cores`` physical cores on its pool at active power;
+        the useful part is ``degree_speedup * factor`` core-equivalents
+        (zero while stalled) and the rest is spin.  Online cores with
+        no thread accrue idle energy.  Accumulation is in W·ms = mJ.
+        """
+        dt = t - self.now_ms
+        if dt > 0:
+            now = self.now_ms
+            attribution = self.attribution
+            have_faults = self.fault_plan is not None
+            busy_cores = 0.0
+            total_threads = 0
+            active_w = self._pool_active_w
+            e_active = self._e_active
+            e_spin = self._e_spin
+            pool_busy = [0.0] * self._npools
+            for request in self._running.values():
+                factor = request.share_factor
+                core_alloc = request.share_cores
+                stalled = have_faults and request.is_stalled(now)
+                useful = factor * dt
+                if attribution:
+                    if stalled:
+                        request.attr_stall_ms += dt
+                    else:
+                        request.attr_service_ms += useful
+                        slowdown = dt - useful
+                        if request.boost_pending and not request.boosted:
+                            request.attr_boost_wait_ms += slowdown
+                        else:
+                            request.attr_contention_ms += slowdown
+                request.effective_ms += useful
+                remaining = request.remaining_work - request.rate * dt
+                if remaining <= 0.0:
+                    if remaining < -1e-6:
+                        raise SimulationError(
+                            f"request {request.rid}: overshoot {remaining}"
+                        )
+                    remaining = 0.0
+                request.remaining_work = remaining
+                degree = request.degree
+                request.thread_time_ms += degree * dt
+                request.core_time_ms += core_alloc * dt
+                residency = request.degree_residency
+                try:
+                    residency[degree] += dt
+                except KeyError:
+                    residency[degree] = dt
+                busy_cores += core_alloc
+                total_threads += degree
+                # --- energy: occupied cores burn active power; the
+                # useful share is active, the remainder spin (a stalled
+                # request's threads hold their cores but retire nothing,
+                # so its whole occupancy is spin).
+                pool = request.pool
+                occupied_ms = core_alloc * dt
+                active_ms = 0.0 if stalled else request.degree_speedup * factor * dt
+                power = active_w[pool]
+                e_active[pool] += power * active_ms
+                e_spin[pool] += power * (occupied_ms - active_ms)
+                request.energy_mj += power * occupied_ms
+                pool_busy[pool] += core_alloc
+            idle_w = self._pool_idle_w
+            online = self._pool_online
+            e_idle = self._e_idle
+            for pool in range(self._npools):
+                idle_cores = online[pool] - pool_busy[pool]
+                if idle_cores > 0.0:
+                    e_idle[pool] += idle_w[pool] * idle_cores * dt
+            in_system = (
+                len(self._running) + len(self._delayed) + len(self._waiting_fifo)
+            )
+            self._metrics.observe_interval(dt, total_threads, busy_cores, in_system)
+        self.now_ms = t
+
+    def _recompute_rates_hetero(self) -> None:
+        """Per-pool fluid rates: the legacy two-pass refresh with the
+        demand sums and contention factors computed pool-by-pool, and
+        each rate scaled by its pool's speed multiplier.
+
+        The sums accumulate in running-set order (like the legacy
+        pass), so with one pool at speed 1.0 every operation — the
+        division, the min/max clamps, ``rate = s * factor * 1.0`` —
+        reduces bitwise to the homogeneous engine's.
+        """
+        self._rates_dirty = False
+        self._generation += 1
+        running = self._running
+        npools = self._npools
+        boosted_demand = [0.0] * npools
+        unboosted_demand = [0.0] * npools
+        for request in running.values():
+            if request.boosted:
+                boosted_demand[request.pool] += request.degree_demand
+            else:
+                unboosted_demand[request.pool] += request.degree_demand
+
+        online = self._pool_online
+        boosted_factor = [1.0] * npools
+        unboosted_factor = [1.0] * npools
+        for pool in range(npools):
+            cores = online[pool]
+            demand = boosted_demand[pool]
+            factor = min(1.0, cores / demand) if demand > 0 else 1.0
+            boosted_factor[pool] = factor
+            remaining_cores = cores - demand * factor
+            demand = unboosted_demand[pool]
+            if demand > 0:
+                unboosted_factor[pool] = min(
+                    1.0, max(0.0, remaining_cores) / demand
+                )
+
+        now = self.now_ms
+        have_faults = self.fault_plan is not None
+        speeds = self._pool_speeds
+        earliest = _INF
+        for request in running.values():
+            pool = request.pool
+            factor = (
+                boosted_factor[pool] if request.boosted else unboosted_factor[pool]
+            )
+            request.share_factor = factor
+            request.share_cores = request.degree_demand * factor
+            rate = request.degree_speedup * factor * speeds[pool]
+            if have_faults and request.is_stalled(now):
+                rate = 0.0
+            request.rate = rate
+            if rate > 0.0:
+                eta = now + request.remaining_work / rate
+                if eta < earliest:
+                    earliest = eta
+        if earliest < _INF:
+            self._queue.push(
+                max(earliest, now),
+                Event(EventKind.COMPLETION, generation=self._generation),
+            )
+
+    def _build_energy_report(self) -> EnergyReport:
+        """Convert the W·ms accumulators into the per-pool report and
+        export the ``sim.energy.*`` gauges."""
+        pools = [
+            PoolEnergy(
+                name=self._pool_names[pool],
+                cores=self.topology[pool].count,
+                speed=self._pool_speeds[pool],
+                active_j=self._e_active[pool] / 1000.0,
+                spin_j=self._e_spin[pool] / 1000.0,
+                idle_j=self._e_idle[pool] / 1000.0,
+            )
+            for pool in range(self._npools)
+        ]
+        report = EnergyReport(pools, duration_ms=self.now_ms)
+        if self.telemetry is not None:
+            metrics = self.telemetry.metrics
+            metrics.gauge("sim.energy.total_j").set(report.total_j)
+            for entry in report.pools:
+                prefix = f"sim.energy.pool.{entry.name}"
+                metrics.gauge(f"{prefix}.active_j").set(entry.active_j)
+                metrics.gauge(f"{prefix}.spin_j").set(entry.spin_j)
+                metrics.gauge(f"{prefix}.idle_j").set(entry.idle_j)
+        return report
+
 
 def simulate(
     arrivals: Sequence[ArrivalSpec],
@@ -700,6 +1028,7 @@ def simulate(
     fault_plan: FaultPlan | None = None,
     telemetry: Telemetry | None = None,
     attribution: bool = True,
+    topology: Topology | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: build an :class:`Engine` and run it."""
     engine = Engine(
@@ -710,5 +1039,6 @@ def simulate(
         fault_plan=fault_plan,
         telemetry=telemetry,
         attribution=attribution,
+        topology=topology,
     )
     return engine.run(arrivals)

@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.formulas import weighted_order_statistic
 from repro.errors import SimulationError
 from repro.faults.plan import FaultStats
+from repro.hetero.energy import EnergyReport
 from repro.sim.request import SimRequest
 
 __all__ = [
@@ -72,6 +73,13 @@ class RequestRecord:
     contention_ms: float = 0.0
     boost_wait_ms: float = 0.0
     stall_ms: float = 0.0
+    #: Heterogeneous-topology accounting (``repro.hetero``): the pool
+    #: the request finished on, the joules its execution drew, and how
+    #: many cross-pool migrations it took.  All zero on the legacy
+    #: homogeneous path (no energy model is defined there).
+    pool: int = 0
+    energy_j: float = 0.0
+    migrations: int = 0
     tag: Any = None
 
     @property
@@ -148,6 +156,9 @@ class MetricsCollector:
         self._system_count_integral = 0.0
         self._observed_ms = 0.0
         self._thread_residency: dict[int, float] = {}
+        #: Set by the engine at end of run on a heterogeneous topology;
+        #: stays ``None`` on the legacy homogeneous path.
+        self.energy_report: EnergyReport | None = None
 
     def observe_interval(
         self, dt_ms: float, total_threads: int, busy_cores: float, system_count: int
@@ -183,6 +194,9 @@ class MetricsCollector:
                 contention_ms=request.attr_contention_ms,
                 boost_wait_ms=request.attr_boost_wait_ms,
                 stall_ms=request.attr_stall_ms,
+                pool=request.pool,
+                energy_j=request.energy_mj / 1000.0,
+                migrations=request.migrations,
                 tag=request.tag,
             )
         )
@@ -219,6 +233,7 @@ class MetricsCollector:
             thread_residency=dict(self._thread_residency),
             shed_records=sorted(self.shed_records, key=lambda r: r.arrival_ms),
             fault_stats=self.fault_stats,
+            energy=self.energy_report,
         )
 
 
@@ -236,6 +251,7 @@ class SimulationResult:
         thread_residency: dict[int, float] | None = None,
         shed_records: list[ShedRecord] | None = None,
         fault_stats: FaultStats | None = None,
+        energy: EnergyReport | None = None,
     ) -> None:
         if not records:
             raise SimulationError("simulation produced no completed requests")
@@ -250,6 +266,8 @@ class SimulationResult:
         self.shed_records = shed_records or []
         #: Fault-injection and shedding counters for the whole run.
         self.fault_stats = fault_stats or FaultStats()
+        #: Per-pool energy totals (``None`` on the homogeneous path).
+        self.energy = energy
 
     def __len__(self) -> int:
         return len(self.records)
@@ -298,6 +316,16 @@ class SimulationResult:
             return out
 
         return {"overall": means(self.records), "tail": means(self.tail_records(phi))}
+
+    # ------------------------------------------------------------------
+    # Energy views (repro.hetero)
+    # ------------------------------------------------------------------
+    def joules_per_query(self) -> float:
+        """Total platform energy per completed request (NaN when the
+        run had no energy model, i.e. the homogeneous path)."""
+        if self.energy is None:
+            return float("nan")
+        return self.energy.joules_per_query(len(self.records))
 
     # ------------------------------------------------------------------
     # Robustness views (load shedding / fault injection)
@@ -400,4 +428,5 @@ class SimulationResult:
             },
             shed_records=[r for r in self.shed_records if lo <= r.arrival_ms <= hi],
             fault_stats=self.fault_stats,
+            energy=self.energy.scaled(fraction) if self.energy is not None else None,
         )

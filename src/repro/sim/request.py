@@ -71,6 +71,9 @@ class SimRequest:
         "share_cores",
         "degree_speedup",
         "degree_demand",
+        "pool",
+        "energy_mj",
+        "migrations",
     )
 
     def __init__(
@@ -136,6 +139,14 @@ class SimRequest:
         #: every allocation round.
         self.degree_speedup = 0.0
         self.degree_demand = 0.0
+        #: Heterogeneous-topology state (``repro.hetero``): the core
+        #: pool this request's threads currently occupy, the energy its
+        #: execution has drawn (accumulated in watt-ms = millijoules),
+        #: and how many times a policy migrated it between pools.  All
+        #: stay at their zeros on the legacy homogeneous path.
+        self.pool = 0
+        self.energy_mj = 0.0
+        self.migrations = 0
 
     # ------------------------------------------------------------------
     def start(self, now_ms: float, degree: int) -> None:

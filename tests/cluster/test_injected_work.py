@@ -1,0 +1,92 @@
+"""Retry-load accounting: redundancy's offered work is a visible metric.
+
+ROADMAP flagged that static hedge/retry comparisons past the knee are
+dishonest unless the *extra offered work* each policy injects is on the
+books.  ``RobustClusterResult.injected_work_ms`` (and the
+``cluster.retry.injected_work`` counter) now carries it — pure
+accounting, no behavior change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.hedging import HedgePolicy, RetryPolicy
+from repro.cluster.simulation import simulate_cluster_robust
+from repro.faults import FaultPlan
+from repro.schedulers import SequentialScheduler
+from repro.telemetry import Telemetry
+from repro.workloads.arrivals import UniformProcess
+
+
+def _run(tiny_workload, **kwargs):
+    return simulate_cluster_robust(
+        scheduler_factory=SequentialScheduler,
+        workload=tiny_workload,
+        num_servers=3,
+        num_queries=50,
+        process=UniformProcess(60.0),
+        cores=4,
+        seed=2,
+        **kwargs,
+    )
+
+
+class TestInjectedWork:
+    def test_zero_without_redundancy(self, tiny_workload):
+        run = _run(tiny_workload)
+        assert run.hedges_sent == 0 and run.retries_sent == 0
+        assert run.injected_work_ms == 0.0
+
+    def test_spare_hedging_accounts_replica_demand(self, tiny_workload):
+        run = _run(tiny_workload, hedge=HedgePolicy(delay_percentile=0.8))
+        assert run.hedges_sent > 0
+        assert run.injected_work_ms > 0.0
+        assert np.isfinite(run.injected_work_ms)
+
+    def test_shared_hedging_accounts_neighbor_demand(self, tiny_workload):
+        run = _run(
+            tiny_workload,
+            hedge=HedgePolicy(delay_percentile=0.8),
+            replica_mode="shared",
+        )
+        assert run.hedges_sent > 0
+        assert run.injected_work_ms > 0.0
+
+    def test_retries_account_repeated_demand(self, tiny_workload):
+        run = _run(
+            tiny_workload,
+            fault_plan_factory=lambda i: FaultPlan(
+                straggler_rate=0.4, straggler_mu=1.5, seed=i
+            ),
+            retry=RetryPolicy(timeout_ms=150.0),
+        )
+        assert run.retries_sent > 0
+        assert run.injected_work_ms > 0.0
+
+    def test_more_aggressive_hedging_injects_more_work(self, tiny_workload):
+        mild = _run(tiny_workload, hedge=HedgePolicy(delay_percentile=0.95))
+        eager = _run(tiny_workload, hedge=HedgePolicy(delay_percentile=0.5))
+        assert eager.hedges_sent >= mild.hedges_sent
+        assert eager.injected_work_ms >= mild.injected_work_ms
+
+    def test_counter_export_matches_result(self, tiny_workload):
+        telemetry = Telemetry()
+        run = _run(
+            tiny_workload,
+            hedge=HedgePolicy(delay_percentile=0.8),
+            telemetry=telemetry,
+        )
+        counter = telemetry.metrics.counter("cluster.retry.injected_work")
+        assert counter.value == pytest.approx(run.injected_work_ms)
+
+    def test_deterministic(self, tiny_workload):
+        kwargs = dict(
+            hedge=HedgePolicy(delay_percentile=0.8),
+            retry=RetryPolicy(timeout_ms=300.0),
+            fault_plan_factory=lambda i: FaultPlan(straggler_rate=0.3, seed=i),
+        )
+        a = _run(tiny_workload, **kwargs)
+        b = _run(tiny_workload, **kwargs)
+        assert a.injected_work_ms == b.injected_work_ms

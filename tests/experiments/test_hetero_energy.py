@@ -1,0 +1,107 @@
+"""The hetero-energy experiment: frontier claim, wiring, determinism."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.config import TINY
+from repro.experiments.hetero_energy import (
+    CORES,
+    RPS_SWEEP,
+    big_little_topology,
+    experiment_hetero_energy,
+    hetero_policies,
+    homogeneous_topology,
+    run_hetero_sweep,
+)
+from repro.parallel import default_workers
+
+
+class TestWiring:
+    def test_topologies(self):
+        homo = homogeneous_topology()
+        assert homo.total_cores == CORES
+        assert homo.is_single_pool
+        bl = big_little_topology()
+        assert bl.total_cores == CORES
+        assert bl.equivalent_capacity() == 20.0
+        assert bl.index_of("big") == 0
+
+    def test_policies_are_table_tuned_to_capacity(self):
+        policies = hetero_policies(TINY, big_little_topology())
+        assert set(policies) == {"FIX-3", "FM", "Hurry-up", "EA-FM"}
+        # The big/little box has 20 equivalent cores; FM's table must be
+        # built for that capacity, not the 16 physical cores.
+        assert policies["FM"].table.metadata.target_parallelism == 20.0
+        assert policies["EA-FM"].table.metadata.target_parallelism == 20.0
+        homo = hetero_policies(TINY, homogeneous_topology())
+        assert homo["FM"].table.metadata.target_parallelism == 16.0
+
+    def test_cli_registration(self):
+        from repro.cli import EXPERIMENTS
+
+        assert "hetero-energy" in EXPERIMENTS
+
+
+@pytest.fixture(scope="module")
+def tiny_figure():
+    return experiment_hetero_energy(TINY)
+
+
+class TestExperiment:
+    def test_structure(self, tiny_figure):
+        assert tiny_figure.figure_id == "hetero-energy"
+        # One panel per topology plus the energy decomposition.
+        assert len(tiny_figure.tables) == 3
+        assert len(tiny_figure.notes) >= 4
+        for table in tiny_figure.tables[:2]:
+            assert len(table.rows) == len(RPS_SWEEP) * 4
+
+    def test_energy_columns_are_finite(self, tiny_figure):
+        for table in tiny_figure.tables[:2]:
+            jpq_col = table.columns.index("J/query")
+            for row in table.rows:
+                assert math.isfinite(row[jpq_col])
+
+    def test_frontier_claim_holds(self, tiny_figure):
+        """The acceptance gate: EA-FM dominates FIX-3 (lower p99 AND
+        lower J/query) at >= 1 load point on the big/little topology."""
+        note = tiny_figure.notes[0]
+        assert "strictly dominates FIX-3" in note
+
+    def test_decomposition_adds_up(self, tiny_figure):
+        decomp = tiny_figure.tables[2]
+        total_col = decomp.columns.index("total J")
+        for row in decomp.rows:
+            parts = sum(row[1:total_col])
+            assert parts == pytest.approx(row[total_col], rel=1e-9)
+
+
+class TestDeterminism:
+    def test_sweep_is_identical_across_worker_counts(self):
+        topology = big_little_topology()
+        with default_workers(1):
+            serial = run_hetero_sweep(TINY, topology)
+        with default_workers(2):
+            parallel = run_hetero_sweep(TINY, topology)
+        assert serial.policies() == parallel.policies()
+        for name in serial.policies():
+            assert serial[name].tail_ms == parallel[name].tail_ms
+            assert serial[name].mean_ms == parallel[name].mean_ms
+            for kept_s, kept_p in zip(serial[name].results, parallel[name].results):
+                assert [r.energy.total_j for r in kept_s] == [
+                    r.energy.total_j for r in kept_p
+                ]
+
+    def test_homogeneous_panel_collapses_to_fm(self):
+        """On one pool EA-FM *is* FM — same bits, same bill."""
+        sweep = run_hetero_sweep(TINY, homogeneous_topology())
+        assert sweep["EA-FM"].tail_ms == sweep["FM"].tail_ms
+        for kept_fm, kept_ea in zip(
+            sweep["FM"].results, sweep["EA-FM"].results
+        ):
+            assert [r.energy.total_j for r in kept_fm] == [
+                r.energy.total_j for r in kept_ea
+            ]

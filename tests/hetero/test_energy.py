@@ -1,0 +1,70 @@
+"""PoolEnergy / EnergyReport arithmetic."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.hetero import EnergyReport, PoolEnergy
+
+
+def _report() -> EnergyReport:
+    return EnergyReport(
+        [
+            PoolEnergy("big", 4, 2.0, active_j=10.0, spin_j=2.0, idle_j=1.0),
+            PoolEnergy("little", 12, 1.0, active_j=5.0, spin_j=1.0, idle_j=3.0),
+        ],
+        duration_ms=2_000.0,
+    )
+
+
+class TestPoolEnergy:
+    def test_total(self):
+        pool = PoolEnergy("p", 2, 1.0, active_j=1.5, spin_j=0.5, idle_j=0.25)
+        assert pool.total_j == 2.25
+
+    def test_scaled(self):
+        pool = PoolEnergy("p", 2, 1.0, active_j=4.0, spin_j=2.0, idle_j=1.0)
+        half = pool.scaled(0.5)
+        assert (half.active_j, half.spin_j, half.idle_j) == (2.0, 1.0, 0.5)
+        assert half.name == "p" and half.cores == 2
+
+
+class TestEnergyReport:
+    def test_sums(self):
+        report = _report()
+        assert report.active_j == 15.0
+        assert report.spin_j == 3.0
+        assert report.idle_j == 4.0
+        assert report.total_j == 22.0
+
+    def test_pool_lookup(self):
+        report = _report()
+        assert report.pool("big").active_j == 10.0
+        with pytest.raises(KeyError):
+            report.pool("medium")
+
+    def test_joules_per_query(self):
+        report = _report()
+        assert report.joules_per_query(11) == 2.0
+        assert math.isnan(report.joules_per_query(0))
+        assert math.isnan(report.joules_per_query(-3))
+
+    def test_average_power(self):
+        report = _report()
+        assert report.average_power_w() == 22.0 / 2.0  # 2 s run
+        empty = EnergyReport([], duration_ms=0.0)
+        assert math.isnan(empty.average_power_w())
+
+    def test_scaled(self):
+        half = _report().scaled(0.5)
+        assert half.total_j == 11.0
+        assert half.duration_ms == 1_000.0
+        assert half.pool("little").idle_j == 1.5
+
+    def test_as_dict_round_trip(self):
+        data = _report().as_dict()
+        assert data["total_j"] == 22.0
+        assert data["pools"]["big"]["speed"] == 2.0
+        assert data["pools"]["little"]["total_j"] == 9.0

@@ -1,0 +1,119 @@
+"""Property-based invariants of the heterogeneous engine.
+
+Whatever the trace and topology:
+
+* **speed monotonicity** — running the same trace on a strictly faster
+  homogeneous pool never makes any request slower (work-conserving
+  processor sharing with degree decisions that don't depend on speed);
+* **energy additivity** — the per-request energy attribution and the
+  three-way (active/spin/idle) pool decomposition both re-add to the
+  accumulator totals within 1e-6 J.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.speedup import TabulatedSpeedup
+from repro.hetero import CorePool, Topology
+from repro.schedulers import FixedScheduler, SequentialScheduler
+from repro.sim.engine import ArrivalSpec, simulate
+
+_CURVE = TabulatedSpeedup([1.0, 1.6, 2.1, 2.5])
+
+#: Load-oblivious policies only: FM's table keys on *load*, so a faster
+#: machine can legitimately choose different degrees and lose per-request
+#: monotonicity while improving the distribution.
+_policies = st.sampled_from(
+    [SequentialScheduler(), FixedScheduler(2), FixedScheduler(4)]
+)
+
+_traces = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=500.0),  # arrival
+        st.floats(min_value=1.0, max_value=300.0),  # demand
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+def _specs(trace):
+    return [ArrivalSpec(t, s, _CURVE) for t, s in trace]
+
+
+@given(
+    trace=_traces,
+    policy=_policies,
+    cores=st.integers(min_value=2, max_value=6),
+    slow=st.floats(min_value=0.5, max_value=2.0),
+    boost=st.floats(min_value=1.05, max_value=3.0),
+    spin=st.sampled_from([0.0, 0.25]),
+)
+@settings(max_examples=60, deadline=None)
+def test_no_request_is_slower_on_a_strictly_faster_pool(
+    trace, policy, cores, slow, boost, spin
+):
+    specs = _specs(trace)
+    slower = simulate(
+        specs, policy, cores=cores, spin_fraction=spin,
+        topology=Topology.homogeneous(cores, speed=slow),
+    )
+    faster = simulate(
+        specs, policy, cores=cores, spin_fraction=spin,
+        topology=Topology.homogeneous(cores, speed=slow * boost),
+    )
+    for was, now in zip(slower.records, faster.records):
+        assert now.rid == was.rid
+        assert now.finish_ms <= was.finish_ms + 1e-6
+        assert now.latency_ms <= was.latency_ms + 1e-6
+
+
+@st.composite
+def _topologies(draw):
+    num_pools = draw(st.integers(min_value=1, max_value=3))
+    pools = []
+    for index in range(num_pools):
+        pools.append(
+            CorePool(
+                name=f"p{index}",
+                count=draw(st.integers(min_value=1, max_value=4)),
+                speed=draw(st.floats(min_value=0.5, max_value=3.0)),
+                active_power_w=draw(st.floats(min_value=0.1, max_value=5.0)),
+                idle_power_w=draw(st.floats(min_value=0.0, max_value=1.0)),
+            )
+        )
+    return Topology(pools)
+
+
+@given(
+    trace=_traces,
+    policy=_policies,
+    topology=_topologies(),
+    spin=st.sampled_from([0.0, 0.25, 0.5]),
+)
+@settings(max_examples=60, deadline=None)
+def test_energy_decomposition_is_additive(trace, policy, topology, spin):
+    result = simulate(
+        _specs(trace), policy, cores=topology.total_cores,
+        spin_fraction=spin, topology=topology,
+    )
+    report = result.energy
+    assert report is not None
+
+    # Per-request attribution re-adds to the occupied (active+spin)
+    # energy: idle belongs to the platform, not to any request.
+    per_request = sum(record.energy_j for record in result.records)
+    assert abs(per_request - (report.active_j + report.spin_j)) <= 1e-6
+
+    # The three-way split re-adds to the total, overall and per pool.
+    assert abs(report.total_j - (report.active_j + report.spin_j + report.idle_j)) <= 1e-6
+    for pool in report.pools:
+        assert abs(pool.total_j - (pool.active_j + pool.spin_j + pool.idle_j)) <= 1e-6
+
+    # Nothing is negative, and a non-empty run on positive power burns
+    # something.
+    for pool in report.pools:
+        assert pool.active_j >= 0.0
+        assert pool.spin_j >= -1e-12
+        assert pool.idle_j >= -1e-12

@@ -225,3 +225,56 @@ class TestCLI:
         text = analyze_trace(path, phi=PHI, top=3).render()
         assert "dominant component" in text
         assert "sim.completions" in text
+
+
+@pytest.fixture(scope="module")
+def hetero_run():
+    """One traced run on a big/little topology: spans carry energy."""
+    from repro.hetero import Topology
+
+    workload = _workload()
+    table = build_interval_table(workload.profile, _SEARCH)
+    telemetry = Telemetry()
+    rng = np.random.default_rng(33)
+    arrivals = workload.arrivals(200, PoissonProcess(45.0), rng)
+    result = simulate(
+        arrivals, FMScheduler(table), cores=4, telemetry=telemetry,
+        topology=Topology.big_little(big=1, little=3),
+    )
+    return result, telemetry
+
+
+class TestEnergySurfacing:
+    def test_hetero_trace_reports_energy(self, hetero_run, tmp_path):
+        result, telemetry = hetero_run
+        path = write_chrome_trace(tmp_path / "t.json", telemetry)
+        report = analyze_trace(path, phi=PHI)
+        track = report.tracks["sim"]
+        assert track.has_energy
+        # The analyzer's per-query mean must re-add to the flight
+        # recorder's per-request attribution.
+        expected = sum(r.energy_j for r in result.records) / len(result.records)
+        assert track.joules_per_query == pytest.approx(expected)
+        assert track.tail_joules_per_query >= track.joules_per_query
+
+    def test_render_and_json_carry_energy(self, hetero_run, tmp_path):
+        _, telemetry = hetero_run
+        path = write_chrome_trace(tmp_path / "t.json", telemetry)
+        report = analyze_trace(path, phi=PHI, top=3)
+        text = report.render()
+        assert "J/query" in text
+        assert "energy (J)" in text  # slowest-requests column
+        data = report.tracks["sim"].to_json()
+        assert data["joules_per_query"] == report.tracks["sim"].joules_per_query
+        assert all("energy_j" in e and "pool" in e for e in data["slowest"])
+
+    def test_legacy_trace_is_nan_safe(self, sim_run, tmp_path):
+        """A trace that predates energy accounting renders cleanly."""
+        _, telemetry = sim_run
+        path = write_chrome_trace(tmp_path / "t.json", telemetry)
+        report = analyze_trace(path, phi=PHI)
+        track = report.tracks["sim"]
+        assert not track.has_energy
+        text = report.render()
+        assert "J/query" not in text
+        assert "joules_per_query" not in track.to_json()

@@ -1,0 +1,107 @@
+"""HurryUpScheduler: fixed degrees, deadline-driven big-core rescue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.speedup import TabulatedSpeedup
+from repro.errors import ConfigurationError
+from repro.hetero import Topology
+from repro.schedulers import FixedScheduler, HurryUpScheduler
+from repro.sim.engine import ArrivalSpec, simulate
+
+_CURVE = TabulatedSpeedup([1.0, 1.6, 2.1, 2.5])
+
+
+def _arrivals(specs):
+    return [ArrivalSpec(t, s, _CURVE) for t, s in specs]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"degree": 0},
+            {"deadline_ms": 0.0},
+            {"deadline_ms": -5.0},
+            {"endangered_fraction": 0.0},
+            {"endangered_fraction": 1.5},
+            {"load_protection": 0},
+        ],
+    )
+    def test_bad_config_raises(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            HurryUpScheduler(**kwargs)
+
+    def test_name_and_threshold(self):
+        scheduler = HurryUpScheduler(degree=3, deadline_ms=200.0,
+                                     endangered_fraction=0.4)
+        assert scheduler.name == "Hurry-up-3"
+        assert scheduler.endangered_age_ms == pytest.approx(80.0)
+        assert HurryUpScheduler(load_protection=30).name.endswith("/lp30")
+
+
+class TestPlacement:
+    def test_everything_starts_little(self):
+        topo = Topology.big_little(big=2, little=4)
+        # Short requests finish before the endangerment age: they must
+        # live and die on the little pool.
+        result = simulate(
+            _arrivals([(0.0, 10.0), (5.0, 10.0)]),
+            HurryUpScheduler(degree=2, deadline_ms=200.0),
+            cores=6, quantum_ms=5.0, topology=topo,
+        )
+        for record in result.records:
+            assert record.pool == 1
+            assert record.migrations == 0
+
+    def test_endangered_request_migrates_to_big(self):
+        topo = Topology.big_little(big=2, little=4, big_speed=2.0)
+        # 300 ms of sequential demand at degree 1 on little: crosses
+        # the 80 ms endangerment age mid-run and must move to big.
+        result = simulate(
+            _arrivals([(0.0, 300.0)]),
+            HurryUpScheduler(degree=1, deadline_ms=200.0,
+                             endangered_fraction=0.4),
+            cores=6, quantum_ms=5.0, topology=topo,
+        )
+        record = result.records[0]
+        assert record.pool == 0
+        assert record.migrations == 1
+        # 80 ms on little + remaining 220 ms at 2x: well under 300 ms.
+        assert record.latency_ms < 300.0
+
+    def test_rescue_beats_staying_on_little(self):
+        topo = Topology.big_little(big=2, little=4, big_speed=2.0)
+        spec = _arrivals([(0.0, 300.0)])
+        hurry = simulate(
+            spec, HurryUpScheduler(degree=1, deadline_ms=200.0),
+            cores=6, quantum_ms=5.0, topology=topo,
+        )
+        fixed = simulate(
+            spec, FixedScheduler(1), cores=6, quantum_ms=5.0,
+            topology=Topology.homogeneous(6),
+        )
+        assert hurry.records[0].latency_ms < fixed.records[0].latency_ms
+
+
+class TestHomogeneousDegeneration:
+    def test_tracks_fixed_on_legacy_engine(self):
+        # No topology: migration is a no-op and Hurry-up is FIX-N.
+        specs = _arrivals([(float(i) * 6.0, 20.0 + i % 7) for i in range(60)])
+        hurry = simulate(specs, HurryUpScheduler(degree=3), cores=4)
+        fixed = simulate(specs, FixedScheduler(3), cores=4)
+        assert [r.final_degree for r in hurry.records] == [
+            r.final_degree for r in fixed.records
+        ]
+        assert hurry.tail_latency_ms(0.99) == pytest.approx(
+            fixed.tail_latency_ms(0.99), rel=1e-9
+        )
+
+    def test_load_protection_degrades_to_sequential(self):
+        specs = _arrivals([(0.0, 50.0)] * 8)
+        result = simulate(
+            specs, HurryUpScheduler(degree=3, load_protection=2), cores=4
+        )
+        protected = [r for r in result.records if r.final_degree == 1]
+        assert len(protected) >= 6
