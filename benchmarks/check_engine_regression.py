@@ -23,39 +23,18 @@ Exit code 0 = pass, 1 = regression, 2 = bad input.
 
 from __future__ import annotations
 
-import argparse
-import json
-import sys
-from pathlib import Path
-
-REPO_ROOT = Path(__file__).resolve().parent.parent
-
-
-def _events_per_s(report: dict, path: Path) -> float:
-    try:
-        return float(report["single_process"]["events_per_s"])
-    except (KeyError, TypeError, ValueError):
-        print(f"error: {path} has no single_process.events_per_s", file=sys.stderr)
-        raise SystemExit(2)
+from gatelib import (
+    fail,
+    get_path,
+    load_report_pair,
+    make_parser,
+    throughput_floor_check,
+    verdict,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "report", type=Path, help="fresh BENCH_engine.json to validate"
-    )
-    parser.add_argument(
-        "--baseline",
-        type=Path,
-        default=REPO_ROOT / "BENCH_engine.json",
-        help="committed baseline report (default: repo-root BENCH_engine.json)",
-    )
-    parser.add_argument(
-        "--threshold",
-        type=float,
-        default=0.25,
-        help="max tolerated fractional events/sec drop vs baseline (default 0.25)",
-    )
+    parser = make_parser(__doc__, "BENCH_engine.json", threshold=0.25)
     parser.add_argument(
         "--min-speedup",
         type=float,
@@ -63,50 +42,28 @@ def main(argv: list[str] | None = None) -> int:
         help="min same-machine speedup vs the frozen reference engine",
     )
     args = parser.parse_args(argv)
+    report, baseline = load_report_pair(args.report, args.baseline)
 
-    try:
-        report = json.loads(args.report.read_text())
-        baseline = json.loads(args.baseline.read_text())
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-
-    fresh = _events_per_s(report, args.report)
-    committed = _events_per_s(baseline, args.baseline)
-    floor = committed * (1.0 - args.threshold)
-    drop = 1.0 - fresh / committed
-    print(
-        f"events/sec: fresh={fresh:,.0f} committed={committed:,.0f} "
-        f"({'-' if drop > 0 else '+'}{abs(drop):.1%}; floor at "
-        f"-{args.threshold:.0%} = {floor:,.0f})"
+    fresh = float(
+        get_path(report, args.report, "single_process", "events_per_s")
     )
-    failed = False
-    if fresh < floor:
-        print(
-            f"FAIL: events/sec regressed {drop:.1%} "
-            f"(> {args.threshold:.0%} threshold)",
-            file=sys.stderr,
-        )
-        failed = True
+    committed = float(
+        get_path(baseline, args.baseline, "single_process", "events_per_s")
+    )
+    failed = throughput_floor_check("events/sec", fresh, committed, args.threshold, unit="")
 
     speedup = float(report["single_process"].get("speedup_vs_reference", 0.0))
     print(f"same-machine speedup vs frozen reference: {speedup:.2f}x")
     if speedup < args.min_speedup:
-        print(
-            f"FAIL: speedup vs repro.sim._baseline fell to {speedup:.2f}x "
-            f"(< {args.min_speedup:.2f}x)",
-            file=sys.stderr,
+        failed = fail(
+            f"speedup vs repro.sim._baseline fell to {speedup:.2f}x "
+            f"(< {args.min_speedup:.2f}x)"
         )
-        failed = True
 
     if not report["single_process"].get("bit_identical_to_reference", False):
-        print("FAIL: report does not attest bit-identity", file=sys.stderr)
-        failed = True
+        failed = fail("report does not attest bit-identity")
 
-    if failed:
-        return 1
-    print("PASS")
-    return 0
+    return verdict(failed)
 
 
 if __name__ == "__main__":

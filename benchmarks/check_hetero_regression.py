@@ -27,77 +27,43 @@ Exit code 0 = pass, 1 = regression, 2 = bad input.
 
 from __future__ import annotations
 
-import argparse
-import json
-import sys
-from pathlib import Path
-
-REPO_ROOT = Path(__file__).resolve().parent.parent
-
-
-def _get(report: dict, path: Path, *keys):
-    node = report
-    try:
-        for key in keys:
-            node = node[key]
-    except (KeyError, TypeError):
-        dotted = ".".join(keys)
-        print(f"error: {path} has no {dotted}", file=sys.stderr)
-        raise SystemExit(2)
-    return node
+from gatelib import (
+    fail,
+    get_path,
+    load_report_pair,
+    make_parser,
+    throughput_floor_check,
+    verdict,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "report", type=Path, help="fresh BENCH_hetero.json to validate"
-    )
-    parser.add_argument(
-        "--baseline",
-        type=Path,
-        default=REPO_ROOT / "BENCH_hetero.json",
-        help="committed baseline report (default: repo-root BENCH_hetero.json)",
-    )
+    parser = make_parser(__doc__, "BENCH_hetero.json", threshold=0.30)
     parser.add_argument(
         "--min-dominated",
         type=int,
         default=1,
         help="load points where EA-FM must dominate FIX-3 (default 1)",
     )
-    parser.add_argument(
-        "--threshold",
-        type=float,
-        default=0.30,
-        help="max tolerated fractional events/sec drop (default 0.30)",
-    )
     args = parser.parse_args(argv)
-
-    try:
-        report = json.loads(args.report.read_text())
-        baseline = json.loads(args.baseline.read_text())
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    report, baseline = load_report_pair(args.report, args.baseline)
 
     failed = False
 
-    identity = _get(report, args.report, "bit_identity")
+    identity = get_path(report, args.report, "bit_identity")
     print(
         f"bit identity: identical={identity.get('bit_identical_to_baseline')} "
         f"energy_accounted={identity.get('energy_accounted')} "
         f"({identity.get('num_requests', '?')} requests)"
     )
     if not identity.get("bit_identical_to_baseline", False):
-        print(
-            "FAIL: single-pool hetero run diverged from repro.sim._baseline",
-            file=sys.stderr,
+        failed = fail(
+            "single-pool hetero run diverged from repro.sim._baseline"
         )
-        failed = True
     if not identity.get("energy_accounted", False):
-        print("FAIL: hetero run produced no energy report", file=sys.stderr)
-        failed = True
+        failed = fail("hetero run produced no energy report")
 
-    frontier = _get(report, args.report, "frontier")
+    frontier = get_path(report, args.report, "frontier")
     for point in frontier.get("points", []):
         marker = "dominates" if point.get("dominates") else "-"
         print(
@@ -112,49 +78,31 @@ def main(argv: list[str] | None = None) -> int:
         f"(need >= {args.min_dominated})"
     )
     if dominated < args.min_dominated:
-        print(
-            f"FAIL: EA-FM dominates FIX-3 at only {dominated} load point(s) "
+        failed = fail(
+            f"EA-FM dominates FIX-3 at only {dominated} load point(s) "
             f"(< {args.min_dominated}) — the latency-energy frontier claim "
-            "is dead",
-            file=sys.stderr,
+            "is dead"
         )
-        failed = True
 
-    determinism = _get(report, args.report, "determinism")
+    determinism = get_path(report, args.report, "determinism")
     print(
         f"determinism: workers {determinism.get('workers_compared')} "
         f"identical={determinism.get('results_identical')}"
     )
     if not determinism.get("results_identical", False):
-        print(
-            "FAIL: hetero sweep results depend on the worker count",
-            file=sys.stderr,
-        )
-        failed = True
+        failed = fail("hetero sweep results depend on the worker count")
 
-    fresh = float(_get(report, args.report, "engine_throughput", "events_per_s"))
+    fresh = float(
+        get_path(report, args.report, "engine_throughput", "events_per_s")
+    )
     committed = float(
-        _get(baseline, args.baseline, "engine_throughput", "events_per_s")
+        get_path(baseline, args.baseline, "engine_throughput", "events_per_s")
     )
-    floor = committed * (1.0 - args.threshold)
-    drop = 1.0 - fresh / committed
-    print(
-        f"engine throughput: fresh={fresh:,.0f} ev/s committed={committed:,.0f} ev/s "
-        f"({'-' if drop > 0 else '+'}{abs(drop):.1%}; floor at "
-        f"-{args.threshold:.0%} = {floor:,.0f} ev/s)"
+    failed |= throughput_floor_check(
+        "engine throughput", fresh, committed, args.threshold, unit=" ev/s"
     )
-    if fresh < floor:
-        print(
-            f"FAIL: hetero engine throughput regressed {drop:.1%} "
-            f"(> {args.threshold:.0%} threshold)",
-            file=sys.stderr,
-        )
-        failed = True
 
-    if failed:
-        return 1
-    print("PASS")
-    return 0
+    return verdict(failed)
 
 
 if __name__ == "__main__":

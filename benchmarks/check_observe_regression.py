@@ -1,0 +1,118 @@
+"""CI gate: fail when the observability plane regresses.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py --quick --only observe \
+        --observe-output bench_observe_fresh.json
+    python benchmarks/check_observe_regression.py bench_observe_fresh.json
+
+Four checks, in decreasing order of hardware independence:
+
+1. **Early detection** (seeded, hardware-independent): the live-tail
+   overload flip must attest ``flag_leads_breach`` — the changepoint
+   detector flags a window at/after fault onset and strictly before
+   the SLO breach floor.  If this dies, the headline claim of the
+   ``live-tail`` experiment is dead.
+2. **Replay equivalence** (seeded, hardware-independent): a plane
+   replayed from a trace must reproduce ``repro analyze``'s
+   attribution totals within 1e-6 ms (``replay_matches_analyze``).
+3. **Live-plane cost** (same-machine): an engine run with a fully
+   armed plane attached must stay within ``--max-overhead`` percent
+   (default 40) of the same run with ``live=None``.  The armed plane
+   does real per-completion work (histogram record, SLO feed,
+   attribution sums) and prices out around 25-35%; the bound catches
+   an accidental O(n) scan landing on that path, not the honest cost.
+4. **Throughput** (cross-run, wide band): the trace analyzer's
+   ``spans_per_s`` and the plane-off engine ``off_events_per_s`` must
+   each be within ``--threshold`` (default 30%) of the committed
+   ``BENCH_observe.json`` — the second is the zero-cost-when-disabled
+   trajectory (the live hook is one pointer check per completion).
+
+Exit code 0 = pass, 1 = regression, 2 = bad input.
+"""
+
+from __future__ import annotations
+
+from gatelib import (
+    fail,
+    get_path,
+    load_report_pair,
+    make_parser,
+    throughput_floor_check,
+    verdict,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = make_parser(__doc__, "BENCH_observe.json", threshold=0.30)
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=40.0,
+        help="max tolerated %% engine slowdown with the plane armed",
+    )
+    args = parser.parse_args(argv)
+    report, baseline = load_report_pair(args.report, args.baseline)
+
+    failed = False
+
+    tail = get_path(report, args.report, "live_tail")
+    print(
+        f"live-tail: fault onset window {tail.get('fault_window')}, "
+        f"flagged window {tail.get('flagged_window')}, "
+        f"breach floor window {tail.get('breach_floor_window')} "
+        f"(flag_leads_breach={tail.get('flag_leads_breach')})"
+    )
+    if not tail.get("flag_leads_breach", False):
+        failed = fail(
+            "the detector no longer flags the overload flip before the "
+            "SLO breach floor"
+        )
+    print(
+        f"replay equivalence: max |replay - analyze| = "
+        f"{float(tail.get('replay_max_abs_diff_ms', float('inf'))):.3g} ms "
+        f"(matches={tail.get('replay_matches_analyze')})"
+    )
+    if not tail.get("replay_matches_analyze", False):
+        failed = fail(
+            "replayed attribution totals diverged from repro analyze "
+            "by more than 1e-6 ms"
+        )
+
+    plane = get_path(report, args.report, "live_plane")
+    overhead = float(plane.get("overhead_enabled_pct", float("inf")))
+    print(
+        f"live plane armed: {overhead:+.2f}% engine slowdown "
+        f"(limit {args.max_overhead:.0f}%), "
+        f"{plane.get('windows_closed', '?')} windows, "
+        f"{float(plane.get('snapshots_per_s', 0)):,.0f} snapshots/s"
+    )
+    if overhead > args.max_overhead:
+        failed = fail(
+            f"armed live plane slows the engine {overhead:.1f}% "
+            f"(> {args.max_overhead:.0f}%)"
+        )
+
+    fresh = float(get_path(report, args.report, "analyzer", "spans_per_s"))
+    committed = float(
+        get_path(baseline, args.baseline, "analyzer", "spans_per_s")
+    )
+    failed |= throughput_floor_check(
+        "analyzer", fresh, committed, args.threshold, unit=" spans/s"
+    )
+
+    fresh = float(
+        get_path(report, args.report, "live_plane", "off_events_per_s")
+    )
+    committed = float(
+        get_path(baseline, args.baseline, "live_plane", "off_events_per_s")
+    )
+    failed |= throughput_floor_check(
+        "plane-off engine", fresh, committed, args.threshold, unit=" ev/s"
+    )
+
+    return verdict(failed)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

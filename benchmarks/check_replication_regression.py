@@ -26,61 +26,30 @@ Exit code 0 = pass, 1 = regression, 2 = bad input.
 
 from __future__ import annotations
 
-import argparse
-import json
-import sys
-from pathlib import Path
-
-REPO_ROOT = Path(__file__).resolve().parent.parent
-
-
-def _get(report: dict, path: Path, *keys):
-    node = report
-    try:
-        for key in keys:
-            node = node[key]
-    except (KeyError, TypeError):
-        dotted = ".".join(keys)
-        print(f"error: {path} has no {dotted}", file=sys.stderr)
-        raise SystemExit(2)
-    return node
+from gatelib import (
+    fail,
+    get_path,
+    load_report_pair,
+    make_parser,
+    throughput_floor_check,
+    verdict,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "report", type=Path, help="fresh BENCH_replication.json to validate"
-    )
-    parser.add_argument(
-        "--baseline",
-        type=Path,
-        default=REPO_ROOT / "BENCH_replication.json",
-        help="committed baseline report (default: repo-root BENCH_replication.json)",
-    )
+    parser = make_parser(__doc__, "BENCH_replication.json", threshold=0.30)
     parser.add_argument(
         "--max-ratio",
         type=float,
         default=1.10,
         help="max tolerated adaptive p99 / best-static p99 per load point",
     )
-    parser.add_argument(
-        "--threshold",
-        type=float,
-        default=0.30,
-        help="max tolerated fractional observe-path throughput drop (default 0.30)",
-    )
     args = parser.parse_args(argv)
-
-    try:
-        report = json.loads(args.report.read_text())
-        baseline = json.loads(args.baseline.read_text())
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    report, baseline = load_report_pair(args.report, args.baseline)
 
     failed = False
 
-    points = _get(report, args.report, "phase_diagram", "points")
+    points = get_path(report, args.report, "phase_diagram", "points")
     for point in points:
         rho = point.get("rho", "?")
         ratio = float(point.get("adaptive_vs_best_static", float("inf")))
@@ -90,53 +59,36 @@ def main(argv: list[str] | None = None) -> int:
             f"(limit {args.max_ratio:.2f}) {marker}"
         )
         if ratio > args.max_ratio:
-            print(
-                f"FAIL: adaptive controller lost to the best static policy "
-                f"by {ratio:.3f}x at rho={rho}",
-                file=sys.stderr,
+            failed = fail(
+                f"adaptive controller lost to the best static policy "
+                f"by {ratio:.3f}x at rho={rho}"
             )
-            failed = True
 
-    flip = _get(report, args.report, "flip")
+    flip = get_path(report, args.report, "flip")
     print(
         f"flip: {flip.get('transitions', '?')} transitions, "
         f"{flip.get('brownouts', '?')} brownout(s), "
         f"deterministic_replay={flip.get('deterministic_replay')}"
     )
     if not flip.get("deterministic_replay", False):
-        print("FAIL: flip replay is not bit-identical", file=sys.stderr)
-        failed = True
+        failed = fail("flip replay is not bit-identical")
     if int(flip.get("brownouts", 0)) < 1:
-        print(
-            "FAIL: the overload flip no longer enters brownout "
-            "(burn-rate escalation path is dead)",
-            file=sys.stderr,
+        failed = fail(
+            "the overload flip no longer enters brownout "
+            "(burn-rate escalation path is dead)"
         )
-        failed = True
 
-    fresh = float(_get(report, args.report, "observe_path", "observations_per_s"))
+    fresh = float(
+        get_path(report, args.report, "observe_path", "observations_per_s")
+    )
     committed = float(
-        _get(baseline, args.baseline, "observe_path", "observations_per_s")
+        get_path(baseline, args.baseline, "observe_path", "observations_per_s")
     )
-    floor = committed * (1.0 - args.threshold)
-    drop = 1.0 - fresh / committed
-    print(
-        f"observe path: fresh={fresh:,.0f}/s committed={committed:,.0f}/s "
-        f"({'-' if drop > 0 else '+'}{abs(drop):.1%}; floor at "
-        f"-{args.threshold:.0%} = {floor:,.0f}/s)"
+    failed |= throughput_floor_check(
+        "observe path", fresh, committed, args.threshold
     )
-    if fresh < floor:
-        print(
-            f"FAIL: observe-path throughput regressed {drop:.1%} "
-            f"(> {args.threshold:.0%} threshold)",
-            file=sys.stderr,
-        )
-        failed = True
 
-    if failed:
-        return 1
-    print("PASS")
-    return 0
+    return verdict(failed)
 
 
 if __name__ == "__main__":

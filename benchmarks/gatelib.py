@@ -1,0 +1,123 @@
+"""Shared scaffolding for the CI regression gates.
+
+Every ``check_*_regression.py`` script follows the same shape: parse a
+fresh report path plus ``--baseline`` (defaulting to the committed
+``BENCH_*.json`` at the repo root), load both JSON documents (exit 2 on
+bad input), walk dotted paths into them (exit 2 when a key is absent),
+print one line per check with an explicit threshold band, and exit 1 on
+any failure / print ``PASS`` and exit 0 otherwise.  This module holds
+that scaffolding so each gate only states its own checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+__all__ = [
+    "REPO_ROOT",
+    "fail",
+    "get_path",
+    "load_report_pair",
+    "make_parser",
+    "throughput_floor_check",
+    "verdict",
+]
+
+
+def make_parser(
+    doc: str | None, baseline_name: str, threshold: float | None = None
+) -> argparse.ArgumentParser:
+    """The common gate CLI: ``report`` + ``--baseline`` (+ ``--threshold``).
+
+    ``doc`` is the gate module's docstring (the first line becomes the
+    description); ``baseline_name`` the committed report filename at the
+    repo root; ``threshold`` (when given) adds the standard cross-run
+    band flag with that default.
+    """
+    parser = argparse.ArgumentParser(
+        description=(doc or "").splitlines()[0] if doc else None
+    )
+    parser.add_argument(
+        "report", type=Path, help=f"fresh {baseline_name} to validate"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / baseline_name,
+        help=f"committed baseline report (default: repo-root {baseline_name})",
+    )
+    if threshold is not None:
+        parser.add_argument(
+            "--threshold",
+            type=float,
+            default=threshold,
+            help=(
+                "max tolerated fractional cross-run throughput drop "
+                f"(default {threshold})"
+            ),
+        )
+    return parser
+
+
+def load_report_pair(report_path: Path, baseline_path: Path) -> tuple[dict, dict]:
+    """Load the fresh and committed reports; exit 2 on unreadable input."""
+    try:
+        return (
+            json.loads(report_path.read_text()),
+            json.loads(baseline_path.read_text()),
+        )
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def get_path(report: dict, path: Path, *keys: str):
+    """Walk ``keys`` into ``report``; exit 2 naming the missing path."""
+    node = report
+    try:
+        for key in keys:
+            node = node[key]
+    except (KeyError, TypeError):
+        dotted = ".".join(keys)
+        print(f"error: {path} has no {dotted}", file=sys.stderr)
+        raise SystemExit(2)
+    return node
+
+
+def fail(message: str) -> bool:
+    """Print a FAIL line to stderr; returns True (the new failed flag)."""
+    print(f"FAIL: {message}", file=sys.stderr)
+    return True
+
+
+def throughput_floor_check(
+    label: str, fresh: float, committed: float, threshold: float, unit: str = "/s"
+) -> bool:
+    """The standard cross-run band: ``fresh`` must stay within
+    ``threshold`` of ``committed``.  Prints the band line; returns True
+    when the check FAILED."""
+    floor = committed * (1.0 - threshold)
+    drop = 1.0 - fresh / committed
+    print(
+        f"{label}: fresh={fresh:,.0f}{unit} committed={committed:,.0f}{unit} "
+        f"({'-' if drop > 0 else '+'}{abs(drop):.1%}; floor at "
+        f"-{threshold:.0%} = {floor:,.0f}{unit})"
+    )
+    if fresh < floor:
+        return fail(
+            f"{label} regressed {drop:.1%} (> {threshold:.0%} threshold)"
+        )
+    return False
+
+
+def verdict(failed: bool) -> int:
+    """Exit status from the accumulated failed flag (prints PASS)."""
+    if failed:
+        return 1
+    print("PASS")
+    return 0

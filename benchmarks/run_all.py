@@ -283,6 +283,150 @@ def bench_attribution(scale: Scale) -> dict:
     }
 
 
+def bench_live_plane(scale: Scale) -> dict:
+    """Engine cost of the live observability plane (attached vs. not),
+    plus the raw window-snapshot primitive.
+
+    The off run is the exact seed-path engine (``live=None`` leaves one
+    pointer check per completion); the acceptance bound is that the
+    off cell's events/sec stays inside the committed band — i.e. the
+    hook is free when the plane is absent.  The on cell prices a fully
+    armed plane (windows, exemplars, detector, SLO) per completion.
+    """
+    import numpy as np
+
+    from repro.observe.anomaly import ChangepointDetector
+    from repro.observe.live import LivePlane
+    from repro.observe.slo import SLOMonitor, SLOTarget
+    from repro.observe.timeseries import TimeseriesRecorder
+    from repro.sim.engine import Engine
+
+    table = bing_table(scale)
+    workload = bing_mod.bing_workload(profile_size=scale.profile_size)
+    num_requests = scale.num_requests * 2
+    arrivals = workload.arrivals(
+        num_requests, PoissonProcess(180.0), np.random.default_rng(23)
+    )
+
+    state: dict = {}
+
+    def make_run(with_plane: bool):
+        def run():
+            plane = None
+            if with_plane:
+                plane = LivePlane(
+                    window_ms=100.0,
+                    capacity=4096,
+                    slo=SLOMonitor(
+                        SLOTarget(percentile=0.99, threshold_ms=120.0),
+                        short_window_ms=200.0,
+                        long_window_ms=800.0,
+                        min_samples=20,
+                    ),
+                    detector=ChangepointDetector(warmup=4, threshold=3.5),
+                )
+            engine = Engine(
+                cores=bing_mod.CORES,
+                scheduler=FMScheduler(table),
+                quantum_ms=bing_mod.QUANTUM_MS,
+                spin_fraction=bing_mod.SPIN_FRACTION,
+                live=plane,
+            )
+            engine.run(arrivals)
+            state["events"] = engine.events_processed
+            if plane is not None:
+                state["windows"] = len(plane.windows())
+
+        return run
+
+    off_s = best_of(make_run(False))
+    on_s = best_of(make_run(True))
+
+    def snapshots():
+        registry = MetricsRegistry()
+        recorder = TimeseriesRecorder(registry, window_ms=1.0, capacity=512)
+        counter = registry.counter("bench.completions")
+        histogram = registry.histogram("bench.latency_ms")
+        for i in range(2000):
+            counter.inc()
+            histogram.record(1.0 + i % 50)
+            recorder.snapshot(i + 0.5)
+
+    snap_s = best_of(snapshots)
+
+    return {
+        "num_requests": num_requests,
+        "events_processed": state["events"],
+        "off_wall_s": round(off_s, 6),
+        "on_wall_s": round(on_s, 6),
+        "off_events_per_s": round(state["events"] / off_s, 1),
+        "on_events_per_s": round(state["events"] / on_s, 1),
+        "overhead_enabled_pct": round(100.0 * (on_s / off_s - 1.0), 2),
+        "windows_closed": state["windows"],
+        "snapshots_per_s": round(2000 / snap_s, 0),
+    }
+
+
+def bench_live_tail() -> dict:
+    """Seeded live-tail attestations (hardware-independent).
+
+    Two facts the observe gate pins: the overload-flip onset signature
+    (the detector must flag at a stable window before the SLO breach
+    floor), and replay equivalence (a plane replayed from a trace
+    reproduces the live plane's attribution totals to analyze's
+    numbers within 1e-6 ms).
+    """
+    import numpy as np
+
+    from repro.experiments.config import TINY
+    from repro.experiments.live_tail import onset_signature, run_live_tail
+    from repro.observe.analyze import analyze_spans
+    from repro.observe.live import LivePlane, replay_spans
+    from repro.sim.engine import simulate
+
+    plane, _ = run_live_tail(TINY)
+    fault_window, flagged, breach_floor = onset_signature(plane)
+
+    telemetry = Telemetry()
+    table = bing_table(TINY)
+    workload = bing_mod.bing_workload(profile_size=TINY.profile_size)
+    arrivals = workload.arrivals(
+        TINY.num_requests, PoissonProcess(250.0), np.random.default_rng(23)
+    )
+    live = LivePlane(window_ms=100.0, capacity=4096)
+    simulate(
+        arrivals,
+        FMScheduler(table),
+        cores=bing_mod.CORES,
+        quantum_ms=bing_mod.QUANTUM_MS,
+        spin_fraction=bing_mod.SPIN_FRACTION,
+        telemetry=telemetry,
+        live=live,
+    )
+    spans = telemetry.tracer.spans
+    replayed = replay_spans(spans)
+    track = analyze_spans(spans, phi=0.99).tracks["sim"]
+    totals = replayed.attribution_totals()
+    max_diff = max(
+        abs(totals[component] - entry["overall_mean_ms"] * track.count)
+        for component, entry in track.components.items()
+    )
+    return {
+        "scale": "tiny",
+        "fault_window": fault_window,
+        "flagged_window": flagged,
+        "breach_floor_window": breach_floor,
+        "flag_leads_breach": (
+            fault_window is not None
+            and flagged is not None
+            and breach_floor is not None
+            and fault_window <= flagged < breach_floor
+        ),
+        "replay_max_abs_diff_ms": max_diff,
+        "replay_matches_analyze": max_diff < 1e-6,
+    }
+
+
 def bench_engine(scale: Scale) -> dict:
     """Engine hot-path trajectory: events/sec, reference A/B, sweep scaling.
 
@@ -547,11 +691,19 @@ def main(argv: list[str] | None = None) -> int:
         "timing_repeats": TIMING_REPEATS,
         "analyzer": bench_analyzer(),
         "attribution": bench_attribution(scale),
+        "live_plane": bench_live_plane(scale),
+        "live_tail": bench_live_tail(),
         "notes": (
             "analyzer times load_trace + analyze on a synthetic JSONL "
             "trace shaped like the sim track (attributed run spans). "
             "attribution compares full simulate() runs with the flight "
-            "recorder on vs. off, no telemetry pipeline in either."
+            "recorder on vs. off, no telemetry pipeline in either. "
+            "live_plane compares engine runs with a fully armed "
+            "LivePlane attached vs. live=None (the seed path), plus the "
+            "raw TimeseriesRecorder.snapshot primitive. live_tail is "
+            "seeded and hardware-independent: the overload-flip onset "
+            "signature and the replay-vs-analyze attribution "
+            "equivalence, both gated by check_observe_regression.py."
         ),
     }
     observe_path = args.observe_output

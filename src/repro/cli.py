@@ -30,6 +30,7 @@ from repro.experiments.config import FULL, QUICK, TINY, Scale, default_scale
 from repro.experiments.extensions import EXTENSIONS
 from repro.experiments.figures import ALL_EXPERIMENTS
 from repro.experiments.hetero_energy import HETERO_ENERGY
+from repro.experiments.live_tail import LIVE_TAIL
 from repro.experiments.replication_phase import REPLICATION_PHASE
 from repro.experiments.robustness import ROBUSTNESS
 from repro.experiments.tail_attribution import TAIL_ATTRIBUTION
@@ -45,6 +46,7 @@ EXPERIMENTS = {
     **ABLATIONS,
     **EXTENSIONS,
     **HETERO_ENERGY,
+    **LIVE_TAIL,
     **REPLICATION_PHASE,
     **ROBUSTNESS,
     **TELEMETRY,
@@ -114,6 +116,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.observe.analyze import main as analyze_main
 
         return analyze_main(argv[1:])
+    if argv and argv[0] == "top":
+        from repro.observe.top import main as top_main
+
+        return top_main(argv[1:])
     args = build_parser().parse_args(argv)
     scale = _SCALES[args.scale] if args.scale else default_scale()
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

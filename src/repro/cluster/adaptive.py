@@ -511,6 +511,19 @@ class AdaptiveReplicationController:
             telemetry.metrics.counter("cluster.adaptive.mode_transitions").inc()
             if to_mode == "brownout":
                 telemetry.metrics.counter("cluster.adaptive.brownouts").inc()
+            # Mode flips are first-class events on the observability
+            # stream (DESIGN.md §13): `repro top` replays them onto the
+            # same windows as the completions they shaped.
+            telemetry.tracer.instant(
+                "observe.event",
+                track="observe",
+                at_ms=at_ms,
+                kind="mode_transition",
+                from_mode=transition.from_mode,
+                to_mode=to_mode,
+                reason=reason,
+                utilization=utilization,
+            )
 
     def _resolve_decision(self, at_ms: float) -> None:
         cfg = self.config

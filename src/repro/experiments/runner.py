@@ -9,7 +9,7 @@ point is the 99th-percentile / mean response time over the run
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -22,6 +22,10 @@ from repro.telemetry import Telemetry
 from repro.telemetry.histogram import LogHistogram
 from repro.workloads.arrivals import ArrivalProcess, PoissonProcess
 from repro.workloads.workload import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.faults.plan import FaultPlan
+    from repro.observe.live import LivePlane
 
 __all__ = [
     "run_policy",
@@ -82,12 +86,17 @@ def run_policy(
     spin_fraction: float = 0.25,
     telemetry: Telemetry | None = None,
     topology: Topology | None = None,
+    fault_plan: "FaultPlan | None" = None,
+    live: "LivePlane | None" = None,
 ) -> SimulationResult:
     """One experiment run: ``num_requests`` open-loop arrivals at
     ``rps`` against a ``cores``-core server under ``scheduler``.
 
     ``topology`` switches the server to heterogeneous core pools with
     energy accounting (``topology.total_cores`` must equal ``cores``).
+    ``fault_plan`` injects canned faults (``repro.faults``), and
+    ``live`` attaches a live observability plane
+    (:class:`~repro.observe.live.LivePlane`) fed by every completion.
     """
     rng = np.random.default_rng(seed)
     arrivals = workload.arrivals(num_requests, process or PoissonProcess(rps), rng)
@@ -99,6 +108,8 @@ def run_policy(
         spin_fraction=spin_fraction,
         telemetry=telemetry,
         topology=topology,
+        fault_plan=fault_plan,
+        live=live,
     )
 
 

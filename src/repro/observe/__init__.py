@@ -1,6 +1,6 @@
 """Tail analysis on top of :mod:`repro.telemetry`: who is the p99, why?
 
-Three pieces (DESIGN.md §9):
+The offline pieces (DESIGN.md §9):
 
 * the **flight recorder** lives in :mod:`repro.sim` — every request's
   latency decomposes additively into queue wait, pure service,
@@ -9,6 +9,20 @@ Three pieces (DESIGN.md §9):
   percentile target with multi-window burn rates and drift detection;
 * :mod:`repro.observe.analyze` reads a ``--trace`` file offline and
   attributes the φ-tail by component (the ``repro analyze`` CLI).
+
+The **live plane** (DESIGN.md §13) streams the same signals while the
+system runs:
+
+* :mod:`repro.observe.timeseries` snapshots MetricsRegistry deltas and
+  per-window histogram slices into a bounded ring (bit-identically
+  mergeable across ``repro.parallel`` shards), with Prometheus
+  text-format and JSONL exporters;
+* :mod:`repro.observe.anomaly` is a deterministic online changepoint
+  detector over windowed scalars;
+* :mod:`repro.observe.live` ties them together — per-window tail
+  attribution, worst-k exemplars, ``observe.event`` annotations, and
+  trace replay — rendered by the ``repro top`` CLI
+  (:mod:`repro.observe.top`).
 """
 
 from repro.observe.analyze import (
@@ -21,7 +35,24 @@ from repro.observe.analyze import (
     load_trace,
     requests_from_spans,
 )
+from repro.observe.anomaly import AnomalyFlag, ChangepointDetector
+from repro.observe.live import (
+    Exemplar,
+    LivePlane,
+    ObserveEvent,
+    WindowStats,
+    events_from_spans,
+    replay_spans,
+)
 from repro.observe.slo import SLOMonitor, SLOStatus, SLOTarget
+from repro.observe.timeseries import (
+    TimeseriesRecorder,
+    WindowSnapshot,
+    merge_window_streams,
+    read_timeseries_jsonl,
+    render_prometheus,
+    write_timeseries_jsonl,
+)
 
 __all__ = [
     "SLOTarget",
@@ -35,4 +66,18 @@ __all__ = [
     "requests_from_spans",
     "analyze_spans",
     "analyze_trace",
+    "AnomalyFlag",
+    "ChangepointDetector",
+    "Exemplar",
+    "LivePlane",
+    "ObserveEvent",
+    "WindowStats",
+    "events_from_spans",
+    "replay_spans",
+    "TimeseriesRecorder",
+    "WindowSnapshot",
+    "merge_window_streams",
+    "read_timeseries_jsonl",
+    "render_prometheus",
+    "write_timeseries_jsonl",
 ]

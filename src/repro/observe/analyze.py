@@ -20,6 +20,7 @@ CLI::
 from __future__ import annotations
 
 import argparse
+import gzip
 import json
 import math
 import sys
@@ -111,9 +112,17 @@ class TraceData:
 # Loading
 # ----------------------------------------------------------------------
 def load_trace(path: str | Path) -> TraceData:
-    """Load Chrome trace-event JSON or span JSONL (auto-detected)."""
+    """Load Chrome trace-event JSON or span JSONL (auto-detected).
+
+    ``.gz``-suffixed paths (``trace.json.gz`` / ``spans.jsonl.gz``) are
+    decompressed transparently — long traced runs compress ~20x, so
+    archived experiment traces ship gzipped.
+    """
     path = Path(path)
-    text = path.read_text()
+    if path.suffix == ".gz":
+        text = gzip.decompress(path.read_bytes()).decode("utf-8")
+    else:
+        text = path.read_text()
     try:
         document = json.loads(text)
     except json.JSONDecodeError:

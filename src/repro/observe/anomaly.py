@@ -1,0 +1,139 @@
+"""Deterministic online changepoint detection for windowed signals.
+
+The live plane (DESIGN.md §13) watches three per-window scalars — SLO
+burn rate, window p99, and joules per query — and wants to flag *regime
+changes*: the overload-flip ramp beginning, a brownout recovery, an
+energy excursion.  The detector must be deterministic (same window
+stream, same flags — the ``live-tail`` experiment pins the flagged
+window index across runs), online (O(1) state per signal), and quiet
+on stationary noise.
+
+:class:`ChangepointDetector` keeps Welford running moments of the
+current *regime* per signal and flags a window whose z-score exceeds
+``threshold``.  On a flag it resets the moments and starts re-learning
+from the new level — classic changepoint semantics: a sustained shift
+is flagged once at onset (and once again on the way back down), not on
+every subsequent window.  A ``warmup`` window count and a relative
+standard-deviation floor keep the cold start and near-constant signals
+from firing on float dust.
+
+``NaN`` observations (an empty window's p99, a cold burn rate) are
+skipped entirely — they neither update the baseline nor flag.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["AnomalyFlag", "ChangepointDetector"]
+
+
+@dataclass(frozen=True)
+class AnomalyFlag:
+    """One flagged changepoint on one signal."""
+
+    signal: str
+    window: int
+    value: float
+    baseline_mean: float
+    #: +1 for an upward shift (degradation for latency/burn/energy),
+    #: -1 for a downward shift (recovery).
+    direction: int
+    z_score: float
+
+
+class _SignalState:
+    """Welford running moments of the current regime for one signal."""
+
+    __slots__ = ("count", "mean", "m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def update(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    def std(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return math.sqrt(self.m2 / (self.count - 1))
+
+
+class ChangepointDetector:
+    """Flag regime changes in named windowed signals.
+
+    Parameters
+    ----------
+    warmup:
+        Windows a signal's baseline must see before it may flag (also
+        the re-learning span after each flag).
+    threshold:
+        Z-score at which a window counts as a changepoint.
+    min_rel_std:
+        Standard-deviation floor as a fraction of ``|mean|`` (plus a
+        tiny absolute floor): near-constant baselines would otherwise
+        make any speck an infinite z-score.
+    """
+
+    def __init__(
+        self,
+        warmup: int = 5,
+        threshold: float = 4.0,
+        min_rel_std: float = 0.05,
+    ) -> None:
+        if warmup < 2:
+            raise ConfigurationError(f"warmup must be >= 2: {warmup}")
+        if threshold <= 0:
+            raise ConfigurationError(f"threshold must be positive: {threshold}")
+        if min_rel_std < 0:
+            raise ConfigurationError(f"min_rel_std must be >= 0: {min_rel_std}")
+        self.warmup = warmup
+        self.threshold = threshold
+        self.min_rel_std = min_rel_std
+        self._signals: dict[str, _SignalState] = {}
+        #: Every flag raised, in observation order.
+        self.flags: list[AnomalyFlag] = []
+
+    def observe(self, signal: str, window: int, value: float) -> AnomalyFlag | None:
+        """Feed one window's value of ``signal``; returns the flag when
+        this window is a changepoint, else ``None``."""
+        if value != value:  # NaN: empty window, cold monitor
+            return None
+        state = self._signals.get(signal)
+        if state is None:
+            state = self._signals[signal] = _SignalState()
+        if state.count >= self.warmup:
+            floor = self.min_rel_std * abs(state.mean) + 1e-12
+            std = max(state.std(), floor)
+            z = (value - state.mean) / std
+            if abs(z) >= self.threshold:
+                flag = AnomalyFlag(
+                    signal=signal,
+                    window=window,
+                    value=value,
+                    baseline_mean=state.mean,
+                    direction=1 if z > 0 else -1,
+                    z_score=z,
+                )
+                self.flags.append(flag)
+                # New regime: forget the old baseline and re-learn from
+                # this window's level.
+                fresh = _SignalState()
+                fresh.update(value)
+                self._signals[signal] = fresh
+                return flag
+        state.update(value)
+        return None
+
+    def reset(self) -> None:
+        """Forget every baseline and flag (between runs)."""
+        self._signals.clear()
+        self.flags.clear()

@@ -33,6 +33,10 @@ from repro.observe.slo import SLOMonitor
 from repro.runtime.work import LiveRequest
 from repro.telemetry import Telemetry, resolve_telemetry
 from repro.telemetry.spans import Span
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.observe.live import LivePlane
 
 __all__ = ["LiveServerStats", "LiveFMServer"]
 
@@ -132,6 +136,7 @@ class LiveFMServer:
         telemetry: Telemetry | None = None,
         slo: SLOMonitor | None = None,
         replication: AdaptiveReplicationController | None = None,
+        live: "LivePlane | None" = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1: {workers}")
@@ -156,6 +161,18 @@ class LiveFMServer:
         self.telemetry = resolve_telemetry(telemetry)
         self.slo = slo
         self.replication = replication
+        #: Optional live observability plane: completions and SLO
+        #: breach onset/clear transitions feed its window stream.  The
+        #: plane must NOT own the SLO feed (``feed_slo=False``) — the
+        #: server (or its replication controller) already feeds the
+        #: shared monitor, and double-feeding would double-count the
+        #: error budget.
+        self._live = live
+        if live is not None and live.slo is not None and live.feed_slo:
+            raise ConfigurationError(
+                "live plane must not feed the SLO monitor itself "
+                "(feed_slo=False): the server already feeds it"
+            )
         self._breached = False  # last SLO verdict, for onset counting
         self._slo_breaches = 0
         self._arrival_ms: dict[int, float] = {}  # rid -> tracer-clock arrival
@@ -371,6 +388,7 @@ class LiveFMServer:
             self.slo.observe(request.latency_ms, at_ms=at_ms)
         status = self.slo.status()
         onset = status.breached and not self._breached
+        cleared = self._breached and not status.breached
         self._breached = status.breached
         if onset:
             self._slo_breaches += 1
@@ -382,6 +400,24 @@ class LiveFMServer:
             gauge("slo.breached").set(1.0 if status.breached else 0.0)
             if onset:
                 telemetry.metrics.counter("runtime.slo_breaches").inc()
+        if onset or cleared:
+            # Degraded-mode transitions are first-class observability
+            # events: the flag flip and the event stream must agree
+            # (a tested contract — see tests/runtime).
+            kind = "slo_breach" if onset else "slo_clear"
+            if telemetry is not None:
+                telemetry.tracer.instant(
+                    "observe.event",
+                    track="observe",
+                    at_ms=at_ms,
+                    kind=kind,
+                    burn_rate=status.long_burn_rate,
+                    percentile_ms=status.short_percentile_ms,
+                )
+            if self._live is not None:
+                self._live.annotate(
+                    at_ms, kind, burn_rate=status.long_burn_rate
+                )
 
     def _on_exit(self, request: LiveRequest) -> None:
         with self._lock:
@@ -390,6 +426,8 @@ class LiveFMServer:
             telemetry = self.telemetry
             if self.slo is not None:
                 self._observe_slo_locked(request)
+            if self._live is not None:
+                self._feed_live_locked(request)
             if telemetry is not None:
                 telemetry.metrics.counter("runtime.completions").inc()
                 telemetry.metrics.histogram("runtime.latency_ms").record(
@@ -415,6 +453,25 @@ class LiveFMServer:
                     len(self._queued)
                 )
             self._work_available.notify_all()
+
+    def _feed_live_locked(self, request: LiveRequest) -> None:
+        """Feed one completion into the live plane's window stream,
+        decomposed the same way offline analysis reconstructs the
+        runtime track (queue wait + execution)."""
+        telemetry = self.telemetry
+        if telemetry is not None:
+            at_ms = telemetry.tracer.clock.now_ms()
+        else:
+            at_ms = time.perf_counter() * 1000.0
+        start_s = request.start_s if request.start_s is not None else request.finish_s
+        queue_ms = 1000.0 * (start_s - request.arrival_s)
+        execute_ms = 1000.0 * (request.finish_s - start_s)
+        self._live.observe(
+            at_ms=at_ms,
+            latency_ms=request.latency_ms,
+            components={"queue_ms": queue_ms, "execute_ms": execute_ms},
+            rid=request.rid,
+        )
 
     def _scheduler_loop(self) -> None:
         """The self-scheduling quantum: climb degrees, release delays."""

@@ -38,6 +38,7 @@ from repro.errors import ConfigurationError
 from repro.schedulers.fm import FMScheduler
 from repro.sim.api import SchedulerContext
 from repro.sim.request import SimRequest
+from repro.telemetry import resolve_telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.observe.slo import SLOMonitor
@@ -153,3 +154,17 @@ class ReprofilingFMScheduler(FMScheduler):
         self.table = build_interval_table(profile, self.search_config)
         self._last_rebuild_ms = now_ms
         self.rebuilds.append(now_ms)
+        # Rebuilds are rare and load-bearing: surface each as an
+        # observability event.  The scheduler holds no telemetry handle
+        # (SchedulerContext exposes none), so the ambient pipeline —
+        # installed by --trace — is resolved on this cold path only.
+        telemetry = resolve_telemetry(None)
+        if telemetry is not None:
+            telemetry.tracer.instant(
+                "observe.event",
+                track="observe",
+                at_ms=now_ms,
+                kind="reprofile",
+                samples=len(self._samples),
+                rebuilds=len(self.rebuilds),
+            )

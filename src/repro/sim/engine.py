@@ -34,7 +34,7 @@ from bisect import bisect_left, insort
 from collections import deque
 from heapq import heappop
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.core.speedup import SpeedupCurve
 from repro.errors import SimulationError
@@ -48,6 +48,9 @@ from repro.sim.processor import BoostController, occupancy
 from repro.sim.request import RequestState, SimRequest
 from repro.telemetry import Telemetry, resolve_telemetry
 from repro.telemetry.spans import Span
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (observe -> sim)
+    from repro.observe.live import LivePlane
 
 __all__ = ["ArrivalSpec", "Engine", "simulate"]
 
@@ -139,6 +142,7 @@ class Engine:
         telemetry: Telemetry | None = None,
         attribution: bool = True,
         topology: Topology | None = None,
+        live: "LivePlane | None" = None,
     ) -> None:
         if cores < 1:
             raise SimulationError(f"cores must be >= 1, got {cores}")
@@ -177,6 +181,10 @@ class Engine:
         self.events_processed = 0
         self.telemetry = resolve_telemetry(telemetry)
         self.attribution = attribution
+        #: Optional live observability plane (repro.observe.live): each
+        #: completion and fault feeds its window stream.  Costs one
+        #: attribute check per completion when absent.
+        self._live = live
         self._run_spans: dict[int, Span] = {}
 
         #: Heterogeneous-topology state (repro.hetero).  The per-pool
@@ -312,6 +320,8 @@ class Engine:
             if self._rates_dirty:
                 self._recompute_rates()
         self.events_processed = events
+        if self._live is not None:
+            self._live.flush(self.now_ms)
 
         if self._completed + self._shed != len(self._requests):
             stuck = len(self._requests) - self._completed - self._shed
@@ -387,11 +397,27 @@ class Engine:
             self._metrics.record(request)  # snapshot before boost release
             if self.telemetry is not None:
                 self._finish_telemetry(request)  # span needs boosted flag too
+            if self._live is not None:
+                self._feed_live()
             self.boost.release(request)
             self._completed += 1
             self.scheduler.on_exit(self._ctx, request)
         self._rates_dirty = True
         self._wake_waiters(exits=len(finished))
+
+    def _feed_live(self) -> None:
+        """Feed the just-recorded completion into the live plane's
+        window stream (components/energy/pool from the same
+        :class:`RequestRecord` the collector keeps)."""
+        record = self._metrics.records[-1]
+        self._live.observe(
+            at_ms=record.finish_ms,
+            latency_ms=record.latency_ms,
+            components=record.attribution() if self.attribution else None,
+            energy_j=record.energy_j,
+            pool=self._pool_names[record.pool] if self._hetero else "",
+            rid=record.rid,
+        )
 
     # ------------------------------------------------------------------
     # Fault injection (see repro.faults)
@@ -422,6 +448,7 @@ class Engine:
                 restore_detail = removed
             stats.core_faults_applied += 1
             stats.faults_fired += 1
+            self._observe_fault("core_loss", cores=removed)
             self._queue.push(
                 self.now_ms + fault.duration_ms,
                 Event(EventKind.FAULT, payload=(_CORE_RESTORE, restore_detail)),
@@ -435,6 +462,7 @@ class Engine:
                 self._cores_online = min(self.cores, sum(self._pool_online))
             else:
                 self._cores_online = min(self.cores, self._cores_online + int(detail))
+            self._observe_fault("core_restore", cores_online=self._cores_online)
             self._rates_dirty = True
         elif kind == _STALL:
             stall: StallFault = detail
@@ -445,6 +473,9 @@ class Engine:
             victim.impaired = True
             stats.stalls_injected += 1
             stats.faults_fired += 1
+            self._observe_fault(
+                "stall", rid=victim.rid, duration_ms=stall.duration_ms
+            )
             self._queue.push(
                 victim.stalled_until_ms,
                 Event(EventKind.FAULT, payload=(_STALL_END, victim.rid)),
@@ -456,6 +487,23 @@ class Engine:
             self._rates_dirty = True
         else:  # pragma: no cover - payload tags are closed
             raise SimulationError(f"unknown fault payload {payload!r}")
+
+    def _observe_fault(self, fault: str, **detail: object) -> None:
+        """Surface an injected fault as a first-class observability
+        event: an ``observe.event`` instant on the trace and an
+        annotation on the live plane's window stream.  Cold path —
+        faults are orders of magnitude rarer than completions."""
+        if self.telemetry is not None:
+            self.telemetry.tracer.instant(
+                "observe.event",
+                track="observe",
+                at_ms=self.now_ms,
+                kind="fault",
+                fault=fault,
+                **detail,
+            )
+        if self._live is not None:
+            self._live.annotate(self.now_ms, "fault", fault=fault, **detail)
 
     def _stall_victim(self) -> SimRequest | None:
         """Deterministic stall target: the running request with the most
@@ -1029,6 +1077,7 @@ def simulate(
     telemetry: Telemetry | None = None,
     attribution: bool = True,
     topology: Topology | None = None,
+    live: "LivePlane | None" = None,
 ) -> SimulationResult:
     """Convenience wrapper: build an :class:`Engine` and run it."""
     engine = Engine(
@@ -1040,5 +1089,6 @@ def simulate(
         telemetry=telemetry,
         attribution=attribution,
         topology=topology,
+        live=live,
     )
     return engine.run(arrivals)

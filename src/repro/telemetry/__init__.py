@@ -48,7 +48,12 @@ from repro.telemetry.export import (
     write_spans_jsonl,
 )
 from repro.telemetry.histogram import LogHistogram
-from repro.telemetry.metrics import Counter, Gauge, MetricsRegistry
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    RegistrySnapshot,
+)
 from repro.telemetry.spans import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -60,6 +65,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "RegistrySnapshot",
     "Span",
     "Telemetry",
     "Tracer",

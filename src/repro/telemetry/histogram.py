@@ -184,6 +184,137 @@ class LogHistogram:
         return [self.percentile(q) for q in qs]
 
     # ------------------------------------------------------------------
+    # Snapshots and window slices (the live-plane surface, DESIGN.md §13)
+    # ------------------------------------------------------------------
+    def copy(self) -> "LogHistogram":
+        """An independent deep copy (same grid, same contents).
+
+        Snapshot-and-subtract is how the live observability plane cuts
+        a cumulative histogram into per-window slices without touching
+        the recording hot path: :meth:`copy` at each window boundary,
+        :meth:`slice_since` the previous snapshot.
+        """
+        out = LogHistogram(self.relative_error, self.min_trackable)
+        out._buckets = dict(self._buckets)
+        out._zero_count = self._zero_count
+        out._count = self._count
+        out._sum = self._sum
+        out._min = self._min
+        out._max = self._max
+        return out
+
+    def state(self) -> tuple:
+        """The full internal state as a hashable tuple.
+
+        Two histograms compare equal under :meth:`state` iff every
+        bucket count, the exact sum, and the min/max bounds are
+        bit-identical — the comparison the cross-shard merge contract
+        (windows merged in shard-index order reproduce the same state
+        regardless of worker count) is audited against.
+        """
+        return (
+            self.relative_error,
+            self.min_trackable,
+            tuple(sorted(self._buckets.items())),
+            self._zero_count,
+            self._count,
+            self._sum,
+            self._min,
+            self._max,
+        )
+
+    def slice_since(self, previous: "LogHistogram") -> "LogHistogram":
+        """The window slice: observations recorded in ``self`` but not
+        in ``previous`` (an earlier :meth:`copy` of the *same* stream).
+
+        Bucket counts subtract exactly (they are integers), so slices
+        merge back to the cumulative histogram bucket-for-bucket and
+        every quantile keeps the ``relative_error`` guarantee: a
+        slice's min/max are *bucket bounds* (``gamma**i`` edges) rather
+        than exact observed values — the bounds of the smallest and
+        largest non-empty delta buckets — which never clamp a
+        representative outside its own bucket.  The slice ``sum`` is
+        the float difference of the cumulative sums: deterministic,
+        but carrying the usual accumulated-rounding residue relative
+        to summing the window's values directly (bounded by a few ULPs
+        of the cumulative sum).
+        """
+        if previous.relative_error != self.relative_error:
+            raise ConfigurationError(
+                "cannot slice histograms with different relative errors: "
+                f"{self.relative_error} vs {previous.relative_error}"
+            )
+        if previous._count > self._count:
+            raise ConfigurationError(
+                "slice_since requires an earlier snapshot of the same "
+                f"stream: previous count {previous._count} > {self._count}"
+            )
+        out = LogHistogram(self.relative_error, self.min_trackable)
+        for index, count in self._buckets.items():
+            delta = count - previous._buckets.get(index, 0)
+            if delta < 0:
+                raise ConfigurationError(
+                    f"bucket {index} shrank from {previous._buckets[index]} "
+                    f"to {count}: not a snapshot of the same stream"
+                )
+            if delta:
+                out._buckets[index] = delta
+        for index, count in previous._buckets.items():
+            if count and index not in self._buckets:
+                raise ConfigurationError(
+                    f"bucket {index} shrank from {count} to 0: not a "
+                    "snapshot of the same stream"
+                )
+        out._zero_count = self._zero_count - previous._zero_count
+        if out._zero_count < 0:
+            raise ConfigurationError(
+                "zero bucket shrank: not a snapshot of the same stream"
+            )
+        out._count = self._count - previous._count
+        out._sum = self._sum - previous._sum
+        if out._count:
+            if out._buckets:
+                indexes = out._buckets.keys()
+                out._min = 0.0 if out._zero_count else self._gamma ** min(indexes)
+                out._max = self._gamma ** (max(indexes) + 1)
+            else:  # only zero-bucket observations in the window
+                out._min = 0.0
+                out._max = 0.0
+        return out
+
+    def dump_state(self) -> dict:
+        """Full-fidelity JSON-ready state (every bucket, not a summary).
+
+        Unlike :meth:`as_dict` this round-trips: :meth:`from_state`
+        rebuilds a histogram whose :meth:`state` matches, so window
+        slices can ship across processes (the JSONL time-series
+        exporter) and still merge bit-identically.  Non-finite min/max
+        (the empty histogram) serialize as ``None``.
+        """
+        return {
+            "relative_error": self.relative_error,
+            "min_trackable": self.min_trackable,
+            "buckets": {str(index): count for index, count in sorted(self._buckets.items())},
+            "zero_count": self._zero_count,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if math.isfinite(self._min) else None,
+            "max": self._max if math.isfinite(self._max) else None,
+        }
+
+    @classmethod
+    def from_state(cls, data: dict) -> "LogHistogram":
+        """Rebuild a histogram from :meth:`dump_state` output."""
+        out = cls(data["relative_error"], data["min_trackable"])
+        out._buckets = {int(index): count for index, count in data["buckets"].items()}
+        out._zero_count = data["zero_count"]
+        out._count = data["count"]
+        out._sum = data["sum"]
+        out._min = math.inf if data["min"] is None else data["min"]
+        out._max = -math.inf if data["max"] is None else data["max"]
+        return out
+
+    # ------------------------------------------------------------------
     # Merging
     # ------------------------------------------------------------------
     def merge(self, other: "LogHistogram") -> "LogHistogram":

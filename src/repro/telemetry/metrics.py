@@ -15,10 +15,64 @@ are safe from the live runtime's worker threads.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from repro.errors import ConfigurationError
 from repro.telemetry.histogram import LogHistogram
 
-__all__ = ["Counter", "Gauge", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "MetricsRegistry", "RegistrySnapshot"]
+
+
+@dataclass(frozen=True)
+class RegistrySnapshot:
+    """A point-in-time copy of a :class:`MetricsRegistry`'s instruments.
+
+    Produced by :meth:`MetricsRegistry.snapshot`.  Two snapshots of the
+    same registry subtract into a *window delta* — counter increments,
+    gauge last-values, and histogram slices covering exactly the
+    interval between them — which is how the live observability plane
+    turns cumulative instruments into a time series without the
+    instruments themselves ever windowing.
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    gauge_max: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, LogHistogram] = field(default_factory=dict)
+
+    def delta_since(self, previous: "RegistrySnapshot") -> "RegistrySnapshot":
+        """The window between ``previous`` (an earlier snapshot of the
+        same registry) and this snapshot.
+
+        Counters subtract exactly (integers); instruments that did not
+        exist in ``previous`` delta from zero/empty.  Gauges keep this
+        snapshot's value (a gauge is already point-in-time; its window
+        "delta" is its latest reading) and ``gauge_max`` the cumulative
+        high-water mark.  Histograms slice via
+        :meth:`LogHistogram.slice_since`.
+        """
+        counters: dict[str, int] = {}
+        for name, value in self.counters.items():
+            delta = value - previous.counters.get(name, 0)
+            if delta < 0:
+                raise ConfigurationError(
+                    f"counter {name} decreased across snapshots: not "
+                    "snapshots of the same registry"
+                )
+            counters[name] = delta
+        histograms: dict[str, LogHistogram] = {}
+        for name, histogram in self.histograms.items():
+            earlier = previous.histograms.get(name)
+            if earlier is None:
+                histograms[name] = histogram.copy()
+            else:
+                histograms[name] = histogram.slice_since(earlier)
+        return RegistrySnapshot(
+            counters=counters,
+            gauges=dict(self.gauges),
+            gauge_max=dict(self.gauge_max),
+            histograms=histograms,
+        )
 
 
 class Counter:
@@ -110,6 +164,25 @@ class MetricsRegistry:
     @property
     def histograms(self) -> dict[str, LogHistogram]:
         return dict(self._histograms)
+
+    def snapshot(self) -> "RegistrySnapshot":
+        """A point-in-time deep snapshot of every instrument.
+
+        Counters and gauges copy by value; histograms deep-copy their
+        bucket state (:meth:`LogHistogram.copy`), so a later
+        :meth:`RegistrySnapshot.delta_since` can cut exact per-window
+        counter deltas and histogram slices without the registry ever
+        pausing — the live observability plane's ingestion primitive
+        (DESIGN.md §13).  Cost is proportional to the number of
+        instruments and live histogram buckets, not to the sample
+        count.
+        """
+        return RegistrySnapshot(
+            counters={name: c.value for name, c in self._counters.items()},
+            gauges={name: g.value for name, g in self._gauges.items()},
+            gauge_max={name: g.max_value for name, g in self._gauges.items()},
+            histograms={name: h.copy() for name, h in self._histograms.items()},
+        )
 
     def as_dict(self) -> dict:
         """JSON-ready snapshot of every instrument."""

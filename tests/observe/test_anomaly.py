@@ -1,0 +1,91 @@
+"""The deterministic changepoint detector."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observe.anomaly import ChangepointDetector
+
+
+def _feed(detector, signal, values, start=0):
+    flags = []
+    for i, value in enumerate(values):
+        flag = detector.observe(signal, start + i, value)
+        if flag is not None:
+            flags.append(flag)
+    return flags
+
+
+class TestChangepoints:
+    def test_step_up_is_flagged_once(self):
+        detector = ChangepointDetector(warmup=4, threshold=4.0)
+        values = [10.0, 10.2, 9.8, 10.1, 10.0, 9.9] + [50.0] * 6
+        flags = _feed(detector, "p99_ms", values)
+        assert len(flags) == 1
+        assert flags[0].window == 6  # the first 50.0
+        assert flags[0].direction == 1
+        assert flags[0].z_score >= 4.0
+
+    def test_recovery_is_flagged_downward(self):
+        detector = ChangepointDetector(warmup=4, threshold=4.0)
+        values = [10.0, 10.1, 9.9, 10.0, 10.05] + [50.0] * 6 + [10.0] * 3
+        flags = _feed(detector, "p99_ms", values)
+        assert [f.direction for f in flags] == [1, -1]
+
+    def test_stationary_noise_stays_quiet(self):
+        detector = ChangepointDetector(warmup=5, threshold=4.0)
+        values = [100.0 + (i % 7) for i in range(40)]
+        assert _feed(detector, "p99_ms", values) == []
+
+    def test_nan_is_skipped_entirely(self):
+        detector = ChangepointDetector(warmup=3, threshold=4.0)
+        values = [5.0, math.nan, 5.1, math.nan, 4.9, 5.0, 80.0]
+        flags = _feed(detector, "burn", values)
+        assert len(flags) == 1
+        assert flags[0].window == 6
+
+    def test_signals_are_independent(self):
+        detector = ChangepointDetector(warmup=3, threshold=4.0)
+        _feed(detector, "a", [1.0, 1.1, 0.9, 1.0])
+        flags = _feed(detector, "b", [100.0] * 4 + [1.0])
+        assert len(flags) == 1
+        assert flags[0].signal == "b"
+
+    def test_cold_start_never_flags(self):
+        detector = ChangepointDetector(warmup=5, threshold=4.0)
+        assert _feed(detector, "x", [1.0, 1e9, 1.0, 1e9]) == []
+
+    def test_constant_baseline_uses_relative_floor(self):
+        """A perfectly flat baseline must not turn float dust into an
+        infinite z-score."""
+        detector = ChangepointDetector(warmup=4, threshold=4.0, min_rel_std=0.05)
+        values = [100.0] * 8 + [100.0001]
+        assert _feed(detector, "x", values) == []
+
+    def test_determinism(self):
+        values = [float((i * 37) % 11) for i in range(30)] + [500.0] * 3
+        runs = []
+        for _ in range(2):
+            detector = ChangepointDetector(warmup=4, threshold=4.0)
+            flags = _feed(detector, "x", values)
+            runs.append([(f.window, f.direction, f.z_score) for f in flags])
+        assert runs[0] == runs[1] != []
+
+    def test_reset_forgets_everything(self):
+        detector = ChangepointDetector(warmup=3, threshold=4.0)
+        _feed(detector, "x", [1.0, 1.0, 1.0, 50.0])
+        assert detector.flags
+        detector.reset()
+        assert detector.flags == []
+        assert _feed(detector, "x", [99.0, 99.0]) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChangepointDetector(warmup=1)
+        with pytest.raises(ConfigurationError):
+            ChangepointDetector(threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            ChangepointDetector(min_rel_std=-0.1)

@@ -1,0 +1,308 @@
+"""The live plane: windowing, exemplars, events, engine wiring, replay.
+
+The replay-equivalence tests are the PR's headline contract: a plane
+attached to a live engine run and a plane replayed from that run's
+trace see the same windows, and ``repro top --replay``'s attribution
+totals match ``repro analyze`` to 1e-6 ms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observe.analyze import analyze_spans
+from repro.observe.anomaly import ChangepointDetector
+from repro.observe.live import LivePlane, events_from_spans, replay_spans
+from repro.observe.slo import SLOMonitor, SLOTarget
+from repro.schedulers import FixedScheduler, FMScheduler
+from repro.sim.engine import simulate
+from repro.telemetry import Telemetry
+from repro.workloads.arrivals import PoissonProcess
+
+
+def _observe_n(plane, n, window_ms=50.0, latency=10.0):
+    for i in range(n):
+        plane.observe(
+            at_ms=i * window_ms / 4,
+            latency_ms=latency,
+            components={"queue_ms": 2.0, "service_ms": latency - 2.0},
+            rid=i,
+        )
+
+
+class TestWindowing:
+    def test_completions_partition_into_windows(self):
+        plane = LivePlane(window_ms=50.0)
+        _observe_n(plane, 20)
+        plane.flush(20 * 12.5 + 50.0)
+        windows = plane.windows()
+        assert sum(w.count for w in windows) == 20
+        assert [w.index for w in windows] == sorted(w.index for w in windows)
+
+    def test_component_sums_are_additive(self):
+        plane = LivePlane(window_ms=50.0)
+        _observe_n(plane, 16, latency=8.0)
+        plane.flush(1000.0)
+        totals = plane.attribution_totals()
+        assert totals["queue_ms"] == pytest.approx(32.0)
+        assert totals["service_ms"] == pytest.approx(96.0)
+
+    def test_window_p99_comes_from_the_slice(self):
+        plane = LivePlane(window_ms=1000.0)
+        for i in range(100):
+            plane.observe(at_ms=float(i), latency_ms=1.0 + i)
+        plane.flush(1000.0)
+        (window,) = plane.windows()
+        assert window.p99_ms == pytest.approx(100.0, rel=0.05)
+
+    def test_ring_is_bounded(self):
+        plane = LivePlane(window_ms=10.0, capacity=4)
+        for i in range(200):
+            plane.observe(at_ms=float(i), latency_ms=1.0)
+        plane.flush(300.0)
+        assert len(plane.windows()) == 4
+
+    def test_out_of_order_annotation_does_not_roll_back(self):
+        plane = LivePlane(window_ms=50.0)
+        plane.observe(at_ms=120.0, latency_ms=1.0)
+        event = plane.annotate(60.0, "fault", fault="stall")
+        assert event.window == 1  # indexed where it happened
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LivePlane(window_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            LivePlane(capacity=0)
+        with pytest.raises(ConfigurationError):
+            LivePlane(exemplars=-1)
+
+
+class TestExemplars:
+    def test_worst_k_survive(self):
+        plane = LivePlane(window_ms=1000.0, exemplars=3)
+        latencies = [5.0, 90.0, 12.0, 300.0, 7.0, 150.0]
+        for i, latency in enumerate(latencies):
+            plane.observe(at_ms=float(i), latency_ms=latency, rid=i)
+        plane.flush(1000.0)
+        (window,) = plane.windows()
+        assert [e.latency_ms for e in window.exemplars] == [300.0, 150.0, 90.0]
+        assert [e.rid for e in window.exemplars] == [3, 5, 1]
+
+    def test_exemplar_links_components(self):
+        plane = LivePlane(window_ms=1000.0, exemplars=1)
+        plane.observe(
+            at_ms=1.0,
+            latency_ms=50.0,
+            components={"queue_ms": 40.0, "service_ms": 10.0},
+            rid=7,
+        )
+        plane.flush(1000.0)
+        (window,) = plane.windows()
+        assert window.exemplars[0].dominant_component() == "queue_ms"
+
+
+class TestEventsAndAnomalies:
+    def test_mode_transition_updates_window_mode(self):
+        plane = LivePlane(window_ms=50.0)
+        plane.observe(at_ms=10.0, latency_ms=1.0)
+        plane.annotate(60.0, "mode_transition", from_mode="eager", to_mode="steady")
+        plane.observe(at_ms=110.0, latency_ms=1.0)
+        plane.flush(500.0)
+        windows = plane.windows()
+        assert windows[0].mode == ""
+        assert windows[-1].mode == "steady"
+
+    def test_latency_step_raises_anomaly_event(self):
+        plane = LivePlane(
+            window_ms=10.0,
+            detector=ChangepointDetector(warmup=4, threshold=4.0),
+        )
+        for window in range(12):
+            latency = 5.0 if window < 8 else 80.0
+            for i in range(5):
+                plane.observe(
+                    at_ms=window * 10.0 + i, latency_ms=latency + 0.1 * i
+                )
+        plane.flush(200.0)
+        anomalies = plane.anomalies()
+        assert anomalies
+        assert anomalies[0].detail["signal"] == "p99_ms"
+        assert anomalies[0].window == 8
+        # The flag also lands inside its window's event list.
+        flagged = next(w for w in plane.windows() if w.index == 8)
+        assert any(e.kind == "anomaly" for e in flagged.events)
+
+    def test_slo_breach_column(self):
+        slo = SLOMonitor(
+            SLOTarget(percentile=0.5, threshold_ms=10.0),
+            short_window_ms=100.0,
+            long_window_ms=200.0,
+            min_samples=3,
+        )
+        plane = LivePlane(window_ms=50.0, slo=slo)
+        for i in range(20):
+            plane.observe(at_ms=10.0 * i, latency_ms=50.0)
+        plane.flush(400.0)
+        assert any(w.breached for w in plane.windows())
+        assert all(
+            w.burn_rate >= 1.0 for w in plane.windows() if w.breached
+        )
+
+
+class TestEngineWiring:
+    def _arrivals(self, tiny_workload, n=120, rps=200.0, seed=11):
+        rng = np.random.default_rng(seed)
+        return tiny_workload.arrivals(n, PoissonProcess(rps), rng)
+
+    def test_live_plane_sees_every_completion(self, tiny_workload):
+        plane = LivePlane(window_ms=100.0, capacity=4096)
+        result = simulate(
+            self._arrivals(tiny_workload),
+            FixedScheduler(2),
+            cores=4,
+            live=plane,
+        )
+        assert sum(w.count for w in plane.windows()) == len(result.records)
+        totals = plane.attribution_totals()
+        for component in ("queue_ms", "service_ms", "contention_ms"):
+            want = sum(r.attribution()[component] for r in result.records)
+            assert totals.get(component, 0.0) == pytest.approx(want, abs=1e-9)
+
+    def test_faults_become_events(self, tiny_workload):
+        from repro.faults.plan import CoreFault, FaultPlan, StallFault
+
+        plan = FaultPlan(
+            core_faults=[CoreFault(time_ms=50.0, cores=2, duration_ms=100.0)],
+            stalls=[StallFault(time_ms=80.0, duration_ms=40.0)],
+        )
+        plane = LivePlane(window_ms=100.0, capacity=4096)
+        simulate(
+            self._arrivals(tiny_workload),
+            FixedScheduler(2),
+            cores=4,
+            fault_plan=plan,
+            live=plane,
+        )
+        kinds = {e.detail.get("fault") for e in plane.events if e.kind == "fault"}
+        assert "core_loss" in kinds
+        assert "core_restore" in kinds
+
+    def test_plane_does_not_perturb_the_simulation(self, tiny_workload):
+        """Bit-identical results with and without a plane attached."""
+        bare = simulate(self._arrivals(tiny_workload), FixedScheduler(2), cores=4)
+        plane = LivePlane(window_ms=100.0, capacity=4096)
+        observed = simulate(
+            self._arrivals(tiny_workload), FixedScheduler(2), cores=4, live=plane
+        )
+        assert [r.finish_ms for r in bare.records] == [
+            r.finish_ms for r in observed.records
+        ]
+
+
+class TestReplay:
+    def _traced_run(self, tiny_workload, small_table):
+        telemetry = Telemetry()
+        rng = np.random.default_rng(23)
+        arrivals = tiny_workload.arrivals(150, PoissonProcess(250.0), rng)
+        plane = LivePlane(window_ms=100.0, capacity=4096)
+        result = simulate(
+            arrivals,
+            FMScheduler(small_table),
+            cores=4,
+            telemetry=telemetry,
+            live=plane,
+        )
+        return telemetry, plane, result
+
+    def test_replay_matches_live_windows(self, tiny_workload, small_table):
+        telemetry, live, _ = self._traced_run(tiny_workload, small_table)
+        replayed = replay_spans(telemetry.tracer.spans, window_ms=100.0)
+        live_windows = {w.index: w for w in live.windows()}
+        replay_windows = {w.index: w for w in replayed.windows()}
+        busy = {i for i, w in live_windows.items() if w.count}
+        assert busy == {i for i, w in replay_windows.items() if w.count}
+        for index in busy:
+            assert replay_windows[index].count == live_windows[index].count
+            for component, value in live_windows[index].components.items():
+                assert replay_windows[index].components[
+                    component
+                ] == pytest.approx(value, abs=1e-9)
+
+    def test_replay_totals_match_analyze_to_1e6(
+        self, tiny_workload, small_table
+    ):
+        telemetry, _, _ = self._traced_run(tiny_workload, small_table)
+        spans = telemetry.tracer.spans
+        plane = replay_spans(spans)
+        report = analyze_spans(spans, phi=0.99)
+        track = report.tracks["sim"]
+        totals = plane.attribution_totals()
+        for component, entry in track.components.items():
+            want = entry["overall_mean_ms"] * track.count
+            assert abs(totals[component] - want) < 1e-6
+
+    def test_events_round_trip_through_spans(self, tiny_workload, small_table):
+        telemetry = Telemetry()
+        telemetry.tracer.instant(
+            "observe.event",
+            track="observe",
+            at_ms=42.0,
+            kind="mode_transition",
+            from_mode="eager",
+            to_mode="steady",
+        )
+        events = events_from_spans(telemetry.tracer.spans)
+        assert len(events) == 1
+        assert events[0].kind == "mode_transition"
+        assert events[0].detail["to_mode"] == "steady"
+
+    def test_replay_rederives_anomalies_instead_of_echoing(self):
+        """Recorded anomaly instants are skipped on replay — the
+        detector re-runs, so flags appear exactly once."""
+        telemetry = Telemetry()
+        tracer = telemetry.tracer
+        for i in range(60):
+            latency = 5.0 if i < 40 else 90.0
+            start = 10.0 * i
+            tracer.complete(
+                "run",
+                start,
+                start + latency,
+                track="sim",
+                lane=i,
+                latency_ms=latency,
+                service_ms=latency,
+                queue_ms=0.0,
+                contention_ms=0.0,
+                boost_wait_ms=0.0,
+                stall_ms=0.0,
+            )
+        tracer.instant(
+            "observe.event",
+            track="observe",
+            at_ms=410.0,
+            kind="anomaly",
+            signal="p99_ms",
+            direction=1,
+        )
+        plane = replay_spans(
+            telemetry.tracer.spans,
+            window_ms=50.0,
+            detector=ChangepointDetector(warmup=3, threshold=4.0),
+        )
+        anomalies = plane.anomalies()
+        # One re-derived upward flag; the recorded instant is not echoed.
+        up = [e for e in anomalies if e.detail.get("direction") == 1]
+        assert len(up) == 1
+
+    def test_empty_trace_refuses_replay(self):
+        with pytest.raises(ConfigurationError):
+            replay_spans([])
+
+    def test_render_smoke(self, tiny_workload, small_table):
+        _, plane, _ = self._traced_run(tiny_workload, small_table)
+        text = plane.render()
+        assert "attribution" in text
+        assert "bar legend" in text

@@ -1,0 +1,154 @@
+"""Degraded-mode transitions observed through the live plane.
+
+Satellite contract for the real-thread runtime: the server's
+``degraded`` flag and the ``observe.event`` stream must agree — a
+breach onset lands in the plane (and the tracer) as ``slo_breach``, a
+recovery as ``slo_clear``, and the final flag matches the last such
+event.  Timing here is wall-clock, so assertions are structural.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observe import SLOMonitor, SLOTarget
+from repro.observe.live import LivePlane, events_from_spans
+from repro.runtime import LiveFMServer
+from repro.telemetry import Telemetry
+
+from tests.runtime.test_live_runtime import _request, _table
+
+
+def _slo(threshold_ms: float) -> SLOMonitor:
+    return SLOMonitor(
+        SLOTarget(percentile=0.5, threshold_ms=threshold_ms),
+        short_window_ms=60_000.0,
+        long_window_ms=600_000.0,
+        min_samples=3,
+    )
+
+
+def _plane(slo: SLOMonitor | None = None) -> LivePlane:
+    # anchor_ms=None: the grid anchors at the first wall-clock
+    # observation; feed_slo=False: the server feeds the monitor.
+    return LivePlane(
+        window_ms=50.0, capacity=4096, anchor_ms=None, slo=slo, feed_slo=False
+    )
+
+
+def _flush(plane: LivePlane) -> None:
+    plane.flush(time.perf_counter() * 1000.0 + 1000.0)
+
+
+class TestLiveSnapshots:
+    def test_plane_sees_every_completion(self):
+        plane = _plane()
+        server = LiveFMServer(_table(), workers=2, live=plane)
+        for rid in range(6):
+            server.submit(_request(rid, 20.0))
+        stats = server.drain(timeout_s=10.0)
+        _flush(plane)
+        assert sum(w.count for w in plane.windows()) == stats.completed == 6
+
+    def test_components_decompose_the_latency(self):
+        """queue_ms + execute_ms per completion is exactly the
+        request's latency (same timestamps, subtracted once)."""
+        plane = _plane()
+        server = LiveFMServer(_table(), workers=2, live=plane)
+        for rid in range(5):
+            server.submit(_request(rid, 25.0))
+        stats = server.drain(timeout_s=10.0)
+        _flush(plane)
+        totals = plane.attribution_totals()
+        want = sum(stats.latencies_ms)
+        assert totals["queue_ms"] + totals["execute_ms"] == pytest.approx(
+            want, rel=1e-9
+        )
+
+
+class TestDegradedModeEvents:
+    def test_breach_onset_becomes_an_event(self):
+        slo = _slo(1.0)  # every completion violates
+        plane = _plane(slo)
+        server = LiveFMServer(_table(), workers=2, slo=slo, live=plane)
+        for rid in range(6):
+            server.submit(_request(rid, 30.0))
+        server.drain(timeout_s=10.0)
+        _flush(plane)
+        breaches = [e for e in plane.events if e.kind == "slo_breach"]
+        assert len(breaches) == server.slo_breaches == 1
+        assert breaches[0].detail["burn_rate"] >= 1.0
+
+    def test_degraded_flag_agrees_with_event_stream(self):
+        slo = _slo(1.0)
+        plane = _plane(slo)
+        server = LiveFMServer(_table(), workers=2, slo=slo, live=plane)
+        for rid in range(6):
+            server.submit(_request(rid, 30.0))
+        server.drain(timeout_s=10.0)
+        _flush(plane)
+        transitions = [
+            e for e in plane.events if e.kind in ("slo_breach", "slo_clear")
+        ]
+        assert transitions, "a breach onset must produce an event"
+        assert server.degraded == (transitions[-1].kind == "slo_breach")
+        # The plane reads the shared monitor at window close: windows
+        # closed after the onset carry the breached column.
+        onset_window = transitions[0].window
+        later = [w for w in plane.windows() if w.index >= onset_window]
+        assert any(w.breached for w in later)
+
+    def test_healthy_run_emits_no_transitions(self):
+        slo = _slo(10_000.0)
+        plane = _plane(slo)
+        server = LiveFMServer(_table(), workers=2, slo=slo, live=plane)
+        for rid in range(4):
+            server.submit(_request(rid, 20.0))
+        server.drain(timeout_s=10.0)
+        _flush(plane)
+        assert not server.degraded
+        kinds = {e.kind for e in plane.events}
+        assert "slo_breach" not in kinds
+        assert not any(w.breached for w in plane.windows())
+
+    def test_breach_event_ordering_matches_tracer_stream(self):
+        """The same onset lands in the plane and in the span stream,
+        and no completion observed before it breaches its window."""
+        telemetry = Telemetry()
+        slo = _slo(1.0)
+        plane = _plane(slo)
+        server = LiveFMServer(
+            _table(), workers=2, telemetry=telemetry, slo=slo, live=plane
+        )
+        for rid in range(6):
+            server.submit(_request(rid, 30.0))
+        server.drain(timeout_s=10.0)
+        _flush(plane)
+        traced = [
+            e
+            for e in events_from_spans(telemetry.tracer.spans)
+            if e.kind in ("slo_breach", "slo_clear")
+        ]
+        live = [
+            e for e in plane.events if e.kind in ("slo_breach", "slo_clear")
+        ]
+        assert [e.kind for e in traced] == [e.kind for e in live]
+        assert [e.at_ms for e in traced] == pytest.approx(
+            [e.at_ms for e in live]
+        )
+
+
+class TestValidation:
+    def test_plane_must_not_feed_a_shared_monitor(self):
+        slo = _slo(1.0)
+        plane = LivePlane(window_ms=50.0, anchor_ms=None, slo=slo)  # feed_slo on
+        with pytest.raises(ConfigurationError):
+            LiveFMServer(_table(), workers=2, slo=slo, live=plane)
+
+    def test_plane_without_monitor_is_fine(self):
+        server = LiveFMServer(_table(), workers=2, live=_plane())
+        server.submit(_request(0, 10.0))
+        assert server.drain(timeout_s=5.0).completed == 1

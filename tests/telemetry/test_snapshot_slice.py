@@ -1,0 +1,173 @@
+"""Histogram snapshot/slice and registry snapshot/delta contracts.
+
+The live plane's storage primitive: cumulative instruments snapshot at
+window boundaries and subtract into exact per-window deltas — counters
+by integer subtraction, histograms bucket-for-bucket.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.histogram import LogHistogram
+
+
+class TestHistogramCopy:
+    def test_copy_is_independent(self):
+        h = LogHistogram()
+        h.record_many([1.0, 5.0, 100.0])
+        snap = h.copy()
+        h.record(1000.0)
+        assert snap.count == 3
+        assert h.count == 4
+        assert snap.state() != h.state()
+
+    def test_copy_state_matches(self):
+        h = LogHistogram()
+        h.record_many([0.0, 2.5, 2.5, 40.0])
+        assert h.copy().state() == h.state()
+
+
+class TestSliceSince:
+    def test_slice_holds_exactly_the_window(self):
+        h = LogHistogram()
+        h.record_many([1.0, 2.0, 3.0])
+        snap = h.copy()
+        h.record_many([10.0, 20.0])
+        window = h.slice_since(snap)
+        assert window.count == 2
+        assert window.sum == pytest.approx(30.0)
+
+    def test_slices_merge_back_to_cumulative_buckets(self):
+        h = LogHistogram()
+        snaps = [h.copy()]
+        values = [1.5, 8.0, 0.0, 99.0, 3.0, 3.0, 250.0]
+        for i, value in enumerate(values):
+            h.record(value)
+            if i % 2:
+                snaps.append(h.copy())
+        snaps.append(h.copy())
+        merged = LogHistogram()
+        for earlier, later in zip(snaps, snaps[1:]):
+            merged.update(later.slice_since(earlier))
+        # Bucket counts are integers: the merge is exact.
+        assert merged.state()[2:5] == h.state()[2:5]  # buckets, zero, count
+        assert merged.sum == pytest.approx(h.sum, rel=1e-12)
+
+    def test_slice_min_max_are_bucket_bounds(self):
+        h = LogHistogram(relative_error=0.01)
+        snap = h.copy()
+        h.record(50.0)
+        window = h.slice_since(snap)
+        # Bounds bracket the observation within one gamma factor.
+        assert window.min <= 50.0 <= window.max
+        gamma = (1 + 0.01) / (1 - 0.01)
+        assert window.max / window.min <= gamma * (1 + 1e-9)
+
+    def test_slice_of_identical_snapshots_is_empty(self):
+        h = LogHistogram()
+        h.record(5.0)
+        window = h.copy().slice_since(h.copy())
+        assert window.count == 0
+        assert math.isnan(window.percentile(0.5))
+
+    def test_percentile_guarantee_survives_slicing(self):
+        h = LogHistogram(relative_error=0.01)
+        snap = h.copy()
+        h.record_many(float(v) for v in range(1, 200))
+        window = h.slice_since(snap)
+        for q in (0.5, 0.9, 0.99):
+            assert window.percentile(q) == pytest.approx(
+                h.percentile(q), rel=0.05
+            )
+
+    def test_mismatched_grid_raises(self):
+        a = LogHistogram(relative_error=0.01)
+        b = LogHistogram(relative_error=0.02)
+        with pytest.raises(ConfigurationError):
+            a.slice_since(b)
+
+    def test_unrelated_snapshot_raises(self):
+        a = LogHistogram()
+        a.record(1.0)
+        b = LogHistogram()
+        b.record_many([500.0, 600.0])
+        with pytest.raises(ConfigurationError):
+            b.slice_since(a)  # bucket for 1.0 would go negative
+
+    def test_later_snapshot_as_previous_raises(self):
+        h = LogHistogram()
+        h.record(1.0)
+        snap = h.copy()
+        h.record(2.0)
+        with pytest.raises(ConfigurationError):
+            snap.slice_since(h)
+
+
+class TestDumpState:
+    def test_round_trip_is_bit_identical(self):
+        h = LogHistogram()
+        h.record_many([0.0, 0.5, 7.0, 7.0, 3000.0])
+        data = json.loads(json.dumps(h.dump_state()))
+        assert LogHistogram.from_state(data).state() == h.state()
+
+    def test_empty_round_trip(self):
+        h = LogHistogram()
+        rebuilt = LogHistogram.from_state(h.dump_state())
+        assert rebuilt.state() == h.state()
+        assert rebuilt.count == 0
+
+
+class TestRegistrySnapshot:
+    def _registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("arrivals").inc(3)
+        registry.gauge("depth").set(2.0)
+        registry.histogram("latency_ms").record_many([5.0, 9.0])
+        return registry
+
+    def test_delta_counters_subtract_exactly(self):
+        registry = self._registry()
+        before = registry.snapshot()
+        registry.counter("arrivals").inc(4)
+        registry.counter("sheds").inc(1)
+        delta = registry.snapshot().delta_since(before)
+        assert delta.counters["arrivals"] == 4
+        assert delta.counters["sheds"] == 1
+
+    def test_delta_histograms_slice(self):
+        registry = self._registry()
+        before = registry.snapshot()
+        registry.histogram("latency_ms").record(100.0)
+        delta = registry.snapshot().delta_since(before)
+        assert delta.histograms["latency_ms"].count == 1
+
+    def test_delta_gauges_keep_latest_and_high_water(self):
+        registry = self._registry()
+        before = registry.snapshot()
+        registry.gauge("depth").set(9.0)
+        registry.gauge("depth").set(4.0)
+        delta = registry.snapshot().delta_since(before)
+        assert delta.gauges["depth"] == 4.0
+        assert delta.gauge_max["depth"] == 9.0
+
+    def test_snapshot_is_isolated_from_registry(self):
+        registry = self._registry()
+        snap = registry.snapshot()
+        registry.histogram("latency_ms").record(1e6)
+        registry.counter("arrivals").inc()
+        assert snap.counters["arrivals"] == 3
+        assert snap.histograms["latency_ms"].count == 2
+
+    def test_foreign_snapshot_raises(self):
+        registry = self._registry()
+        later = registry.snapshot()
+        other = MetricsRegistry()
+        other.counter("arrivals").inc(10)
+        with pytest.raises(ConfigurationError):
+            later.delta_since(other.snapshot())

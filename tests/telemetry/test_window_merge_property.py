@@ -1,0 +1,68 @@
+"""Property: window slices merge back to the cumulative histogram.
+
+Whatever the value stream and wherever the window boundaries fall,
+cutting a cumulative histogram into per-window slices
+(:meth:`LogHistogram.slice_since`) and merging the slices reproduces
+the cumulative bucket state *exactly* (bucket counts are integers) and
+every quantile within the documented bounded relative error (slice
+min/max are bucket bounds, so an extreme quantile may move by at most
+one gamma factor).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry.histogram import LogHistogram
+
+_EPS = 0.01
+_GAMMA = (1 + _EPS) / (1 - _EPS)
+
+_values = st.lists(
+    st.one_of(
+        st.just(0.0),
+        st.floats(min_value=1e-3, max_value=1e6, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=120,
+)
+_cuts = st.sets(st.integers(min_value=1, max_value=119), max_size=6)
+
+
+@settings(max_examples=120, deadline=None)
+@given(values=_values, cuts=_cuts)
+def test_window_slices_merge_to_cumulative(values, cuts):
+    cumulative = LogHistogram(relative_error=_EPS)
+    boundaries = sorted(c for c in cuts if c < len(values))
+    snapshots = [cumulative.copy()]
+    for i, value in enumerate(values):
+        cumulative.record(value)
+        if i + 1 in boundaries:
+            snapshots.append(cumulative.copy())
+    snapshots.append(cumulative.copy())
+
+    merged = LogHistogram(relative_error=_EPS)
+    for earlier, later in zip(snapshots, snapshots[1:]):
+        merged.update(later.slice_since(earlier))
+
+    # Exact integer state: buckets, zero bucket, total count.
+    (_, _, buckets, zero, count, total, _, _) = merged.state()
+    (_, _, c_buckets, c_zero, c_count, c_total, _, _) = cumulative.state()
+    assert buckets == c_buckets
+    assert zero == c_zero
+    assert count == c_count
+    # Sums differ only by float residue of the subtract-then-add path.
+    assert total == c_total or math.isclose(total, c_total, rel_tol=1e-9)
+
+    # Quantiles: identical buckets, so only min/max clamping (bucket
+    # bounds vs exact observations) can move a quantile — by at most
+    # one gamma factor in each direction.
+    for q in (0.01, 0.5, 0.9, 0.99):
+        got = merged.percentile(q)
+        want = cumulative.percentile(q)
+        if want == 0.0:
+            assert got == 0.0
+        else:
+            assert want / (_GAMMA * (1 + 1e-9)) <= got <= want * _GAMMA * (1 + 1e-9)
