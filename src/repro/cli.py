@@ -31,6 +31,7 @@ from repro.experiments.extensions import EXTENSIONS
 from repro.experiments.figures import ALL_EXPERIMENTS
 from repro.experiments.hetero_energy import HETERO_ENERGY
 from repro.experiments.live_tail import LIVE_TAIL
+from repro.experiments.mega_sweep import MEGA_SWEEP
 from repro.experiments.replication_phase import REPLICATION_PHASE
 from repro.experiments.robustness import ROBUSTNESS
 from repro.experiments.tail_attribution import TAIL_ATTRIBUTION
@@ -47,6 +48,7 @@ EXPERIMENTS = {
     **EXTENSIONS,
     **HETERO_ENERGY,
     **LIVE_TAIL,
+    **MEGA_SWEEP,
     **REPLICATION_PHASE,
     **ROBUSTNESS,
     **TELEMETRY,
@@ -101,6 +103,18 @@ def build_parser() -> argparse.ArgumentParser:
             "telemetry cannot cross process boundaries."
         ),
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        metavar="K",
+        default=1,
+        help=(
+            "split each sharded-sweep cell (e.g. mega-sweep) into K "
+            "arrival shards (0 = one per worker). Unlike --workers "
+            "this is a results knob: the shard decomposition defines "
+            "which traces are simulated. See repro.parallel.shards."
+        ),
+    )
     return parser
 
 
@@ -131,9 +145,9 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
     telemetry = Telemetry() if args.trace else None
-    from repro.parallel import default_workers
+    from repro.parallel import default_shards, default_workers
 
-    with install(telemetry), default_workers(args.workers):
+    with install(telemetry), default_workers(args.workers), default_shards(args.shards):
         for name in names:
             started = time.perf_counter()
             result = EXPERIMENTS[name](scale)

@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
 
 __all__ = [
     "run_policy",
+    "stream_policy",
     "run_sweep",
     "SweepResult",
     "PolicySeries",
@@ -110,6 +111,50 @@ def run_policy(
         topology=topology,
         fault_plan=fault_plan,
         live=live,
+    )
+
+
+def stream_policy(
+    scheduler: Scheduler,
+    workload: Workload,
+    rps: float,
+    cores: int,
+    num_requests: int,
+    quantum_ms: float = 5.0,
+    seed: int = 42,
+    process: ArrivalProcess | None = None,
+    spin_fraction: float = 0.25,
+    fault_plan: "FaultPlan | None" = None,
+    vectorized: bool = False,
+    chunk_size: int = 8192,
+):
+    """:func:`run_policy` for million-request runs: arrivals are
+    generated lazily and completions fold into a
+    :class:`~repro.sim.stream.StreamSummary`, so memory stays
+    O(running set) regardless of ``num_requests`` (DESIGN.md §14).
+
+    Note the seeded universe differs from :func:`run_policy`'s —
+    :meth:`~repro.workloads.workload.Workload.arrival_stream` splits
+    the demand and time RNG streams (that split is what makes the
+    trace chunk-size invariant), so the same seed denotes different
+    traces in the two APIs.
+    """
+    from repro.sim.stream import simulate_stream
+
+    arrivals = workload.arrival_stream(
+        num_requests,
+        process or PoissonProcess(rps),
+        seed=seed,
+        chunk_size=chunk_size,
+    )
+    return simulate_stream(
+        arrivals,
+        scheduler,
+        cores=cores,
+        quantum_ms=quantum_ms,
+        spin_fraction=spin_fraction,
+        fault_plan=fault_plan,
+        vectorized=vectorized,
     )
 
 

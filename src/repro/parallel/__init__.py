@@ -64,31 +64,53 @@ __all__ = [
     "get_default_workers",
     "set_default_workers",
     "resolve_workers",
+    # re-exported from repro.parallel.shards (imported at module end)
+    "run_sharded_sweep",
+    "shard_sizes",
+    "ShardedSweepResult",
+    "default_shards",
+    "get_default_shards",
+    "set_default_shards",
+    "resolve_shards",
 ]
 
 _DEFAULT_WORKERS = 1
 
 
 def get_default_workers() -> int:
-    """The ambient worker count :func:`run_sweep` consults (default 1)."""
+    """The ambient worker count :func:`run_sweep` consults (default 1).
+
+    Returned *raw*: ``0`` means "all CPUs" and stays ``0`` here —
+    resolution to a concrete process count happens at use time in
+    :func:`resolve_workers`, so the value tracks the machine it runs
+    on rather than the machine it was set on.
+    """
     return _DEFAULT_WORKERS
 
 
 def set_default_workers(workers: int) -> None:
     """Set the ambient worker count for subsequent sweeps.
 
-    ``workers=0`` means "all CPUs".  Prefer the scoped
-    :func:`default_workers` context manager unless the process is
-    single-purpose (like the CLI).
+    ``workers=0`` means "all CPUs" and is stored as ``0`` (resolved
+    against ``os.cpu_count()`` each time a sweep starts, not once
+    here).  Prefer the scoped :func:`default_workers` context manager
+    unless the process is single-purpose (like the CLI).
     """
     global _DEFAULT_WORKERS
-    _DEFAULT_WORKERS = resolve_workers(workers)
+    if workers < 0:
+        raise ConfigurationError(f"workers must be >= 0: {workers}")
+    _DEFAULT_WORKERS = workers
 
 
 @contextlib.contextmanager
 def default_workers(workers: int) -> Iterator[int]:
     """Scoped :func:`set_default_workers`: every sweep in the block runs
-    with ``workers`` processes unless it passes an explicit count."""
+    with ``workers`` processes unless it passes an explicit count.
+
+    Saves and restores the *raw* ambient value, so nesting
+    ``default_workers(4)`` inside ``default_workers(0)`` restores the
+    "all CPUs" sentinel, not whatever CPU count it resolved to once.
+    """
     previous = _DEFAULT_WORKERS
     set_default_workers(workers)
     try:
@@ -99,9 +121,10 @@ def default_workers(workers: int) -> Iterator[int]:
 
 def resolve_workers(workers: int | None) -> int:
     """Normalize a worker count: ``None`` -> the ambient default,
-    ``0`` -> all CPUs, otherwise the (positive) count itself."""
+    ``0`` -> all CPUs (resolved now, at use time), otherwise the
+    (positive) count itself."""
     if workers is None:
-        return _DEFAULT_WORKERS
+        workers = _DEFAULT_WORKERS
     if workers == 0:
         return os.cpu_count() or 1
     if workers < 0:
@@ -126,7 +149,11 @@ class _SweepSpec:
     topology: Topology | None = None
 
 
-# Per-worker-process sweep spec, set by the pool initializer.
+# Per-worker-process sweep spec, set by the pool initializer.  Only the
+# pool path uses this global (a worker process is single-purpose); the
+# in-process serial fallback threads the spec explicitly so nested and
+# re-entrant sweeps — which the sharded orchestrator performs — never
+# observe a foreign or torn-down spec.
 _SPEC: _SweepSpec | None = None
 
 
@@ -135,13 +162,21 @@ def _init_worker(spec: _SweepSpec) -> None:
     _SPEC = spec
 
 
+def _run_cell_pooled(
+    cell: tuple[int, int, int],
+) -> tuple[float, float, LogHistogram, SimulationResult | None]:
+    """Pool entry point: bind the worker-process spec, then run."""
+    spec = _SPEC
+    assert spec is not None, "worker used before initialization"
+    return _run_cell(cell, spec)
+
+
 def _run_cell(
     cell: tuple[int, int, int],
+    spec: _SweepSpec,
 ) -> tuple[float, float, LogHistogram, SimulationResult | None]:
     """Run one ``(policy, rps, repeat)`` cell and summarize it."""
     policy_index, rps_index, repeat = cell
-    spec = _SPEC
-    assert spec is not None, "worker used before initialization"
     _, scheduler = spec.named[policy_index]
     # Telemetry recorded in a worker could never reach the parent's
     # pipeline; run with none installed instead of dropping data
@@ -200,6 +235,13 @@ def run_sweep_parallel(
     named = _named_schedulers(schedulers)
     if repeats < 1:
         raise ConfigurationError(f"repeats must be >= 1: {repeats}")
+    # An empty grid would otherwise surface as a bare ValueError from
+    # multiprocessing (Pool(processes=0)) — reject it here with a
+    # message that names the missing axis.
+    if not named:
+        raise ConfigurationError("run_sweep_parallel needs at least one scheduler")
+    if not rps_values:
+        raise ConfigurationError("run_sweep_parallel needs at least one rps value")
     workers = resolve_workers(workers)
 
     cells = [
@@ -223,12 +265,10 @@ def run_sweep_parallel(
     )
     if workers <= 1 or len(cells) == 1:
         # Not worth a pool; run the cells in-process through the same
-        # code path (so workers=1 still exercises _run_cell).
-        _init_worker(spec)
-        try:
-            summaries = [_run_cell(cell) for cell in cells]
-        finally:
-            _init_worker(None)  # type: ignore[arg-type]
+        # code path (so workers=1 still exercises _run_cell).  The spec
+        # is passed explicitly — no module global is touched, so a
+        # sweep may run inside another sweep's cell.
+        summaries = [_run_cell(cell, spec) for cell in cells]
     else:
         context = _pool_context()
         with context.Pool(
@@ -239,7 +279,7 @@ def run_sweep_parallel(
             # chunksize=1: cells are heterogeneous (high-RPS cells
             # simulate far more events), so fine-grained dispatch is
             # what makes the speedup near-linear.
-            summaries = pool.map(_run_cell, cells, chunksize=1)
+            summaries = pool.map(_run_cell_pooled, cells, chunksize=1)
 
     by_cell = dict(zip(cells, summaries))
     series: dict[str, PolicySeries] = {}
@@ -276,3 +316,16 @@ def run_sweep_parallel(
             histograms=histograms,
         )
     return SweepResult(series=series)
+
+
+# Sharded mega-sweep orchestration (imports from this module, so the
+# import sits below everything it needs — DESIGN.md §14).
+from repro.parallel.shards import (  # noqa: E402
+    ShardedSweepResult,
+    default_shards,
+    get_default_shards,
+    resolve_shards,
+    run_sharded_sweep,
+    set_default_shards,
+    shard_sizes,
+)

@@ -11,7 +11,9 @@ from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.metrics import MetricsCollector, RequestRecord, ShedRecord, SimulationResult
 from repro.sim.processor import BoostController, compute_shares
 from repro.sim.request import RequestState, SimRequest
+from repro.sim.stream import StreamingCollector, StreamSummary, simulate_stream
 from repro.sim.trace import TraceEvent, TraceEventKind, TraceRecorder
+from repro.sim.vector import VectorEngine
 
 __all__ = [
     "Admission",
@@ -30,9 +32,13 @@ __all__ = [
     "ShedRecord",
     "SimRequest",
     "SimulationResult",
+    "StreamSummary",
+    "StreamingCollector",
     "TraceEvent",
     "TraceEventKind",
     "TraceRecorder",
+    "VectorEngine",
     "compute_shares",
     "simulate",
+    "simulate_stream",
 ]

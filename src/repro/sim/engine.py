@@ -34,7 +34,7 @@ from bisect import bisect_left, insort
 from collections import deque
 from heapq import heappop
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 from repro.core.speedup import SpeedupCurve
 from repro.errors import SimulationError
@@ -143,6 +143,7 @@ class Engine:
         attribution: bool = True,
         topology: Topology | None = None,
         live: "LivePlane | None" = None,
+        collector: MetricsCollector | None = None,
     ) -> None:
         if cores < 1:
             raise SimulationError(f"cores must be >= 1, got {cores}")
@@ -171,7 +172,21 @@ class Engine:
         self._candidate = 0  # requests mid-admission (counted in the load)
         self._generation = 0
         self._rates_dirty = False
-        self._metrics = MetricsCollector(cores)
+        #: Streaming-mode state (DESIGN.md §14): when :meth:`run` is
+        #: handed an iterator instead of a sequence, arrivals are
+        #: generated lazily (one in flight ahead of the clock) and
+        #: finished requests are dropped from the table, so memory is
+        #: O(running set) instead of O(total requests).
+        self._stream: Iterator[ArrivalSpec] | None = None
+        self._discard_done = False
+        self._submitted = 0
+        self._next_rid = 0
+        self._last_stream_ms = 0.0
+        #: ``collector`` swaps the record-keeping strategy: the default
+        #: :class:`MetricsCollector` keeps every RequestRecord (full
+        #: SimulationResult); a streaming collector (repro.sim.stream)
+        #: folds completions into mergeable histograms instead.
+        self._metrics = collector if collector is not None else MetricsCollector(cores)
         self._ctx = SchedulerContext(self)
         self._completed = 0
         self._shed = 0
@@ -251,26 +266,48 @@ class Engine:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def run(self, arrivals: Sequence[ArrivalSpec]) -> SimulationResult:
+    def run(
+        self, arrivals: Sequence[ArrivalSpec] | Iterable[ArrivalSpec]
+    ) -> SimulationResult:
         """Execute all arrivals to completion and return the metrics.
 
         Engines are single-shot: a second call raises
         :class:`~repro.errors.SimulationError` instead of reusing the
         first run's clock, request table, and metric integrals.
+
+        ``arrivals`` may be a materialized sequence (the classic path:
+        sorted up front, every request kept for the final records) or
+        any other iterable (the *streaming* path, DESIGN.md §14): specs
+        are consumed lazily in non-decreasing time order, one arrival
+        event in flight ahead of the clock, and completed or shed
+        requests are discarded — memory stays O(running set) for
+        million-request runs.  Streamed arrivals enter the event heap
+        through a dedicated sequence band that preserves the batch
+        path's tie-breaking, so the same trace replays bit-identically
+        through either path.
         """
         if self._ran:
             raise SimulationError(
                 "engine already ran; construct a new Engine per simulation"
             )
         self._ran = True
-        if not arrivals:
-            raise SimulationError("no arrivals to simulate")
         self.scheduler.reset()
         self.boost.reset()
-        for rid, spec in enumerate(sorted(arrivals, key=lambda s: s.time_ms)):
-            request = SimRequest(rid, spec.time_ms, spec.seq_ms, spec.speedup, tag=spec.tag)
-            self._requests[rid] = request
-            self._queue.push(spec.time_ms, Event(EventKind.ARRIVAL, request_id=rid))
+        if isinstance(arrivals, Sequence):
+            if not arrivals:
+                raise SimulationError("no arrivals to simulate")
+            for rid, spec in enumerate(sorted(arrivals, key=lambda s: s.time_ms)):
+                request = SimRequest(
+                    rid, spec.time_ms, spec.seq_ms, spec.speedup, tag=spec.tag
+                )
+                self._requests[rid] = request
+                self._queue.push(spec.time_ms, Event(EventKind.ARRIVAL, request_id=rid))
+            self._submitted = len(self._requests)
+        else:
+            self._stream = iter(arrivals)
+            self._discard_done = True
+            if not self._push_next_arrival():
+                raise SimulationError("no arrivals to simulate")
         if self.fault_plan is not None:
             for core_fault in self.fault_plan.core_faults:
                 self._queue.push(
@@ -289,6 +326,7 @@ class Engine:
         # dominate, then completions, then arrivals.
         heap = self._queue.heap
         requests = self._requests
+        streaming = self._stream is not None
         quantum_kind = EventKind.QUANTUM
         completion_kind = EventKind.COMPLETION
         arrival_kind = EventKind.ARRIVAL
@@ -308,13 +346,25 @@ class Engine:
                 )
             self._commit(time_ms if time_ms > now else now)
             if kind is quantum_kind:
-                self._handle_quantum(requests[event.request_id], event)
+                try:
+                    request = requests[event.request_id]
+                except KeyError:
+                    continue  # finished + discarded (streaming mode)
+                self._handle_quantum(request, event)
             elif kind is completion_kind:
                 self._handle_completion()
             elif kind is arrival_kind:
+                if streaming:
+                    # Keep exactly one future arrival in the heap: pull
+                    # the next spec as its predecessor is delivered.
+                    self._push_next_arrival()
                 self._handle_arrival(requests[event.request_id])
             elif kind is delay_kind:
-                self._handle_delay_expired(requests[event.request_id])
+                try:
+                    request = requests[event.request_id]
+                except KeyError:
+                    continue  # shed + discarded (streaming mode)
+                self._handle_delay_expired(request)
             else:  # EventKind.FAULT — the enum is closed
                 self._handle_fault(event.payload)
             if self._rates_dirty:
@@ -323,14 +373,38 @@ class Engine:
         if self._live is not None:
             self._live.flush(self.now_ms)
 
-        if self._completed + self._shed != len(self._requests):
-            stuck = len(self._requests) - self._completed - self._shed
+        if self._completed + self._shed != self._submitted:
+            stuck = self._submitted - self._completed - self._shed
             raise SimulationError(
                 f"{stuck} requests never completed (scheduler deadlock?)"
             )
         if self._hetero:
             self._metrics.energy_report = self._build_energy_report()
         return self._metrics.finalize()
+
+    def _push_next_arrival(self) -> bool:
+        """Pull the next spec off the arrival stream and schedule it;
+        returns False when the stream is exhausted (streaming mode)."""
+        spec = next(self._stream, None)
+        if spec is None:
+            return False
+        time_ms = spec.time_ms
+        if time_ms < self._last_stream_ms:
+            raise SimulationError(
+                "streamed arrivals must be non-decreasing in time: "
+                f"{time_ms} after {self._last_stream_ms}"
+            )
+        self._last_stream_ms = time_ms
+        rid = self._next_rid
+        self._next_rid = rid + 1
+        self._requests[rid] = SimRequest(
+            rid, time_ms, spec.seq_ms, spec.speedup, tag=spec.tag
+        )
+        self._queue.push_streamed_arrival(
+            time_ms, Event(EventKind.ARRIVAL, request_id=rid)
+        )
+        self._submitted += 1
+        return True
 
     # ------------------------------------------------------------------
     # Event handlers (dispatched inline by the run loop)
@@ -402,6 +476,14 @@ class Engine:
             self.boost.release(request)
             self._completed += 1
             self.scheduler.on_exit(self._ctx, request)
+        if self._discard_done:
+            # Streaming mode: the record (or histogram sample) is taken;
+            # drop the object so memory tracks the running set.  Any
+            # quantum tick still in the heap finds the id missing and is
+            # skipped by the run loop.
+            requests = self._requests
+            for request in finished:
+                del requests[request.rid]
         self._rates_dirty = True
         self._wake_waiters(exits=len(finished))
 
@@ -552,6 +634,10 @@ class Engine:
             request.shed(self.now_ms)
             self._metrics.record_shed(request, decision.deadline)
             self._shed += 1
+            if self._discard_done:
+                # Streaming mode: shed requests leave the table too (a
+                # pending DELAY_EXPIRED for them is skipped on pop).
+                del self._requests[request.rid]
             if self.telemetry is not None:
                 self.telemetry.metrics.counter("sim.sheds").inc()
                 self.telemetry.tracer.complete(
@@ -1068,7 +1154,7 @@ class Engine:
 
 
 def simulate(
-    arrivals: Sequence[ArrivalSpec],
+    arrivals: Sequence[ArrivalSpec] | Iterable[ArrivalSpec],
     scheduler: Scheduler,
     cores: int,
     quantum_ms: float = 5.0,
@@ -1078,9 +1164,23 @@ def simulate(
     attribution: bool = True,
     topology: Topology | None = None,
     live: "LivePlane | None" = None,
+    vectorized: bool = False,
 ) -> SimulationResult:
-    """Convenience wrapper: build an :class:`Engine` and run it."""
-    engine = Engine(
+    """Convenience wrapper: build an :class:`Engine` and run it.
+
+    ``vectorized=True`` selects the numpy batch engine
+    (:class:`repro.sim.vector.VectorEngine`, DESIGN.md §14): same
+    simulation, with the per-event commit/rate-recompute loops executed
+    as array operations over the running set — the fast path when
+    hundreds of requests run concurrently.
+    """
+    if vectorized:
+        from repro.sim.vector import VectorEngine
+
+        engine_cls: type[Engine] = VectorEngine
+    else:
+        engine_cls = Engine
+    engine = engine_cls(
         cores=cores,
         scheduler=scheduler,
         quantum_ms=quantum_ms,

@@ -73,11 +73,12 @@ class EventQueue:
     method call per event.
     """
 
-    __slots__ = ("heap", "_next_seq")
+    __slots__ = ("heap", "_next_seq", "_arrival_seq")
 
     def __init__(self) -> None:
         self.heap: list[tuple[float, int, Event]] = []
         self._next_seq = 0
+        self._arrival_seq = -(2**62)
 
     def push(self, time_ms: float, event: Event) -> None:
         """Schedule ``event`` at ``time_ms``."""
@@ -85,6 +86,23 @@ class EventQueue:
             raise ValueError(f"event time must be >= 0, got {time_ms}")
         seq = self._next_seq
         self._next_seq = seq + 1
+        heapq.heappush(self.heap, (time_ms, seq, event))
+
+    def push_streamed_arrival(self, time_ms: float, event: Event) -> None:
+        """Schedule a lazily generated ARRIVAL event.
+
+        In batch mode every arrival is pushed at setup time, so at any
+        time tie an arrival's sequence number is smaller than every
+        runtime-generated event's.  Streamed arrivals are pushed mid-run
+        — to preserve the exact same tie-break (and with it bit-identical
+        traces), they draw from a dedicated negative sequence band that
+        stays below every :meth:`push` sequence while remaining FIFO
+        among arrivals (which the stream feeds in time order anyway).
+        """
+        if time_ms < 0:
+            raise ValueError(f"event time must be >= 0, got {time_ms}")
+        seq = self._arrival_seq
+        self._arrival_seq = seq + 1
         heapq.heappush(self.heap, (time_ms, seq, event))
 
     def pop(self) -> tuple[float, Event]:

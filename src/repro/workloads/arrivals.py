@@ -4,18 +4,47 @@ The paper's client "issues requests in random order following a Poisson
 distribution in an open loop" and varies load by changing the average
 arrival rate (RPS).  The Figure 11 load-variation experiment switches
 rate between quanta of 500 requests (45 → 30 → 45 → 30 RPS).
+
+Streaming (DESIGN.md §14): :meth:`ArrivalProcess.iter_times_ms` yields
+the same times as :meth:`~ArrivalProcess.times_ms` in bounded-size
+chunks, bit-identically and independent of the chunk size.  Two facts
+make that possible: numpy ``Generator`` draws are stream-sequential
+(chunked draws concatenate to the single batch draw), and ``np.cumsum``
+accumulates left-to-right, so seeding each chunk's cumsum with the
+previous chunk's last absolute time continues the exact float
+accumulation ``t_i = t_{i-1} + gap_i`` across the boundary.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 
 __all__ = ["ArrivalProcess", "PoissonProcess", "UniformProcess", "PiecewiseRateProcess"]
+
+_DEFAULT_CHUNK = 8192
+
+
+def _validate_chunking(n: int, chunk_size: int) -> None:
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1: {n}")
+    if chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1: {chunk_size}")
+
+
+def _chunked_cumsum(gaps: np.ndarray, carry: float) -> np.ndarray:
+    """Absolute times for one chunk of inter-arrival gaps, continuing
+    the sequential accumulation from ``carry`` bit-exactly (the carry is
+    folded in as the cumsum's first element, not added after)."""
+    block = np.empty(len(gaps) + 1, dtype=float)
+    block[0] = carry
+    block[1:] = gaps
+    return np.cumsum(block)[1:]
 
 
 class ArrivalProcess(ABC):
@@ -24,6 +53,24 @@ class ArrivalProcess(ABC):
     @abstractmethod
     def times_ms(self, n: int, rng: np.random.Generator) -> np.ndarray:
         """Return ``n`` non-decreasing arrival times in milliseconds."""
+
+    def iter_times_ms(
+        self, n: int, rng: np.random.Generator, chunk_size: int = _DEFAULT_CHUNK
+    ) -> Iterator[np.ndarray]:
+        """Yield the times of :meth:`times_ms` in chunks of at most
+        ``chunk_size``.
+
+        The concrete processes override this to generate each chunk on
+        demand (O(chunk) memory for arbitrarily large ``n``), with the
+        concatenated stream bit-identical to the batch array for every
+        chunk size.  This base implementation is the compatibility
+        fallback for custom processes: correct, but it materializes the
+        whole array once.
+        """
+        _validate_chunking(n, chunk_size)
+        times = self.times_ms(n, rng)
+        for start in range(0, n, chunk_size):
+            yield times[start : start + chunk_size]
 
 
 class PoissonProcess(ArrivalProcess):
@@ -39,6 +86,20 @@ class PoissonProcess(ArrivalProcess):
             raise ConfigurationError(f"n must be >= 1: {n}")
         gaps = rng.exponential(1000.0 / self.rps, size=n)
         return np.cumsum(gaps)
+
+    def iter_times_ms(
+        self, n: int, rng: np.random.Generator, chunk_size: int = _DEFAULT_CHUNK
+    ) -> Iterator[np.ndarray]:
+        _validate_chunking(n, chunk_size)
+        scale = 1000.0 / self.rps
+        carry = 0.0
+        produced = 0
+        while produced < n:
+            take = min(chunk_size, n - produced)
+            times = _chunked_cumsum(rng.exponential(scale, size=take), carry)
+            carry = times[-1]
+            produced += take
+            yield times
 
     def __repr__(self) -> str:
         return f"PoissonProcess(rps={self.rps:g})"
@@ -58,6 +119,17 @@ class UniformProcess(ArrivalProcess):
             raise ConfigurationError(f"n must be >= 1: {n}")
         gap = 1000.0 / self.rps
         return gap * np.arange(1, n + 1, dtype=float)
+
+    def iter_times_ms(
+        self, n: int, rng: np.random.Generator, chunk_size: int = _DEFAULT_CHUNK
+    ) -> Iterator[np.ndarray]:
+        _validate_chunking(n, chunk_size)
+        gap = 1000.0 / self.rps
+        for start in range(0, n, chunk_size):
+            stop = min(start + chunk_size, n)
+            # Same elementwise product as the batch path — no running
+            # sum, so no carry is needed for bit identity.
+            yield gap * np.arange(start + 1, stop + 1, dtype=float)
 
     def __repr__(self) -> str:
         return f"UniformProcess(rps={self.rps:g})"
@@ -105,6 +177,37 @@ class PiecewiseRateProcess(ArrivalProcess):
             filled += take
             index += 1
         return np.cumsum(gaps)
+
+    def iter_times_ms(
+        self, n: int, rng: np.random.Generator, chunk_size: int = _DEFAULT_CHUNK
+    ) -> Iterator[np.ndarray]:
+        _validate_chunking(n, chunk_size)
+        carry = 0.0
+        produced = 0
+        index = 0
+        left_in_quantum = self.quanta[0].count
+        while produced < n:
+            take = min(chunk_size, n - produced)
+            gaps = np.empty(take, dtype=float)
+            filled = 0
+            while filled < take:
+                quantum = self.quanta[index % len(self.quanta)]
+                seg = min(left_in_quantum, take - filled)
+                # A quantum split across chunks draws its gaps in two
+                # calls; Generator draws are stream-sequential, so the
+                # values equal the batch path's single per-quantum draw.
+                gaps[filled : filled + seg] = rng.exponential(
+                    1000.0 / quantum.rps, size=seg
+                )
+                filled += seg
+                left_in_quantum -= seg
+                if left_in_quantum == 0:
+                    index += 1
+                    left_in_quantum = self.quanta[index % len(self.quanta)].count
+            times = _chunked_cumsum(gaps, carry)
+            carry = times[-1]
+            produced += take
+            yield times
 
     def quantum_boundaries(self, n: int) -> list[tuple[int, int]]:
         """Request-index ranges ``[(start, stop), ...]`` of each quantum

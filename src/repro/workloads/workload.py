@@ -10,7 +10,7 @@ fresh request traces for the online experiments (the paper's separate
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -23,6 +23,11 @@ from repro.workloads.arrivals import ArrivalProcess
 __all__ = ["Workload"]
 
 DemandSampler = Callable[[np.random.Generator, int], np.ndarray]
+
+#: Fixed internal batch size for streamed demand draws — part of the
+#: :meth:`Workload.arrival_stream` seeded universe (changing it changes
+#: which trace a seed denotes, like changing the sampler would).
+_DEMAND_BLOCK = 8192
 
 
 @dataclass(frozen=True)
@@ -67,3 +72,55 @@ class Workload:
             )
             for t, s in zip(times, seq)
         ]
+
+    def arrival_stream(
+        self,
+        n: int,
+        process: ArrivalProcess,
+        seed: int,
+        chunk_size: int = 8192,
+    ) -> Iterator[ArrivalSpec]:
+        """Generate ``n`` arrivals lazily, holding O(``chunk_size``)
+        memory — the trace source for million-request streamed runs
+        (DESIGN.md §14).
+
+        Demands and arrival times come from two independent generators
+        spawned from ``SeedSequence(seed)`` (unlike :meth:`arrivals`,
+        which interleaves both draws on one generator — the two APIs
+        are separate seeded universes).  The trace is *chunk-size
+        invariant*: times, because numpy draws are stream-sequential
+        and :meth:`ArrivalProcess.iter_times_ms` carries its exact
+        accumulation across chunk boundaries; demands, because they are
+        drawn in fixed ``_DEMAND_BLOCK``-sized batches regardless of
+        ``chunk_size`` (samplers like the lognormal mixture make
+        several size-``n`` draws per call, so the draw *batching* — not
+        just the stream order — must be pinned for invariance).
+        """
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1: {n}")
+        demand_seq, time_seq = np.random.SeedSequence(seed).spawn(2)
+        demand_rng = np.random.default_rng(demand_seq)
+        time_rng = np.random.default_rng(time_seq)
+        curve_for = self.speedup_model.curve_for
+        demands = self._demand_blocks(n, demand_rng)
+        buffer = np.empty(0, dtype=float)
+        for times in process.iter_times_ms(n, time_rng, chunk_size=chunk_size):
+            while len(buffer) < len(times):
+                buffer = np.concatenate([buffer, next(demands)])
+            seq, buffer = buffer[: len(times)], buffer[len(times) :]
+            for t, s in zip(times, seq):
+                yield ArrivalSpec(
+                    time_ms=float(t), seq_ms=float(s), speedup=curve_for(float(s))
+                )
+
+    def _demand_blocks(
+        self, n: int, rng: np.random.Generator
+    ) -> Iterator[np.ndarray]:
+        """Demand draws in fixed-size blocks — the batching (and with
+        it every value) depends only on the seed and ``n``, never on
+        the consumer's chunk size."""
+        produced = 0
+        while produced < n:
+            take = min(_DEMAND_BLOCK, n - produced)
+            produced += take
+            yield self.sampler(rng, take)

@@ -1,0 +1,184 @@
+"""Streaming arrival generation (DESIGN.md §14): chunked generation
+must be bit-identical to the batch arrays for every chunk size, and
+:meth:`PiecewiseRateProcess.quantum_boundaries` must agree exactly with
+how :meth:`times_ms` assigns requests to rate quanta."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workloads.arrivals import (
+    PiecewiseRateProcess,
+    PoissonProcess,
+    UniformProcess,
+)
+from repro.workloads.lucene import lucene_workload
+from repro.workloads.synthetic import DemandDistribution
+from repro.core.speedup import TabulatedSpeedup, UniformSpeedupModel
+from repro.workloads.workload import Workload
+
+_PROCESSES = {
+    "poisson": lambda: PoissonProcess(40.0),
+    "uniform": lambda: UniformProcess(40.0),
+    "piecewise": lambda: PiecewiseRateProcess([(45.0, 37), (30.0, 23)]),
+}
+
+
+def _collect(process, n, seed, chunk_size):
+    chunks = list(
+        process.iter_times_ms(n, np.random.default_rng(seed), chunk_size=chunk_size)
+    )
+    assert all(len(c) <= chunk_size for c in chunks)
+    assert sum(len(c) for c in chunks) == n
+    return np.concatenate(chunks)
+
+
+class TestChunkedTimesBitIdentity:
+    @pytest.mark.parametrize("name", sorted(_PROCESSES))
+    @pytest.mark.parametrize("chunk_size", [1, 7, 100, 8192])
+    def test_chunked_equals_batch(self, name, chunk_size):
+        process = _PROCESSES[name]()
+        batch = process.times_ms(500, np.random.default_rng(33))
+        streamed = _collect(process, 500, seed=33, chunk_size=chunk_size)
+        assert np.array_equal(streamed, batch)  # bitwise, not approx
+
+    @pytest.mark.parametrize("name", sorted(_PROCESSES))
+    def test_chunk_size_invariance(self, name):
+        process = _PROCESSES[name]()
+        a = _collect(process, 300, seed=5, chunk_size=1)
+        b = _collect(process, 300, seed=5, chunk_size=11)
+        assert np.array_equal(a, b)
+
+    def test_base_class_fallback_is_chunked_batch(self):
+        class Custom(PoissonProcess):
+            # Inherit only the ABC fallback (materialize then slice).
+            def iter_times_ms(self, n, rng, chunk_size=8192):
+                return super(PoissonProcess, self).iter_times_ms(
+                    n, rng, chunk_size=chunk_size
+                )
+
+        process = Custom(25.0)
+        batch = process.times_ms(100, np.random.default_rng(1))
+        streamed = _collect(process, 100, seed=1, chunk_size=13)
+        assert np.array_equal(streamed, batch)
+
+    def test_validation(self):
+        process = PoissonProcess(40.0)
+        with pytest.raises(ConfigurationError):
+            list(process.iter_times_ms(0, np.random.default_rng(0)))
+        with pytest.raises(ConfigurationError):
+            list(process.iter_times_ms(10, np.random.default_rng(0), chunk_size=0))
+
+
+class TestQuantumBoundaryAgreement:
+    """Satellite: the boundary map and the time generator must agree on
+    quantum extents — verified by *reconstructing* the batch times from
+    the boundaries alone."""
+
+    @given(
+        quanta=st.lists(
+            st.tuples(
+                st.floats(min_value=0.5, max_value=100.0),
+                st.integers(min_value=1, max_value=40),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        n=st.integers(min_value=1, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_boundaries_reconstruct_times(self, quanta, n, seed):
+        process = PiecewiseRateProcess(quanta)
+        bounds = process.quantum_boundaries(n)
+
+        # The boundaries partition [0, n) contiguously...
+        assert bounds[0][0] == 0 and bounds[-1][1] == n
+        assert all(b[0] == a[1] for a, b in zip(bounds, bounds[1:]))
+        # ...cycling through the quanta, truncating only the last.
+        for i, (start, stop) in enumerate(bounds):
+            expected = quanta[i % len(quanta)][1]
+            assert stop - start == expected or (
+                i == len(bounds) - 1 and stop - start < expected
+            )
+
+        # Drawing each boundary's gaps at its quantum's rate replays the
+        # exact RNG stream of times_ms — bitwise equality proves the two
+        # views agree on which request belongs to which quantum.
+        rng = np.random.default_rng(seed)
+        gaps = np.concatenate(
+            [
+                rng.exponential(
+                    1000.0 / quanta[i % len(quanta)][0], size=stop - start
+                )
+                for i, (start, stop) in enumerate(bounds)
+            ]
+        )
+        assert np.array_equal(
+            np.cumsum(gaps), process.times_ms(n, np.random.default_rng(seed))
+        )
+
+    @given(
+        n=st.integers(min_value=1, max_value=300),
+        chunk_size=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_streamed_times_respect_boundaries(self, n, chunk_size):
+        """iter_times_ms crossing quantum boundaries mid-chunk must
+        still match the batch draw (stream-sequential RNG property)."""
+        process = PiecewiseRateProcess([(45.0, 17), (30.0, 5), (60.0, 9)])
+        batch = process.times_ms(n, np.random.default_rng(n))
+        streamed = _collect(process, n, seed=n, chunk_size=chunk_size)
+        assert np.array_equal(streamed, batch)
+
+
+def _workload():
+    return Workload(
+        name="stream-test",
+        sampler=DemandDistribution([(1.0, 3.0, 0.6)], floor_ms=1.0),
+        speedup_model=UniformSpeedupModel(TabulatedSpeedup([1.0, 1.8, 2.4, 2.9])),
+        max_degree=4,
+    )
+
+
+class TestArrivalStream:
+    @pytest.mark.parametrize("chunk_size", [1, 7, 100, 8192])
+    def test_chunk_size_invariance(self, chunk_size):
+        """The trace is a function of (workload, process, n, seed) only —
+        demand draws are pinned to fixed blocks, so the consumer's
+        chunk_size never changes a single float."""
+        workload = _workload()
+        reference = list(
+            workload.arrival_stream(200, PoissonProcess(40.0), seed=11)
+        )
+        streamed = list(
+            workload.arrival_stream(
+                200, PoissonProcess(40.0), seed=11, chunk_size=chunk_size
+            )
+        )
+        assert len(streamed) == 200
+        assert [(a.time_ms, a.seq_ms) for a in streamed] == [
+            (a.time_ms, a.seq_ms) for a in reference
+        ]
+
+    def test_times_nondecreasing_and_demands_floored(self):
+        specs = list(_workload().arrival_stream(300, PoissonProcess(80.0), seed=3))
+        times = [a.time_ms for a in specs]
+        assert times == sorted(times)
+        assert all(a.seq_ms >= 1.0 for a in specs)
+
+    def test_lucene_workload_streams(self):
+        workload = lucene_workload(profile_size=50)
+        specs = list(workload.arrival_stream(64, PoissonProcess(30.0), seed=1))
+        assert len(specs) == 64
+        assert all(a.seq_ms > 0 for a in specs)
+
+    def test_lazy_generation(self):
+        """Consuming k arrivals must not materialize all n."""
+        stream = _workload().arrival_stream(10**9, PoissonProcess(40.0), seed=0)
+        head = [next(stream) for _ in range(5)]
+        assert len(head) == 5
+        assert head[0].time_ms > 0.0
