@@ -1,0 +1,124 @@
+"""CI gate: fail when the run ledger / diff engine regresses.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py --quick --only diff \
+        --diff-output bench_diff_fresh.json
+    python benchmarks/check_diff_regression.py bench_diff_fresh.json
+
+Five checks, in decreasing order of hardware independence:
+
+1. **Exact null** (seeded, hardware-independent): a run self-diffed
+   through a ledger round-trip must report ``identical`` and a fully
+   null diff (zero deltas, zero significant verdicts), and two
+   different runs must NOT take the identical short circuit.  If this
+   dies, every "no significant change" verdict the diff engine emits
+   is untrustworthy.
+2. **Significance + explanation** (seeded, hardware-independent): the
+   FM-vs-FIX-3 p99 delta at 45 RPS x 500 requests must be flagged
+   significant and the explanation ranking must put contention_ms
+   first — FIX admits every request immediately, so its
+   over-subscription cost is booked as processor-sharing contention
+   (DESIGN.md §15).
+3. **Determinism** (seeded, hardware-independent): diffing the same
+   entries twice, and entries rebuilt under ``--workers 2``, must
+   serialize byte-identically.  Diffs are functions of (entries,
+   seed), never of wall clock or process count.
+4. **Throughput** (cross-run, wide band): ``diffs_per_s`` and
+   ``ledger_roundtrips_per_s`` must each be within ``--threshold``
+   (default 40%) of the committed ``BENCH_diff.json``.
+5. **Run-over-run ledger diff** (informational): the fresh report's
+   embedded ledger entry is diffed against the committed baseline's
+   via ``gatelib.compare_to_baseline`` — the printed deltas are the
+   trajectory, no floor beyond check 4.
+
+Exit code 0 = pass, 1 = regression, 2 = bad input.
+"""
+
+from __future__ import annotations
+
+from gatelib import (
+    compare_to_baseline,
+    fail,
+    get_path,
+    load_report_pair,
+    make_parser,
+    throughput_floor_check,
+    verdict,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = make_parser(__doc__, "BENCH_diff.json", threshold=0.40)
+    args = parser.parse_args(argv)
+    report, baseline = load_report_pair(args.report, args.baseline)
+
+    failed = False
+
+    null_test = get_path(report, args.report, "null_test")
+    print(
+        f"self-diff: identical={null_test.get('self_identical')} "
+        f"null={null_test.get('self_null')} "
+        f"max |delta|={float(null_test.get('self_max_abs_delta_ms', float('inf'))):g} ms; "
+        f"cross identical={null_test.get('cross_identical')}"
+    )
+    if not (null_test.get("self_identical") and null_test.get("self_null")):
+        failed = fail(
+            "self-diff of a ledger round-trip is no longer an exact null"
+        )
+    if null_test.get("cross_identical", True):
+        failed = fail(
+            "two different runs took the identical-state short circuit"
+        )
+
+    versus = get_path(report, args.report, "versus")
+    print(
+        f"FM vs FIX-3 at {versus.get('rps')} RPS x "
+        f"{versus.get('num_requests')} requests: p99 delta "
+        f"{float(versus.get('p99_delta_ms', 0)):+.1f} ms "
+        f"(significant={versus.get('p99_significant')}), top phase "
+        f"{versus.get('top_phase')} at "
+        f"{float(versus.get('top_phase_share', 0)):.0%}"
+    )
+    if not versus.get("p99_significant", False):
+        failed = fail(
+            "the FM-vs-FIX-3 p99 delta is no longer statistically "
+            "significant at the attestation size"
+        )
+    if versus.get("top_phase") != "contention_ms":
+        failed = fail(
+            "the explanation ranking no longer puts contention_ms first "
+            f"(got {versus.get('top_phase')!r})"
+        )
+
+    determinism = get_path(report, args.report, "determinism")
+    print(
+        f"determinism: repeat={determinism.get('repeat_identical')} "
+        f"workers entries={determinism.get('workers_identical')} "
+        f"workers diff={determinism.get('workers_diff_identical')}"
+    )
+    for key, message in (
+        ("repeat_identical", "repeated diff_runs calls diverged"),
+        ("workers_identical", "ledger entries depend on --workers count"),
+        ("workers_diff_identical", "diff output depends on --workers count"),
+    ):
+        if not determinism.get(key, False):
+            failed = fail(message)
+
+    for metric, unit in (
+        ("diffs_per_s", " diffs/s"),
+        ("ledger_roundtrips_per_s", " ops/s"),
+    ):
+        fresh = float(get_path(report, args.report, "throughput", metric))
+        committed = float(get_path(baseline, args.baseline, "throughput", metric))
+        failed |= throughput_floor_check(
+            metric, fresh, committed, args.threshold, unit=unit
+        )
+
+    failed |= compare_to_baseline(report, baseline, label="diff run-over-run")
+
+    return verdict(failed)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,7 @@ Exit code 0 = pass, 1 = regression, 2 = bad input.
 from __future__ import annotations
 
 from gatelib import (
+    compare_to_baseline,
     fail,
     get_path,
     load_report_pair,
@@ -131,6 +132,8 @@ def main(argv: list[str] | None = None) -> int:
         failed = fail(
             "report does not attest sharded-sweep worker-count identity"
         )
+
+    failed |= compare_to_baseline(report, baseline, label="engine run-over-run")
 
     return verdict(failed)
 

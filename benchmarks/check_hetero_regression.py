@@ -28,6 +28,7 @@ Exit code 0 = pass, 1 = regression, 2 = bad input.
 from __future__ import annotations
 
 from gatelib import (
+    compare_to_baseline,
     fail,
     get_path,
     load_report_pair,
@@ -101,6 +102,8 @@ def main(argv: list[str] | None = None) -> int:
     failed |= throughput_floor_check(
         "engine throughput", fresh, committed, args.threshold, unit=" ev/s"
     )
+
+    failed |= compare_to_baseline(report, baseline, label="hetero run-over-run")
 
     return verdict(failed)
 

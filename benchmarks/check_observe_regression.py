@@ -34,6 +34,7 @@ Exit code 0 = pass, 1 = regression, 2 = bad input.
 from __future__ import annotations
 
 from gatelib import (
+    compare_to_baseline,
     fail,
     get_path,
     load_report_pair,
@@ -110,6 +111,8 @@ def main(argv: list[str] | None = None) -> int:
     failed |= throughput_floor_check(
         "plane-off engine", fresh, committed, args.threshold, unit=" ev/s"
     )
+
+    failed |= compare_to_baseline(report, baseline, label="observe run-over-run")
 
     return verdict(failed)
 

@@ -27,6 +27,7 @@ Exit code 0 = pass, 1 = regression, 2 = bad input.
 from __future__ import annotations
 
 from gatelib import (
+    compare_to_baseline,
     fail,
     get_path,
     load_report_pair,
@@ -87,6 +88,8 @@ def main(argv: list[str] | None = None) -> int:
     failed |= throughput_floor_check(
         "observe path", fresh, committed, args.threshold
     )
+
+    failed |= compare_to_baseline(report, baseline, label="replication run-over-run")
 
     return verdict(failed)
 

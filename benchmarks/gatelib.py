@@ -20,6 +20,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 __all__ = [
     "REPO_ROOT",
+    "compare_to_baseline",
     "fail",
     "get_path",
     "load_report_pair",
@@ -113,6 +114,90 @@ def throughput_floor_check(
             f"{label} regressed {drop:.1%} (> {threshold:.0%} threshold)"
         )
     return False
+
+
+def compare_to_baseline(
+    report: dict,
+    baseline: dict,
+    *,
+    floors: dict[str, float] | None = None,
+    label: str = "run-over-run",
+    max_rows: int = 10,
+) -> bool:
+    """Diff the fresh report's embedded ledger entry against the
+    committed baseline's (DESIGN.md §15).
+
+    Every ``run_all.py`` section embeds a ``"ledger"`` key — a
+    ``repro.observe.ledger.RunEntry`` dict whose metrics are the
+    report's numeric scalars — which makes the committed ``BENCH_*``
+    trajectory diffable run over run.  This prints the largest relative
+    metric deltas (informational), upgrades to a full ``repro diff``
+    with bootstrap CIs when both entries carry histograms and ``repro``
+    is importable, and gates only on ``floors``: ``{metric: max
+    fractional drop}`` pairs where ``fresh < committed * (1 - drop)``
+    fails.  Reports without an embedded entry (pre-§15 baselines) are
+    skipped without failing, so the first run against an old committed
+    baseline stays green.  Returns True when a floor check FAILED.
+    """
+    fresh_entry = report.get("ledger")
+    committed_entry = baseline.get("ledger")
+    if not fresh_entry or not committed_entry:
+        missing = "fresh report" if not fresh_entry else "baseline"
+        print(f"{label}: no ledger entry in {missing}; skipping diff")
+        return False
+    fresh = fresh_entry.get("artifacts", {}).get("metrics", {})
+    committed = committed_entry.get("artifacts", {}).get("metrics", {})
+
+    deltas = []
+    for name in sorted(set(fresh) & set(committed)):
+        a, b = float(fresh[name]), float(committed[name])
+        scale = max(abs(a), abs(b))
+        if scale > 0.0 and a != b:
+            deltas.append((abs(a - b) / scale, name, a, b))
+    deltas.sort(reverse=True)
+    shown = deltas[:max_rows]
+    if shown:
+        print(f"{label}: top metric deltas vs committed baseline:")
+        for rel, name, a, b in shown:
+            print(f"  {name}: {a:g} vs {b:g} ({(a - b) / max(abs(b), 1e-12):+.1%})")
+        if len(deltas) > len(shown):
+            print(f"  ... and {len(deltas) - len(shown)} more changed metrics")
+    else:
+        print(f"{label}: no metric deltas vs committed baseline")
+
+    try:  # optional upgrade: full diff with CIs over stored histograms
+        from repro.observe.diff import diff_runs
+        from repro.observe.ledger import RunEntry
+
+        entry_a = RunEntry.from_dict(fresh_entry)
+        entry_b = RunEntry.from_dict(committed_entry)
+        shared = set(entry_a.artifacts.histograms) & set(
+            entry_b.artifacts.histograms
+        )
+        if "latency_ms" in shared:
+            diff = diff_runs(entry_a, entry_b)
+            for q in diff.quantiles:
+                print(
+                    f"  {label} p{q.phi * 100:g}: {q.delta_ms:+.4g} ms "
+                    f"CI [{q.ci_lo:+.4g}, {q.ci_hi:+.4g}] "
+                    f"{'SIGNIFICANT' if q.significant else 'ns'}"
+                )
+    except (ImportError, KeyError):
+        pass  # gates must work without repro on the path / partial entries
+
+    failed = False
+    for metric, drop in (floors or {}).items():
+        if metric not in fresh or metric not in committed:
+            print(f"{label}: metric {metric} missing on one side; floor skipped")
+            continue
+        failed |= throughput_floor_check(
+            f"{label} {metric}",
+            float(fresh[metric]),
+            float(committed[metric]),
+            drop,
+            unit="",
+        )
+    return failed
 
 
 def verdict(failed: bool) -> int:

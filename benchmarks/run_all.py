@@ -27,10 +27,25 @@ vs FIX-3 latency-energy frontier on big/little cores, the
 worker-count determinism attestation, and the hetero engine's
 events/sec (gated by ``check_hetero_regression.py``).
 
+``--only diff`` (also in ``--only all``) delegates to
+``bench_diff.py`` and writes ``BENCH_diff.json``: the self-diff exact
+null, the FM-vs-FIX-3 significance + explanation-ranking attestation,
+diff determinism across repeats and ``--workers``, and diff/ledger
+throughput (gated by ``check_diff_regression.py``).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_all.py [--scale quick] [--output PATH]
-    PYTHONPATH=src python benchmarks/run_all.py --quick --only engine
+    PYTHONPATH=src python benchmarks/run_all.py --quick --only engine,diff
+    PYTHONPATH=src python benchmarks/run_all.py --list
+    PYTHONPATH=src python benchmarks/run_all.py --quick --ledger runs
+
+``--only`` takes a comma-separated subset of the sections shown by
+``--list``.  Every section report embeds a ``"ledger"`` entry — a
+``repro.observe.ledger.RunEntry`` whose metrics are the report's
+numeric scalars — so committed ``BENCH_*`` baselines are diffable run
+over run (``gatelib.compare_to_baseline``, DESIGN.md §15); ``--ledger
+DIR`` additionally appends each section's entry to that run ledger.
 
 The acceptance bound for the telemetry trajectory is a <3% simulator
 slowdown with telemetry disabled; for the engine trajectory, >= 25%
@@ -700,6 +715,162 @@ def bench_engine(scale: Scale) -> dict:
     }
 
 
+def build_engine_report(scale: Scale) -> dict:
+    return {
+        "benchmark": "engine",
+        "scale": scale.name,
+        "python": platform.python_version(),
+        "timing_repeats": TIMING_REPEATS,
+        **bench_engine(scale),
+        "notes": (
+            "single_process is a saturated FM/Bing run; events_per_s "
+            "counts events drained from the queue (incl. stale "
+            "tentative completions). reference is the frozen pre-"
+            "optimization engine (repro.sim._baseline) run on the "
+            "same trace — results are asserted bit-identical before "
+            "any speedup is reported. sweep compares run_sweep vs "
+            "run_sweep_parallel on the same grid; achievable "
+            "parallel_speedup is capped by cpu_count. mega is the "
+            "DESIGN.md §14 machinery: mega.cell A/Bs the "
+            "vectorized engine against the scalar one on an "
+            "overloaded FIX-4 cell (gated >= 3x, <= 1e-9 ms "
+            "divergence), mega.stream traces peak memory of "
+            "streamed runs at two sizes (a flat peak across the 5x "
+            "jump attests O(running set) memory), and mega.sharded "
+            "attests the sharded sweep is bit-identical for any "
+            "worker count."
+        ),
+    }
+
+
+def build_replication_report(scale: Scale) -> dict:
+    # Local import: the module reuses the replication-phase experiment
+    # helpers, which nothing else here needs.
+    from bench_replication import build_report
+
+    return build_report(scale)
+
+
+def build_hetero_report(scale: Scale) -> dict:
+    # Local import: the module reuses the hetero-energy experiment
+    # helpers, which nothing else here needs.
+    from bench_hetero import build_report
+
+    return build_report(scale)
+
+
+def build_diff_report(scale: Scale) -> dict:
+    # Local import: the module reuses the run-diff experiment helpers.
+    from bench_diff import build_report
+
+    return build_report(scale)
+
+
+def build_telemetry_report(scale: Scale) -> dict:
+    return {
+        "benchmark": "telemetry",
+        "scale": scale.name,
+        "python": platform.python_version(),
+        "timing_repeats": TIMING_REPEATS,
+        "sim": bench_sim(scale),
+        "search": bench_search(scale),
+        "cluster": bench_cluster(scale),
+        "primitives": bench_primitives(),
+        "notes": (
+            "off runs pass an explicit Telemetry(enabled=False): the disabled "
+            "path is the instrumented build with every pipeline resolved to "
+            "None. Acceptance bound: sim off_units_per_s within 3% of the "
+            "pre-telemetry baseline."
+        ),
+    }
+
+
+def build_observe_report(scale: Scale) -> dict:
+    return {
+        "benchmark": "observe",
+        "scale": scale.name,
+        "python": platform.python_version(),
+        "timing_repeats": TIMING_REPEATS,
+        "analyzer": bench_analyzer(),
+        "attribution": bench_attribution(scale),
+        "live_plane": bench_live_plane(scale),
+        "live_tail": bench_live_tail(),
+        "notes": (
+            "analyzer times load_trace + analyze on a synthetic JSONL "
+            "trace shaped like the sim track (attributed run spans). "
+            "attribution compares full simulate() runs with the flight "
+            "recorder on vs. off, no telemetry pipeline in either. "
+            "live_plane compares engine runs with a fully armed "
+            "LivePlane attached vs. live=None (the seed path), plus the "
+            "raw TimeseriesRecorder.snapshot primitive. live_tail is "
+            "seeded and hardware-independent: the overload-flip onset "
+            "signature and the replay-vs-analyze attribution "
+            "equivalence, both gated by check_observe_regression.py."
+        ),
+    }
+
+
+#: The bench sections, in ``--only all`` execution order.  Each maps to
+#: (description, args attribute holding the output path, builder).
+SECTIONS = {
+    "engine": ("engine hot path + mega-sweep machinery", "engine_output", build_engine_report),
+    "replication": ("adaptive replication controller", "replication_output", build_replication_report),
+    "hetero": ("big/little pools + energy accounting", "hetero_output", build_hetero_report),
+    "telemetry": ("telemetry on/off overhead + primitives", "output", build_telemetry_report),
+    "observe": ("trace analyzer, flight recorder, live plane", "observe_output", build_observe_report),
+    "diff": ("run ledger + repro diff attestations", "diff_output", build_diff_report),
+}
+
+
+def embed_ledger_entry(report: dict, section: str) -> None:
+    """Attach the run-over-run ``"ledger"`` entry (DESIGN.md §15).
+
+    The entry's metrics are the report's numeric scalars flattened to
+    dotted paths (booleans as 0/1, so attestation flips surface as
+    deltas); sections that curate their own entry are left alone.
+    """
+    if "ledger" in report:
+        return
+    import math
+
+    from repro.observe.ledger import config_fingerprint
+
+    metrics: dict[str, float] = {}
+
+    def walk(node, prefix: str) -> None:
+        if isinstance(node, dict):
+            for key, value in node.items():
+                walk(value, f"{prefix}{key}.")
+        elif isinstance(node, bool):
+            metrics[prefix[:-1]] = 1.0 if node else 0.0
+        elif isinstance(node, (int, float)) and math.isfinite(node):
+            metrics[prefix[:-1]] = float(node)
+
+    walk(report, "")
+    config = {"benchmark": section, "scale": report.get("scale", "")}
+    report["ledger"] = {
+        "run_id": "",
+        "card": {
+            "name": f"bench:{section}",
+            "fingerprint": config_fingerprint(config),
+            "seed": 0,
+            "scheduler": "",
+            "workload": "",
+            "scale": report.get("scale", ""),
+            "config": config,
+            "git_rev": "",
+            "created_s": 0.0,
+        },
+        "artifacts": {
+            "histograms": {},
+            "attribution": {},
+            "metrics": metrics,
+            "energy": {},
+            "events": [],
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -731,16 +902,36 @@ def main(argv: list[str] | None = None) -> int:
         help="where to write the heterogeneous-engine JSON report",
     )
     parser.add_argument(
+        "--diff-output", type=Path,
+        default=REPO_ROOT / "BENCH_diff.json",
+        help="where to write the diff-engine JSON report",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="shorthand for --scale quick (the CI perf-smoke preset)",
     )
     parser.add_argument(
         "--only",
-        choices=["telemetry", "observe", "engine", "replication", "hetero", "all"],
         default="all",
-        help="run a single bench family (default: all)",
+        help=(
+            "comma-separated bench sections to run, or 'all' "
+            f"(sections: {', '.join(SECTIONS)}; default: all)"
+        ),
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list the bench sections and exit",
+    )
+    parser.add_argument(
+        "--ledger", type=Path, default=None, metavar="DIR",
+        help="append each section's run entry to this run ledger",
     )
     args = parser.parse_args(argv)
+    if args.list:
+        for name, (description, output_attr, _) in SECTIONS.items():
+            default = parser.get_default(output_attr)
+            print(f"{name:12s} {description} -> {Path(default).name}")
+        return 0
     if args.quick and args.scale and args.scale != "quick":
         parser.error("--quick conflicts with --scale " + args.scale)
     if args.quick:
@@ -752,118 +943,33 @@ def main(argv: list[str] | None = None) -> int:
     else:
         scale = default_scale()
 
-    if args.only in ("engine", "all"):
-        print(f"running engine benches at scale={scale.name} ...")
-        engine_report = {
-            "benchmark": "engine",
-            "scale": scale.name,
-            "python": platform.python_version(),
-            "timing_repeats": TIMING_REPEATS,
-            **bench_engine(scale),
-            "notes": (
-                "single_process is a saturated FM/Bing run; events_per_s "
-                "counts events drained from the queue (incl. stale "
-                "tentative completions). reference is the frozen pre-"
-                "optimization engine (repro.sim._baseline) run on the "
-                "same trace — results are asserted bit-identical before "
-                "any speedup is reported. sweep compares run_sweep vs "
-                "run_sweep_parallel on the same grid; achievable "
-                "parallel_speedup is capped by cpu_count. mega is the "
-                "DESIGN.md §14 machinery: mega.cell A/Bs the "
-                "vectorized engine against the scalar one on an "
-                "overloaded FIX-4 cell (gated >= 3x, <= 1e-9 ms "
-                "divergence), mega.stream traces peak memory of "
-                "streamed runs at two sizes (a flat peak across the 5x "
-                "jump attests O(running set) memory), and mega.sharded "
-                "attests the sharded sweep is bit-identical for any "
-                "worker count."
-            ),
-        }
-        args.engine_output.write_text(json.dumps(engine_report, indent=2) + "\n")
-        print(json.dumps(engine_report, indent=2))
-        print(f"\nwrote {args.engine_output}")
-    if args.only == "engine":
-        return 0
+    if args.only.strip() == "all":
+        selected = list(SECTIONS)
+    else:
+        selected = [name.strip() for name in args.only.split(",") if name.strip()]
+        unknown = [name for name in selected if name not in SECTIONS]
+        if unknown:
+            parser.error(
+                f"unknown section(s): {', '.join(unknown)} "
+                f"(choose from: {', '.join(SECTIONS)}, all)"
+            )
 
-    if args.only in ("replication", "all"):
-        # Local import: the module reuses the replication-phase
-        # experiment helpers, which nothing else here needs.
-        from bench_replication import build_report as replication_report
-
-        print(f"\nrunning replication benches at scale={scale.name} ...")
-        replication = replication_report(scale)
-        args.replication_output.write_text(
-            json.dumps(replication, indent=2) + "\n"
-        )
-        print(json.dumps(replication, indent=2))
-        print(f"\nwrote {args.replication_output}")
-    if args.only == "replication":
-        return 0
-
-    if args.only in ("hetero", "all"):
-        # Local import: the module reuses the hetero-energy experiment
-        # helpers, which nothing else here needs.
-        from bench_hetero import build_report as hetero_report
-
-        print(f"\nrunning hetero benches at scale={scale.name} ...")
-        hetero = hetero_report(scale)
-        args.hetero_output.write_text(json.dumps(hetero, indent=2) + "\n")
-        print(json.dumps(hetero, indent=2))
-        print(f"\nwrote {args.hetero_output}")
-    if args.only == "hetero":
-        return 0
-
-    if args.only in ("telemetry", "all"):
-        print(f"\nrunning telemetry benches at scale={scale.name} ...")
-        report = {
-            "benchmark": "telemetry",
-            "scale": scale.name,
-            "python": platform.python_version(),
-            "timing_repeats": TIMING_REPEATS,
-            "sim": bench_sim(scale),
-            "search": bench_search(scale),
-            "cluster": bench_cluster(scale),
-            "primitives": bench_primitives(),
-        }
-        report["notes"] = (
-            "off runs pass an explicit Telemetry(enabled=False): the disabled "
-            "path is the instrumented build with every pipeline resolved to "
-            "None. Acceptance bound: sim off_units_per_s within 3% of the "
-            "pre-telemetry baseline."
-        )
-        args.output.write_text(json.dumps(report, indent=2) + "\n")
+    for name in selected:
+        _, output_attr, build = SECTIONS[name]
+        print(f"\nrunning {name} benches at scale={scale.name} ...")
+        report = build(scale)
+        embed_ledger_entry(report, name)
+        output = getattr(args, output_attr)
+        output.write_text(json.dumps(report, indent=2) + "\n")
         print(json.dumps(report, indent=2))
-        print(f"\nwrote {args.output}")
-    if args.only == "telemetry":
-        return 0
+        print(f"\nwrote {output}")
+        if args.ledger is not None:
+            from repro.observe.ledger import RunEntry, RunLedger
 
-    print(f"\nrunning observe benches at scale={scale.name} ...")
-    observe = {
-        "benchmark": "observe",
-        "scale": scale.name,
-        "python": platform.python_version(),
-        "timing_repeats": TIMING_REPEATS,
-        "analyzer": bench_analyzer(),
-        "attribution": bench_attribution(scale),
-        "live_plane": bench_live_plane(scale),
-        "live_tail": bench_live_tail(),
-        "notes": (
-            "analyzer times load_trace + analyze on a synthetic JSONL "
-            "trace shaped like the sim track (attributed run spans). "
-            "attribution compares full simulate() runs with the flight "
-            "recorder on vs. off, no telemetry pipeline in either. "
-            "live_plane compares engine runs with a fully armed "
-            "LivePlane attached vs. live=None (the seed path), plus the "
-            "raw TimeseriesRecorder.snapshot primitive. live_tail is "
-            "seeded and hardware-independent: the overload-flip onset "
-            "signature and the replay-vs-analyze attribution "
-            "equivalence, both gated by check_observe_regression.py."
-        ),
-    }
-    observe_path = args.observe_output
-    observe_path.write_text(json.dumps(observe, indent=2) + "\n")
-    print(json.dumps(observe, indent=2))
-    print(f"\nwrote {observe_path}")
+            run_id = RunLedger(args.ledger).append(
+                RunEntry.from_dict(report["ledger"])
+            )
+            print(f"[ledger: {run_id} -> {args.ledger}]")
     return 0
 
 

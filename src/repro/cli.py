@@ -12,11 +12,17 @@ pipeline for the run and writes every span the instrumented layers
 emit (sim, search, runtime, cluster) as Chrome/Perfetto trace-event
 JSON.
 
-The ``repro`` alias adds a subcommand for offline trace analysis::
+The ``repro`` alias adds subcommands for offline analysis::
 
     repro analyze trace.json --phi 0.99      # tail attribution report
+    repro diff fig8#1 fig8#2                 # cross-run diff with CIs
 
 (any other ``repro ...`` invocation behaves exactly like ``repro-fm``).
+
+``--ledger DIR`` persists every :class:`~repro.observe.ledger.RunEntry`
+an experiment offers (config fingerprint, seed, histogram state,
+attribution, events) into the append-only run ledger at ``DIR``, making
+the run a ``repro diff`` operand.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from repro.experiments.live_tail import LIVE_TAIL
 from repro.experiments.mega_sweep import MEGA_SWEEP
 from repro.experiments.replication_phase import REPLICATION_PHASE
 from repro.experiments.robustness import ROBUSTNESS
+from repro.experiments.run_diff import RUN_DIFF
 from repro.experiments.tail_attribution import TAIL_ATTRIBUTION
 from repro.experiments.telemetry import TELEMETRY
 from repro.telemetry import Telemetry, install
@@ -51,6 +58,7 @@ EXPERIMENTS = {
     **MEGA_SWEEP,
     **REPLICATION_PHASE,
     **ROBUSTNESS,
+    **RUN_DIFF,
     **TELEMETRY,
     **TAIL_ATTRIBUTION,
 }
@@ -104,6 +112,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--ledger",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persist each experiment's run entries (RunCard + histogram/"
+            "attribution/event artifacts) to the append-only ledger at "
+            "DIR, ready for `repro diff`"
+        ),
+    )
+    parser.add_argument(
         "--shards",
         type=int,
         metavar="K",
@@ -134,6 +152,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.observe.top import main as top_main
 
         return top_main(argv[1:])
+    if argv and argv[0] == "diff":
+        from repro.observe.diff import main as diff_main
+
+        return diff_main(argv[1:])
     args = build_parser().parse_args(argv)
     scale = _SCALES[args.scale] if args.scale else default_scale()
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -147,12 +169,24 @@ def main(argv: list[str] | None = None) -> int:
     telemetry = Telemetry() if args.trace else None
     from repro.parallel import default_shards, default_workers
 
+    ledger = None
+    if args.ledger:
+        from repro.observe.ledger import RunLedger
+
+        ledger = RunLedger(args.ledger)
     with install(telemetry), default_workers(args.workers), default_shards(args.shards):
         for name in names:
             started = time.perf_counter()
             result = EXPERIMENTS[name](scale)
             elapsed = time.perf_counter() - started
             print(result.render())
+            if ledger is not None:
+                run_ids = [ledger.append(entry) for entry in result.entries]
+                if run_ids:
+                    print(
+                        f"[ledger: {len(run_ids)} entries -> {args.ledger} "
+                        f"({run_ids[0]} .. {run_ids[-1]})]"
+                    )
             print(f"\n[{name} completed in {elapsed:.1f}s at scale={scale.name}]\n")
     if telemetry is not None:
         write_chrome_trace(args.trace, telemetry)

@@ -45,6 +45,8 @@ from repro.experiments.report import FigureResult
 from repro.experiments.runner import SweepResult, run_sweep
 from repro.experiments.tables import bing_table_for_capacity
 from repro.hetero import Topology
+from repro.observe.diff import QUANTILE_COLUMNS, diff_runs, quantile_rows
+from repro.observe.ledger import entry_from_result
 from repro.schedulers import (
     EnergyAwareFMScheduler,
     FixedScheduler,
@@ -213,6 +215,44 @@ def experiment_hetero_energy(scale: Scale | None = None) -> FigureResult:
         ["policy", "big act", "big spin", "big idle", "lit act", "lit spin", "lit idle", "total J"],
         rows,
     )
+
+    # --- the EA-FM vs FIX-3 claim through the diff engine ------------
+    # One ledger entry per policy at the decomposition load (repeat 0 —
+    # a ledger records single executions); the frontier note below
+    # still averages repeats, the diff adds CIs and the energy deltas.
+    decomp_rps = RPS_SWEEP[decomp_index]
+    entries = {}
+    for policy in bl.policies():
+        entries[policy] = entry_from_result(
+            f"hetero:{policy}@{decomp_rps:g}",
+            bl[policy].results[decomp_index][0],
+            config={
+                "experiment": "hetero-energy",
+                "policy": policy,
+                "rps": decomp_rps,
+                "topology": "big/little",
+                "num_requests": scale.num_requests,
+            },
+            seed=42,
+            scheduler=policy,
+            scale=scale.name,
+        )
+        result.add_entry(entries[policy])
+    energy_diff = diff_runs(entries["EA-FM"], entries["FIX-3"])
+    result.add_table(
+        f"repro diff at {decomp_rps:g} RPS on big/little: EA-FM (A) vs "
+        "FIX-3 (B), bootstrap CIs",
+        QUANTILE_COLUMNS,
+        quantile_rows(energy_diff),
+    )
+    if energy_diff.energy_j:
+        result.add_note(
+            "energy deltas EA-FM minus FIX-3 (J): "
+            + ", ".join(
+                f"{pool}={delta:+.3g}"
+                for pool, delta in sorted(energy_diff.energy_j.items())
+            )
+        )
 
     # --- the frontier claim ------------------------------------------
     fix = bl["FIX-3"]

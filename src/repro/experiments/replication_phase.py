@@ -38,6 +38,8 @@ from repro.experiments.report import FigureResult
 from repro.experiments.tables import bing_table
 from repro.faults import FaultPlan
 from repro.faults.scenarios import overload_flip
+from repro.observe.diff import QUANTILE_COLUMNS, diff_runs, quantile_rows
+from repro.observe.ledger import entry_from_cluster
 from repro.observe.slo import SLOMonitor, SLOTarget
 from repro.schedulers import FMScheduler
 from repro.workloads import bing as bing_mod
@@ -158,7 +160,26 @@ def experiment_replication_phase(scale: Scale | None = None) -> FigureResult:
     )
 
     # --- Panel 1: the phase diagram ----------------------------------
+    def _entry(label: str, rho: float, run: RobustClusterResult):
+        entry = entry_from_cluster(
+            f"repl:{label}@{rho:g}",
+            run,
+            config={
+                "experiment": "replication-phase",
+                "policy": label,
+                "rho": rho,
+                "num_queries": scale.num_requests * 2,
+                "servers": NUM_SERVERS,
+            },
+            seed=97,
+            scheduler="FM",
+            scale=scale.name,
+        )
+        result.add_entry(entry)
+        return entry
+
     rows = []
+    knee_entries: dict[str, object] = {}
     for rho in RHO_SWEEP:
         rps = rho * SATURATION_RPS
         p99: dict[str, float] = {}
@@ -166,6 +187,7 @@ def experiment_replication_phase(scale: Scale | None = None) -> FigureResult:
         baseline = _phase_point(scale, rps, fault_plan_factory=_stragglers())
         p99["no redundancy"] = baseline.cluster_tail_ms(0.99)
         rows.append([rho, "no redundancy", p99["no redundancy"], 0, 0, "", ""])
+        _entry("none", rho, baseline)
 
         for label, hedge in STATIC_POLICIES:
             run = _phase_point(
@@ -175,6 +197,9 @@ def experiment_replication_phase(scale: Scale | None = None) -> FigureResult:
             rows.append(
                 [rho, label, p99[label], run.hedges_sent, run.retries_sent, "", ""]
             )
+            entry = _entry(label.replace(" ", "-"), rho, run)
+            if rho == RHO_SWEEP[-1] and label == STATIC_POLICIES[0][0]:
+                knee_entries["static"] = entry
 
         controller = _controller()
         run = _phase_point(
@@ -193,6 +218,9 @@ def experiment_replication_phase(scale: Scale | None = None) -> FigureResult:
                 len(run.mode_transitions),
             ]
         )
+        entry = _entry("adaptive", rho, run)
+        if rho == RHO_SWEEP[-1]:
+            knee_entries["adaptive"] = entry
     result.add_table(
         f"cluster p99 vs offered utilization (shared replicas, "
         f"{NUM_SERVERS}-way fan-out; 'vs best static' is the adaptive p99 "
@@ -200,6 +228,26 @@ def experiment_replication_phase(scale: Scale | None = None) -> FigureResult:
         ["rho", "policy", "p99 (ms)", "hedges", "retries", "vs best static", "transitions"],
         rows,
     )
+
+    # The knee comparison through the diff engine: is "adaptive beats
+    # the aggressive static hedge past the knee" statistically real,
+    # or seed luck?  CIs come from the stored query-latency histograms.
+    knee = diff_runs(knee_entries["adaptive"], knee_entries["static"])
+    result.add_table(
+        f"repro diff at rho={RHO_SWEEP[-1]:g}: adaptive (A) vs "
+        f"{STATIC_POLICIES[0][0]} (B), bootstrap CIs",
+        QUANTILE_COLUMNS,
+        quantile_rows(knee),
+    )
+    if knee.events:
+        result.add_note(
+            "past-the-knee event diff: "
+            + "; ".join(
+                f"{e.kind}->{e.signature or '?'} {e.count_a}x in adaptive "
+                f"vs {e.count_b}x in static"
+                for e in knee.events[:4]
+            )
+        )
 
     # --- Panel 2: the overload -> underload flip ---------------------
     # Offered load is calm (rho ~0.4 nominal) but the fleet loses 10 of
@@ -222,6 +270,7 @@ def experiment_replication_phase(scale: Scale | None = None) -> FigureResult:
     flip_run = _phase_point(
         scale, flip_rps, controller=controller, fault_plan_factory=scenario
     )
+    _entry("flip-adaptive", flip_rho, flip_run)
     transition_rows = [
         [f"{t.at_ms:.0f}", t.window, t.from_mode, t.to_mode, t.reason,
          f"{t.utilization:.2f}" if not np.isnan(t.utilization) else "nan"]

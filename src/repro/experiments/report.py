@@ -65,6 +65,12 @@ class FigureResult:
     title: str
     tables: list[TableData] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: Ledger entries the experiment offers for persistence
+    #: (:class:`repro.observe.ledger.RunEntry`); written to the run
+    #: ledger when the CLI is invoked with ``--ledger``, ignored
+    #: otherwise.  Typed loosely to keep report rendering free of
+    #: observe-layer imports.
+    entries: list = field(default_factory=list)
 
     def add_table(
         self, caption: str, columns: list[str], rows: list[list[object]]
@@ -73,6 +79,10 @@ class FigureResult:
 
     def add_note(self, note: str) -> None:
         self.notes.append(note)
+
+    def add_entry(self, entry) -> None:
+        """Offer a ledger entry for ``--ledger`` persistence."""
+        self.entries.append(entry)
 
     def render(self) -> str:
         parts = [f"=== {self.figure_id}: {self.title} ==="]

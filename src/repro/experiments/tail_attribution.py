@@ -26,6 +26,8 @@ from repro.experiments.config import Scale, default_scale
 from repro.experiments.report import FigureResult
 from repro.experiments.runner import run_policy
 from repro.experiments.tables import lucene_table
+from repro.observe.diff import PHASE_COLUMNS, diff_runs, phase_rows
+from repro.observe.ledger import entry_from_result
 from repro.schedulers import FixedScheduler, FMScheduler
 from repro.sim.metrics import ATTRIBUTION_COMPONENTS
 from repro.workloads import lucene as lucene_mod
@@ -58,8 +60,7 @@ def experiment_tail_attribution(scale: Scale | None = None) -> FigureResult:
         *[name.removesuffix("_ms") for name in ATTRIBUTION_COMPONENTS],
         "tail mean (ms)",
     ]
-    fm_summary: dict[int, dict[str, float]] = {}
-    fix2_summary: dict[int, dict[str, float]] = {}
+    entries: dict[tuple[str, int], object] = {}
     for rps in LOAD_POINTS:
         rows = []
         for name, factory in policies.items():
@@ -83,32 +84,41 @@ def experiment_tail_attribution(scale: Scale | None = None) -> FigureResult:
                     tail["latency_ms"],
                 ]
             )
-            if name == "FM":
-                fm_summary[rps] = tail
-            elif name == "FIX-2":
-                fix2_summary[rps] = tail
+            entries[(name, rps)] = entry_from_result(
+                f"attr:{name}@{rps}",
+                run,
+                config={
+                    "experiment": "tail-attribution",
+                    "policy": name,
+                    "rps": rps,
+                    "num_requests": scale.num_requests,
+                    "phi": PHI,
+                },
+                seed=1300 + rps,
+                scheduler=name,
+                workload=workload,
+                scale=scale.name,
+                phi=PHI,
+            )
+            result.add_entry(entries[(name, rps)])
         result.add_table(
             f"Lucene at {rps} RPS: mean tail-request milliseconds by component",
             columns,
             rows,
         )
 
-    # The headline: at the paper's 40 RPS point, where do FIX-2's extra
-    # tail milliseconds come from?
-    if 40 in fm_summary:
-        fm, fix = fm_summary[40], fix2_summary[40]
-        gap = fix["latency_ms"] - fm["latency_ms"]
-        if gap > 0:
-            biggest = max(
-                ATTRIBUTION_COMPONENTS, key=lambda c: fix[c] - fm[c]
-            )
-            result.add_note(
-                f"at 40 RPS FIX-2's tail requests average {gap:.0f} ms more "
-                f"than FM's, led by {biggest.removesuffix('_ms')} "
-                f"(+{fix[biggest] - fm[biggest]:.0f} ms) — components sum to "
-                "the tail mean because the decomposition is additive in "
-                "virtual time (DESIGN.md §9)"
-            )
+    # The headline, through the diff engine: at the paper's 40 RPS
+    # point, where do FIX-2's extra tail milliseconds come from — and
+    # is the gap statistically real?  (Components sum to the tail mean
+    # because the decomposition is additive in virtual time, §9.)
+    if (("FIX-2", 40) in entries) and (("FM", 40) in entries):
+        headline = diff_runs(entries[("FIX-2", 40)], entries[("FM", 40)])
+        result.add_table(
+            "repro diff at 40 RPS: FIX-2 (A) vs FM (B) explanation ranking",
+            PHASE_COLUMNS,
+            phase_rows(headline),
+        )
+        result.add_note(f"FIX-2 vs FM at 40 RPS: {headline.explanation()}")
     result.add_note(
         "reproduce offline from any run: `repro-fm fig8 --trace t.json && "
         "repro analyze t.json`"

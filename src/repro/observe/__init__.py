@@ -23,6 +23,14 @@ system runs:
   attribution, worst-k exemplars, ``observe.event`` annotations, and
   trace replay — rendered by the ``repro top`` CLI
   (:mod:`repro.observe.top`).
+
+The **differential plane** (DESIGN.md §15) makes runs comparable:
+
+* :mod:`repro.observe.ledger` records every experiment as a RunCard +
+  mergeable artifacts in an append-only ``runs/`` ledger;
+* :mod:`repro.observe.diff` diffs two ledger entries with bootstrap
+  CIs and ranks phases by contribution to the p99 delta (the
+  ``repro diff`` CLI).
 """
 
 from repro.observe.analyze import (
@@ -36,6 +44,22 @@ from repro.observe.analyze import (
     requests_from_spans,
 )
 from repro.observe.anomaly import AnomalyFlag, ChangepointDetector
+from repro.observe.diff import (
+    EventDelta,
+    PhaseDelta,
+    QuantileDelta,
+    RunDiff,
+    diff_runs,
+)
+from repro.observe.ledger import (
+    RunArtifacts,
+    RunCard,
+    RunEntry,
+    RunLedger,
+    entry_from_cluster,
+    entry_from_result,
+    entry_from_summary,
+)
 from repro.observe.live import (
     Exemplar,
     LivePlane,
@@ -47,6 +71,7 @@ from repro.observe.live import (
 from repro.observe.slo import SLOMonitor, SLOStatus, SLOTarget
 from repro.observe.timeseries import (
     TimeseriesRecorder,
+    TimeseriesTailer,
     WindowSnapshot,
     merge_window_streams,
     read_timeseries_jsonl,
@@ -68,6 +93,18 @@ __all__ = [
     "analyze_trace",
     "AnomalyFlag",
     "ChangepointDetector",
+    "EventDelta",
+    "PhaseDelta",
+    "QuantileDelta",
+    "RunDiff",
+    "diff_runs",
+    "RunArtifacts",
+    "RunCard",
+    "RunEntry",
+    "RunLedger",
+    "entry_from_cluster",
+    "entry_from_result",
+    "entry_from_summary",
     "Exemplar",
     "LivePlane",
     "ObserveEvent",
@@ -75,6 +112,7 @@ __all__ = [
     "events_from_spans",
     "replay_spans",
     "TimeseriesRecorder",
+    "TimeseriesTailer",
     "WindowSnapshot",
     "merge_window_streams",
     "read_timeseries_jsonl",

@@ -46,6 +46,7 @@ from repro.telemetry.metrics import MetricsRegistry, RegistrySnapshot
 __all__ = [
     "WindowSnapshot",
     "TimeseriesRecorder",
+    "TimeseriesTailer",
     "merge_window_streams",
     "render_prometheus",
     "write_timeseries_jsonl",
@@ -361,3 +362,47 @@ def read_timeseries_jsonl(path: str | Path) -> list[WindowSnapshot]:
         if line:
             windows.append(WindowSnapshot.from_dict(json.loads(line)))
     return windows
+
+
+class TimeseriesTailer:
+    """Incremental reader for a live JSONL window stream.
+
+    ``repro top --follow`` polls a file another process is still
+    appending to, so a poll can land mid-``write()`` and see a torn
+    last line — half a JSON record, or even half a UTF-8 character.
+    The tailer therefore consumes only newline-*terminated* lines and
+    carries the unterminated byte fragment to the next poll, where the
+    writer's flush completes it.  Each poll reads only the bytes
+    appended since the last one; a file that shrank (truncated or
+    rotated) resets the tailer and re-reads from the start.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.windows: list[WindowSnapshot] = []
+        self._offset = 0
+        self._fragment = b""
+
+    def poll(self) -> list[WindowSnapshot]:
+        """Consume newly completed records; returns just the fresh ones
+        (``self.windows`` accumulates everything seen so far)."""
+        if not self.path.exists():
+            return []
+        with self.path.open("rb") as handle:
+            handle.seek(0, 2)
+            if handle.tell() < self._offset:
+                self._offset = 0
+                self._fragment = b""
+                self.windows = []
+            handle.seek(self._offset)
+            chunk = handle.read()
+            self._offset = handle.tell()
+        lines = (self._fragment + chunk).split(b"\n")
+        self._fragment = lines.pop()
+        fresh = []
+        for raw in lines:
+            line = raw.decode("utf-8").strip()
+            if line:
+                fresh.append(WindowSnapshot.from_dict(json.loads(line)))
+        self.windows.extend(fresh)
+        return fresh

@@ -29,7 +29,11 @@ import time
 from pathlib import Path
 
 from repro.errors import ConfigurationError
-from repro.observe.timeseries import WindowSnapshot, read_timeseries_jsonl
+from repro.observe.timeseries import (
+    TimeseriesTailer,
+    WindowSnapshot,
+    read_timeseries_jsonl,
+)
 
 __all__ = ["build_parser", "main"]
 
@@ -159,8 +163,16 @@ def _follow(args: argparse.Namespace) -> int:
     path = Path(args.follow)
     frames = 0
     seen = -1
+    # Plain JSONL is tailed incrementally (torn last lines buffered
+    # until the writer terminates them); gzip streams aren't seekable
+    # mid-write, so .gz falls back to a full re-read per poll.
+    tailer = TimeseriesTailer(path) if path.suffix != ".gz" else None
     while True:
-        windows = read_timeseries_jsonl(path) if path.exists() else []
+        if tailer is not None:
+            tailer.poll()
+            windows = tailer.windows
+        else:
+            windows = read_timeseries_jsonl(path) if path.exists() else []
         if args.json:
             fresh = [w.to_dict() for w in windows if w.index > seen]
             if fresh:

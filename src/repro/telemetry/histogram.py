@@ -282,6 +282,28 @@ class LogHistogram:
                 out._max = 0.0
         return out
 
+    def bucket_points(self) -> list[tuple[float, int]]:
+        """The discrete distribution :meth:`percentile` answers from:
+        sorted ``(representative, count)`` pairs, zero bucket first,
+        representatives clamped to the observed ``[min, max]`` exactly
+        as :meth:`percentile` clamps them.
+
+        Read-only export for resampling consumers (the bootstrap CIs in
+        :mod:`repro.observe.diff`): drawing ranks against these points
+        with the total :attr:`count` reproduces every quantile answer
+        bit for bit, so a bootstrap built on them is consistent with
+        the point estimates it brackets.
+        """
+        points: list[tuple[float, int]] = []
+        if self._zero_count:
+            points.append((0.0, self._zero_count))
+        for index in sorted(self._buckets):
+            representative = self._gamma**index * self._rep_factor
+            points.append(
+                (min(max(representative, self._min), self._max), self._buckets[index])
+            )
+        return points
+
     def dump_state(self) -> dict:
         """Full-fidelity JSON-ready state (every bucket, not a summary).
 

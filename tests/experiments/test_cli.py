@@ -85,3 +85,54 @@ class TestMain:
         trace_path = tmp_path / "fig5.json"
         assert main(["fig5", "--scale", "tiny", "--trace", str(trace_path)]) == 0
         json.loads(trace_path.read_text())  # valid JSON even if few spans
+
+
+class TestDiffPlane:
+    """The `repro diff` dispatch and the `--ledger` flag (DESIGN.md §15)."""
+
+    def test_ledger_flag_persists_offered_entries(self, tmp_path, capsys):
+        from repro.observe.ledger import RunLedger
+
+        runs = tmp_path / "runs"
+        assert (
+            main(["tail-attribution", "--scale", "tiny", "--ledger", str(runs)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "[ledger:" in out
+        entries = RunLedger(runs).entries()
+        # One entry per (policy, load point): 3 policies x 3 loads.
+        assert len(entries) == 9
+        assert all(e.run_id for e in entries)
+
+    def test_diff_subcommand_end_to_end(self, tmp_path, capsys):
+        runs = tmp_path / "runs"
+        assert (
+            main(["run-diff", "--scale", "tiny", "--ledger", str(runs)]) == 0
+        )
+        capsys.readouterr()
+        assert main(["diff", "FM@45", "FIX-3@45", "--runs", str(runs)]) == 0
+        out = capsys.readouterr().out
+        assert "repro diff" in out
+        assert "verdict:" in out
+
+    def test_diff_subcommand_bad_ref_exits_2(self, tmp_path, capsys):
+        assert main(["diff", "a", "b", "--runs", str(tmp_path / "none")]) == 2
+        assert "repro diff:" in capsys.readouterr().err
+
+    def test_ledger_entries_identical_across_workers(self, tmp_path):
+        from repro.observe.ledger import RunLedger
+
+        serial = tmp_path / "serial"
+        pooled = tmp_path / "pooled"
+        assert main(["run-diff", "--scale", "tiny", "--ledger", str(serial)]) == 0
+        assert (
+            main(
+                ["run-diff", "--scale", "tiny", "--workers", "2",
+                 "--ledger", str(pooled)]
+            )
+            == 0
+        )
+        a = [e.to_dict() for e in RunLedger(serial).entries()]
+        b = [e.to_dict() for e in RunLedger(pooled).entries()]
+        assert a == b

@@ -116,8 +116,19 @@ class TestFlipDeterminism:
 class TestExperimentSmoke:
     def test_structure_and_acceptance(self):
         result = experiment_replication_phase(TINY)
-        assert len(result.tables) == 2
-        assert len(result.notes) == 3
+        # Phase diagram, the past-the-knee diff panel (DESIGN.md §15),
+        # and the flip timeline.
+        assert len(result.tables) == 3
+        assert result.tables[1].caption.startswith("repro diff")
+        assert len(result.notes) >= 3
+        # Every (policy, rho) run plus the flip run is offered for
+        # --ledger persistence.
+        assert any(
+            e.card.name.startswith("repl:adaptive@") for e in result.entries
+        )
+        assert any(
+            e.card.name == "repl:flip-adaptive@0.4" for e in result.entries
+        )
 
         phase_rows = result.tables[0].rows
         adaptive_rows = [r for r in phase_rows if r[1] == "adaptive"]
@@ -129,6 +140,6 @@ class TestExperimentSmoke:
             assert row[5] <= 1.10
         assert adaptive_rows[-1][6] <= 3
 
-        transitions = result.tables[1].rows
+        transitions = result.tables[2].rows
         assert transitions and transitions[0][2] != "(no transition)"
-        assert "brownout" in result.tables[1].caption
+        assert "brownout" in result.tables[2].caption

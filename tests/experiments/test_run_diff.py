@@ -1,0 +1,61 @@
+"""The run-diff experiment: ledgered panels through the diff engine.
+
+The self-diff panel must attest an exact null at ANY scale; the
+FM-vs-FIX-3 significance claim is a quick-scale-and-up fact (tiny's
+150 requests lack the power) so here we only check the panels exist
+and the entries are offered for ledgering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import TINY
+from repro.experiments.run_diff import (
+    COMPARE_RPS,
+    FIX_DEGREE,
+    LOAD_POINTS,
+    experiment_run_diff,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return experiment_run_diff(TINY)
+
+
+class TestRunDiffExperiment:
+    def test_offers_one_entry_per_policy_and_load(self, result):
+        names = sorted(entry.card.name for entry in result.entries)
+        expected = sorted(
+            f"{policy}@{rps:g}"
+            for policy in ("FM", f"FIX-{FIX_DEGREE}")
+            for rps in LOAD_POINTS
+        )
+        assert names == expected
+
+    def test_self_diff_attests_exact_null(self, result):
+        assert any("NULL (exact)" in note for note in result.notes)
+        self_tables = [
+            t for t in result.tables if t.caption.startswith("self-diff")
+        ]
+        assert len(self_tables) == 1
+        assert "identical=True" in self_tables[0].caption
+        # Every quantile row reports a zero delta and no significance.
+        for row in self_tables[0].rows:
+            assert row[3] == "+0"
+            assert row[-1] == "no"
+
+    def test_versus_and_regression_panels_present(self, result):
+        titles = [t.caption for t in result.tables]
+        assert any(
+            f"FM vs FIX-{FIX_DEGREE} at {COMPARE_RPS:g}" in t for t in titles
+        )
+        assert any("FM regression" in t for t in titles)
+        # The FIX-contention framing note rides along (DESIGN.md §15).
+        assert any("processor-sharing contention" in n for n in result.notes)
+
+    def test_entries_are_renderable(self, result):
+        text = result.render()
+        assert "self-diff" in text
+        assert "explanation ranking" in text

@@ -1,0 +1,278 @@
+"""``repro diff``: bootstrap CIs, significance, ranking, CLI.
+
+Two kinds of inputs: real simulator entries (through the ledger, like
+production) for the exact-null and determinism contracts, and
+synthetic entries with hand-built histograms where the ground truth is
+known — a 2x latency shift MUST be significant, equal-seed runs MUST
+diff to a certain null, and the explanation ranking MUST put the
+phase that moved first.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import TINY as TEST_SCALE
+from repro.experiments.runner import run_policy
+from repro.experiments.tables import lucene_table
+from repro.observe.diff import (
+    DEFAULT_PHIS,
+    PHASE_COLUMNS,
+    QUANTILE_COLUMNS,
+    diff_runs,
+    main as diff_main,
+    phase_rows,
+    quantile_rows,
+)
+from repro.observe.ledger import (
+    RunArtifacts,
+    RunCard,
+    RunEntry,
+    RunLedger,
+    entry_from_result,
+)
+from repro.schedulers import FixedScheduler, FMScheduler
+from repro.telemetry import LogHistogram
+from repro.workloads import lucene as lucene_mod
+
+
+# ----------------------------------------------------------------------
+# Real simulator entries (the production path)
+# ----------------------------------------------------------------------
+def _sim_entry(name: str, scheduler, seed: int = 321) -> RunEntry:
+    workload = lucene_mod.lucene_workload(profile_size=TEST_SCALE.profile_size)
+    result = run_policy(
+        scheduler,
+        workload,
+        rps=45.0,
+        cores=lucene_mod.CORES,
+        num_requests=TEST_SCALE.num_requests,
+        quantum_ms=lucene_mod.QUANTUM_MS,
+        seed=seed,
+        spin_fraction=lucene_mod.SPIN_FRACTION,
+    )
+    return entry_from_result(
+        name,
+        result,
+        config={"policy": name, "rps": 45.0, "seed": seed},
+        seed=seed,
+        scheduler=name,
+        workload=workload,
+        scale=TEST_SCALE.name,
+    )
+
+
+@pytest.fixture(scope="module")
+def fm_entry() -> RunEntry:
+    return _sim_entry("FM", FMScheduler(lucene_table(TEST_SCALE)))
+
+
+@pytest.fixture(scope="module")
+def fix_entry() -> RunEntry:
+    return _sim_entry("FIX-3", FixedScheduler(3))
+
+
+# ----------------------------------------------------------------------
+# Synthetic entries (known ground truth)
+# ----------------------------------------------------------------------
+def _synthetic_entry(
+    name: str,
+    latencies: list[float],
+    tail: dict | None = None,
+    events: list[dict] | None = None,
+    metrics: dict | None = None,
+) -> RunEntry:
+    artifacts = RunArtifacts()
+    histogram = LogHistogram()
+    histogram.record_many(latencies)
+    artifacts.add_histogram("latency_ms", histogram)
+    if tail is not None:
+        artifacts.attribution = {"tail": tail}
+    artifacts.events = events or []
+    artifacts.metrics = metrics or {}
+    card = RunCard(name=name, fingerprint="0" * 12, seed=1)
+    return RunEntry(card=card, artifacts=artifacts)
+
+
+def _spread(center: float, n: int = 400) -> list[float]:
+    # Deterministic, histogram-friendly spread around `center`.
+    return [center * (1.0 + 0.3 * ((i % 17) / 17.0 - 0.5)) for i in range(n)]
+
+
+class TestExactNull:
+    def test_self_diff_is_certain_null(self, fm_entry):
+        clone = RunEntry.from_dict(json.loads(json.dumps(fm_entry.to_dict())))
+        diff = diff_runs(fm_entry, clone)
+        assert diff.identical
+        assert diff.is_null()
+        assert all(q.delta_ms == 0.0 for q in diff.quantiles)
+        assert all(q.ci_lo == 0.0 and q.ci_hi == 0.0 for q in diff.quantiles)
+        assert all(not p.significant for p in diff.phases)
+        assert "bit-identical" in diff.render()
+
+    def test_same_config_same_seed_reruns_diff_to_null(self):
+        a = _sim_entry("FM", FMScheduler(lucene_table(TEST_SCALE)))
+        b = _sim_entry("FM", FMScheduler(lucene_table(TEST_SCALE)))
+        diff = diff_runs(a, b)
+        assert diff.identical and diff.is_null()
+
+    def test_different_runs_do_not_short_circuit(self, fm_entry, fix_entry):
+        assert not diff_runs(fm_entry, fix_entry).identical
+
+
+class TestSignificance:
+    def test_large_shift_is_significant(self):
+        a = _synthetic_entry("slow", _spread(200.0))
+        b = _synthetic_entry("fast", _spread(100.0))
+        diff = diff_runs(a, b)
+        p99 = diff.quantile(0.99)
+        assert p99.delta_ms > 0
+        assert p99.ci_lo > 0
+        assert p99.significant
+        assert not diff.is_null()
+
+    def test_sub_floor_delta_is_noise(self):
+        # Two histograms one representative apart everywhere: the delta
+        # sits inside the relative-error floor, so bucketing noise.
+        values = _spread(100.0)
+        a = _synthetic_entry("a", values)
+        b = _synthetic_entry("b", [v * 1.001 for v in values])
+        diff = diff_runs(a, b)
+        for q in diff.quantiles:
+            assert abs(q.delta_ms) <= q.floor_ms
+            assert not q.significant
+
+    def test_explanation_names_the_moved_phase(self):
+        tail_a = {"queue_ms": 150.0, "service_ms": 100.0,
+                  "contention_ms": 20.0, "boost_wait_ms": 0.0,
+                  "stall_ms": 0.0, "latency_ms": 270.0}
+        tail_b = {"queue_ms": 10.0, "service_ms": 100.0,
+                  "contention_ms": 15.0, "boost_wait_ms": 0.0,
+                  "stall_ms": 0.0, "latency_ms": 125.0}
+        a = _synthetic_entry("loaded", _spread(270.0), tail=tail_a)
+        b = _synthetic_entry("calm", _spread(125.0), tail=tail_b)
+        diff = diff_runs(a, b)
+        assert diff.phases[0].component == "queue_ms"
+        assert diff.phases[0].share_of_p99_delta > 0.9
+        assert "queue explains" in diff.explanation()
+
+    def test_insignificant_diff_explains_itself(self):
+        values = _spread(100.0)
+        diff = diff_runs(
+            _synthetic_entry("a", values), _synthetic_entry("b", values)
+        )
+        assert "statistically indistinguishable" in diff.explanation()
+
+
+class TestDeterminism:
+    def test_same_inputs_same_report(self, fm_entry, fix_entry):
+        first = diff_runs(fm_entry, fix_entry).to_dict()
+        second = diff_runs(fm_entry, fix_entry).to_dict()
+        assert first == second
+
+    def test_seed_moves_cis_not_points(self, fm_entry, fix_entry):
+        a = diff_runs(fm_entry, fix_entry, seed=1)
+        b = diff_runs(fm_entry, fix_entry, seed=2)
+        for qa, qb in zip(a.quantiles, b.quantiles):
+            assert qa.a_ms == qb.a_ms and qa.b_ms == qb.b_ms
+        assert [q.delta_ms for q in a.quantiles] == [
+            q.delta_ms for q in b.quantiles
+        ]
+
+
+class TestDiffSurface:
+    def test_event_timeline_diff(self):
+        events_a = [
+            {"kind": "mode_transition", "window": 3,
+             "detail": {"to_mode": "brownout"}},
+            {"kind": "mode_transition", "window": 5,
+             "detail": {"to_mode": "normal"}},
+        ]
+        events_b = [
+            {"kind": "mode_transition", "window": 9,
+             "detail": {"to_mode": "normal"}},
+        ]
+        diff = diff_runs(
+            _synthetic_entry("a", _spread(100.0), events=events_a),
+            _synthetic_entry("b", _spread(110.0), events=events_b),
+        )
+        assert len(diff.events) == 1
+        delta = diff.events[0]
+        assert delta.signature == "brownout"
+        assert (delta.count_a, delta.count_b) == (1, 0)
+        assert delta.first_window_a == 3
+
+    def test_scalar_metric_diff(self):
+        diff = diff_runs(
+            _synthetic_entry("a", _spread(100.0),
+                             metrics={"shed_count": 5.0, "count": 400.0}),
+            _synthetic_entry("b", _spread(100.0),
+                             metrics={"shed_count": 0.0, "count": 400.0}),
+        )
+        assert diff.metrics == {
+            "shed_count": {"a": 5.0, "b": 0.0, "delta": 5.0}
+        }
+
+    def test_table_adapters_match_columns(self, fm_entry, fix_entry):
+        diff = diff_runs(fm_entry, fix_entry)
+        for row in quantile_rows(diff):
+            assert len(row) == len(QUANTILE_COLUMNS)
+        for row in phase_rows(diff):
+            assert len(row) == len(PHASE_COLUMNS)
+        assert len(quantile_rows(diff)) == len(DEFAULT_PHIS)
+
+    def test_validation(self, fm_entry, fix_entry):
+        with pytest.raises(ConfigurationError):
+            diff_runs(fm_entry, fix_entry, resamples=1)
+        with pytest.raises(ConfigurationError):
+            diff_runs(fm_entry, fix_entry, confidence=1.5)
+        with pytest.raises(ConfigurationError):
+            diff_runs(fm_entry, fix_entry, histogram="nope")
+        with pytest.raises(ConfigurationError):
+            diff_runs(fm_entry, fix_entry).quantile(0.42)
+
+
+class TestCli:
+    @pytest.fixture()
+    def runs_dir(self, tmp_path, fm_entry, fix_entry):
+        ledger = RunLedger(tmp_path / "runs")
+        ledger.append(fm_entry)
+        ledger.append(fix_entry)
+        ledger.append(fm_entry)
+        return tmp_path / "runs"
+
+    def test_text_report(self, runs_dir, capsys):
+        assert diff_main(["FM", "FIX-3", "--runs", str(runs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "repro diff" in out
+        assert "explanation:" in out
+        assert "verdict:" in out
+
+    def test_json_self_diff_is_null(self, runs_dir, capsys):
+        assert (
+            diff_main(["FM#0", "FM#2", "--runs", str(runs_dir), "--json"])
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["identical"] is True
+        assert report["null"] is True
+
+    def test_custom_phi_grid(self, runs_dir, capsys):
+        assert (
+            diff_main(
+                ["0", "1", "--runs", str(runs_dir), "--phi", "0.9", "--json"]
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert [q["phi"] for q in report["quantiles"]] == [0.9]
+
+    def test_unknown_run_exits_2(self, runs_dir, capsys):
+        assert diff_main(["nope", "FM", "--runs", str(runs_dir)]) == 2
+        assert "repro diff:" in capsys.readouterr().err
+
+    def test_empty_ledger_exits_2(self, tmp_path, capsys):
+        assert diff_main(["0", "1", "--runs", str(tmp_path / "none")]) == 2

@@ -1,0 +1,96 @@
+"""Property tests for the ledger/diff statistical machinery.
+
+Two contracts under arbitrary value streams:
+
+* **Serialize commutes with merge** — restoring histograms from their
+  :meth:`LogHistogram.dump_state` payloads and then merging yields the
+  same bit-exact state as merging live histograms and then
+  serializing.  This is what lets ledger artifacts from different
+  processes (or ledger files) be merged offline without loss.
+* **Bootstrap CIs cover the point estimate** — the bucket-level
+  bootstrap's quantile distribution must bracket the histogram's own
+  point estimate, up to one gamma step of the representative grid
+  (both the replicates and the point live on that grid, so the
+  distribution can sit one adjacent bucket away at rank boundaries,
+  never further).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.observe.diff import DEFAULT_PHIS, bootstrap_quantiles
+from repro.telemetry.histogram import LogHistogram
+
+_EPS = 0.01
+_GAMMA = (1 + _EPS) / (1 - _EPS)
+
+_values = st.lists(
+    st.one_of(
+        st.just(0.0),
+        st.floats(min_value=1e-3, max_value=1e6, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=100,
+)
+
+
+def _fill(values) -> LogHistogram:
+    histogram = LogHistogram(relative_error=_EPS)
+    histogram.record_many(values)
+    return histogram
+
+
+@settings(max_examples=100, deadline=None)
+@given(values_a=_values, values_b=_values)
+def test_restore_then_merge_commutes_with_merge_then_serialize(
+    values_a, values_b
+):
+    live_a, live_b = _fill(values_a), _fill(values_b)
+
+    # Path 1: merge live histograms, then serialize.
+    merged_live = live_a.copy()
+    merged_live.update(live_b)
+    state_via_live = merged_live.dump_state()
+
+    # Path 2: serialize each, restore, then merge the restorations.
+    restored_a = LogHistogram.from_state(live_a.dump_state())
+    restored_b = LogHistogram.from_state(live_b.dump_state())
+    restored_a.update(restored_b)
+    state_via_restore = restored_a.dump_state()
+
+    assert state_via_live == state_via_restore
+    assert restored_a.state() == merged_live.state()
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=_values, seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_serialized_round_trip_preserves_bootstrap(values, seed):
+    """The bootstrap is a function of histogram *state*: a ledger
+    round-trip must reproduce the replicate matrix bit for bit."""
+    histogram = _fill(values)
+    restored = LogHistogram.from_state(histogram.dump_state())
+    direct = bootstrap_quantiles(
+        histogram, DEFAULT_PHIS, 50, np.random.default_rng(seed)
+    )
+    roundtrip = bootstrap_quantiles(
+        restored, DEFAULT_PHIS, 50, np.random.default_rng(seed)
+    )
+    assert np.array_equal(direct, roundtrip)
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=_values, seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_bootstrap_interval_brackets_point_estimate(values, seed):
+    histogram = _fill(values)
+    replicates = bootstrap_quantiles(
+        histogram, DEFAULT_PHIS, 200, np.random.default_rng(seed)
+    )
+    for column, phi in enumerate(DEFAULT_PHIS):
+        point = histogram.percentile(phi)
+        lo, hi = np.percentile(replicates[:, column], [2.5, 97.5])
+        # One gamma step of slack on each side: replicates and point
+        # both live on the representative grid (see module docstring).
+        assert float(lo) <= point * _GAMMA + 1e-12
+        assert float(hi) >= point / _GAMMA - 1e-12

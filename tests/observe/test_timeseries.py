@@ -16,6 +16,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.observe.timeseries import (
     TimeseriesRecorder,
+    TimeseriesTailer,
     WindowSnapshot,
     merge_window_streams,
     read_timeseries_jsonl,
@@ -198,3 +199,65 @@ class TestJsonl:
         assert [w.state() for w in read_timeseries_jsonl(gz)] == [
             w.state() for w in windows
         ]
+
+
+class TestTailer:
+    """Incremental tailing: a live writer may leave torn last lines."""
+
+    def test_tails_completed_lines(self, tmp_path):
+        windows = [WindowSnapshot.from_dict(d) for d in _shard_stream(0)]
+        path = tmp_path / "ts.jsonl"
+        tailer = TimeseriesTailer(path)
+        assert tailer.poll() == []  # file does not exist yet
+        write_timeseries_jsonl(path, windows[:2])
+        assert [w.index for w in tailer.poll()] == [0, 1]
+        write_timeseries_jsonl(path, windows[2:], append=True)
+        assert [w.index for w in tailer.poll()] == [2, 3]
+        assert [w.state() for w in tailer.windows] == [
+            w.state() for w in windows
+        ]
+
+    def test_split_record_buffered_across_polls(self, tmp_path):
+        """A record written in two OS writes parses once terminated."""
+        import json
+
+        windows = [WindowSnapshot.from_dict(d) for d in _shard_stream(1)]
+        line = json.dumps(windows[0].to_dict(), sort_keys=True) + "\n"
+        path = tmp_path / "ts.jsonl"
+        tailer = TimeseriesTailer(path)
+        # First half of the record: mid-write poll must not choke on
+        # the torn JSON, and must not emit anything.
+        path.write_bytes(line[: len(line) // 2].encode("utf-8"))
+        assert tailer.poll() == []
+        # Writer finishes the line: the buffered fragment completes.
+        with path.open("ab") as handle:
+            handle.write(line[len(line) // 2 :].encode("utf-8"))
+        fresh = tailer.poll()
+        assert len(fresh) == 1
+        assert fresh[0].state() == windows[0].state()
+
+    def test_unterminated_tail_held_until_newline(self, tmp_path):
+        import json
+
+        windows = [WindowSnapshot.from_dict(d) for d in _shard_stream(2)]
+        lines = [json.dumps(w.to_dict(), sort_keys=True) for w in windows]
+        path = tmp_path / "ts.jsonl"
+        # A complete first record plus a complete-but-unterminated
+        # second: only the newline-terminated one is consumed.
+        path.write_text(lines[0] + "\n" + lines[1])
+        tailer = TimeseriesTailer(path)
+        assert [w.index for w in tailer.poll()] == [windows[0].index]
+        with path.open("a") as handle:
+            handle.write("\n")
+        assert [w.index for w in tailer.poll()] == [windows[1].index]
+
+    def test_truncation_resets(self, tmp_path):
+        windows = [WindowSnapshot.from_dict(d) for d in _shard_stream(0)]
+        path = tmp_path / "ts.jsonl"
+        write_timeseries_jsonl(path, windows)
+        tailer = TimeseriesTailer(path)
+        assert len(tailer.poll()) == len(windows)
+        # Rotation: the file restarts smaller; the tailer re-reads it.
+        write_timeseries_jsonl(path, windows[:1])
+        assert [w.index for w in tailer.poll()] == [windows[0].index]
+        assert len(tailer.windows) == 1

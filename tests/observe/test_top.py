@@ -126,6 +126,24 @@ class TestFollowMode:
         assert top_main(["--follow", str(path), "--frames", "1"]) == 0
         assert "latency p99 ms" in capsys.readouterr().out
 
+    def test_torn_last_line_does_not_crash_follow(self, tmp_path, capsys):
+        """A writer caught mid-``write()`` leaves half a JSON record;
+        the follow loop must render the complete windows and pick up
+        the torn one on a later frame, once terminated."""
+        path = self._stream(tmp_path)
+        whole = path.read_text().splitlines()
+        torn = json.dumps({"index": 3, "start_ms": 300.0})[: 20]
+        path.write_text("\n".join(whole) + "\n" + torn)
+        assert (
+            top_main(
+                ["--follow", str(path), "--frames", "2", "--interval", "0.01",
+                 "--json"]
+            )
+            == 0
+        )
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert [w["index"] for w in json.loads(lines[0])] == [0, 1, 2]
+
 
 class TestErrors:
     def test_missing_trace_exits_2(self, tmp_path, capsys):
